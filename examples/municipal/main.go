@@ -1,0 +1,119 @@
+// Municipal planning: the paper's motivating scenario (Example 1).
+//
+//	go run ./examples/municipal
+//
+// A planner holds a query route in one city and needs two things:
+//
+//  1. routes with maximum spatial overlap, to analyze traffic on the same
+//     corridor (OJSP, Fig. 1(b));
+//  2. routes that connect to the query and extend coverage into the
+//     neighboring region, to build transfer routes (CJSP, Fig. 1(c)) —
+//     connectivity matters because riders cannot transfer between routes
+//     that never come near each other.
+//
+// The example also demonstrates live index maintenance: a new route is
+// opened (Insert) and an old one rerouted (Update), and the searches
+// immediately reflect it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dits/internal/core"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/workload"
+)
+
+func main() {
+	spec, err := workload.SpecByName("Transit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := workload.Generate(spec, 0.1, 7)
+	eng, err := core.NewEngine(src, core.Config{Theta: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := src.Datasets[3].Points
+	fmt.Printf("planning around route %q (%d stops)\n\n", src.Datasets[3].Name, len(query))
+
+	// Task 1: deepen — who already serves this corridor?
+	fmt.Println("task 1: most-overlapping routes (candidates for joint analysis)")
+	report(eng.OverlapSearch(query, 4))
+
+	// Task 2: widen — which connected routes extend coverage the most?
+	fmt.Println("\ntask 2: connected routes maximizing coverage (transfer planning)")
+	cov := eng.CoverageSearch(query, 8, 4)
+	reportCoverage(cov)
+
+	// The city opens a new feeder line hugging the query route's start.
+	feeder := &dataset.Dataset{
+		ID:   100000,
+		Name: "new-feeder-line",
+		// A short line jittered around the query's first stops.
+		Points: jitter(query[:min(len(query), 40)], 0.001),
+	}
+	if err := eng.Insert(feeder); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter opening new-feeder-line, overlap search sees it immediately:")
+	report(eng.OverlapSearch(query, 4))
+
+	// An existing route is rerouted away; update then re-run coverage.
+	rerouted := &dataset.Dataset{
+		ID:     src.Datasets[10].ID,
+		Name:   src.Datasets[10].Name + "-rerouted",
+		Points: shift(src.Datasets[10].Points, 0.02, 0.02),
+	}
+	if err := eng.Update(rerouted); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter rerouting, coverage search over the updated network:")
+	reportCoverage(eng.CoverageSearch(query, 8, 4))
+}
+
+func report(rs []core.Result) {
+	if len(rs) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	for i, r := range rs {
+		fmt.Printf("  %d. %-22s overlap=%d cells\n", i+1, r.Name, r.Score)
+	}
+}
+
+func reportCoverage(cov core.CoverageOutcome) {
+	fmt.Printf("  query alone: %d cells\n", cov.QueryCoverage)
+	for i, r := range cov.Results {
+		fmt.Printf("  %d. %-22s gain=+%d cells\n", i+1, r.Name, r.Score)
+	}
+	fmt.Printf("  combined coverage: %d cells\n", cov.Coverage)
+}
+
+func jitter(pts []geo.Point, amp float64) []geo.Point {
+	out := make([]geo.Point, len(pts))
+	for i, p := range pts {
+		// Deterministic pseudo-jitter; no randomness needed for a demo.
+		dx := amp * float64((i%7)-3) / 3
+		dy := amp * float64((i%5)-2) / 2
+		out[i] = geo.Pt(p.X+dx, p.Y+dy)
+	}
+	return out
+}
+
+func shift(pts []geo.Point, dx, dy float64) []geo.Point {
+	out := make([]geo.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geo.Pt(p.X+dx, p.Y+dy)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

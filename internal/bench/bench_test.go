@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the smoke tests fast: a few datasets per source.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.004
+	cfg.OverlapScale = 0.004
+	cfg.Q = 2
+	cfg.K = 3
+	cfg.CoverageSources = []string{"Transit"}
+	return cfg
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is not short")
+	}
+	cfg := tinyConfig()
+	seen := map[string]bool{}
+	for _, e := range All() {
+		e := e
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s returned no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s: row width %d != header width %d", e.ID, len(row), len(tbl.Header))
+					}
+				}
+				if !strings.Contains(tbl.String(), tbl.Title) {
+					t.Errorf("%s: String() misses the title", e.ID)
+				}
+				if !strings.Contains(tbl.CSV(), tbl.Header[0]) {
+					t.Errorf("%s: CSV() misses the header", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	tables, err := Run("table2", tinyConfig())
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("table2 run: %v, %d tables", err, len(tables))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with,comma"}, {"22", `with"quote`}},
+		Notes:  []string{"note"},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "# note") {
+		t.Errorf("String output wrong:\n%s", s)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("CSV did not quote comma cell:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("CSV did not escape quote cell:\n%s", csv)
+	}
+}

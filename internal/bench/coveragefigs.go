@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+	"dits/internal/search/coverage"
+)
+
+// coverageAlgos is the series order of Figs. 15-18.
+var coverageAlgos = []string{"CoverageSearch", "SG+DITS", "SG"}
+
+// buildCoverageSearchers builds the three CJSP algorithms over one source,
+// sharing the DITS-L index between CoverageSearch and SG+DITS as in the
+// paper.
+func buildCoverageSearchers(sd sourceData, f int) map[string]coverage.Searcher {
+	idx := dits.Build(sd.grid, sd.nodes, f)
+	return map[string]coverage.Searcher{
+		"CoverageSearch": &coverage.DITSSearcher{Index: idx},
+		"SG+DITS":        &coverage.SGDITS{Index: idx},
+		"SG":             &coverage.SG{Nodes: sd.nodes},
+	}
+}
+
+// runCoverage measures total time (ms) per algorithm over the queries.
+func runCoverage(searchers map[string]coverage.Searcher, qs []*dataset.Node, delta float64, k int) map[string]float64 {
+	out := make(map[string]float64)
+	for name, s := range searchers {
+		s := s
+		out[name] = timeIt(func() {
+			for _, q := range qs {
+				s.Search(q, delta, k)
+			}
+		})
+	}
+	return out
+}
+
+// coverageSweep renders one CJSP figure over the configured coverage
+// sources.
+func coverageSweep(cfg Config, id, title, param string, values []string,
+	run func(sd sourceData, i int) map[string]float64) []Table {
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"source", param}, coverageAlgos...),
+		Notes: []string{
+			"Total time (ms) over q queries. Paper shape: CoverageSearch < SG+DITS < SG",
+			"(merge strategy: one tree search per iteration; SG re-verifies connectivity per member).",
+		},
+	}
+	for _, spec := range coverageSpecs(cfg) {
+		sd := cache.gridded(spec, cfg, cfg.Theta)
+		for i, v := range values {
+			times := run(sd, i)
+			row := []string{spec.Name, v}
+			for _, name := range coverageAlgos {
+				row = append(row, ms(times[name]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []Table{t}
+}
+
+// Fig15 regenerates CJSP search time vs k.
+func Fig15(cfg Config) []Table {
+	vals := make([]string, len(ParamK))
+	for i, k := range ParamK {
+		vals[i] = itoa(k)
+	}
+	return coverageSweep(cfg, "fig15", "CJSP search time vs k", "k", vals,
+		func(sd sourceData, i int) map[string]float64 {
+			searchers := buildCoverageSearchers(sd, cfg.F)
+			qs := queries(sd, cfg.Q, cfg.Seed)
+			return runCoverage(searchers, qs, cfg.Delta, ParamK[i])
+		})
+}
+
+// Fig16 regenerates CJSP search time vs θ.
+func Fig16(cfg Config) []Table {
+	t := Table{
+		ID:     "fig16",
+		Title:  "CJSP search time vs θ",
+		Header: append([]string{"source", "θ"}, coverageAlgos...),
+		Notes: []string{
+			"Cell sets grow with θ, so all three slow down; SG fastest-growing (pairwise distances).",
+		},
+	}
+	for _, spec := range coverageSpecs(cfg) {
+		for _, theta := range ParamTheta {
+			sd := cache.gridded(spec, cfg, theta)
+			searchers := buildCoverageSearchers(sd, cfg.F)
+			qs := queries(sd, cfg.Q, cfg.Seed)
+			times := runCoverage(searchers, qs, cfg.Delta, cfg.K)
+			row := []string{spec.Name, itoa(theta)}
+			for _, name := range coverageAlgos {
+				row = append(row, ms(times[name]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []Table{t}
+}
+
+// Fig17 regenerates CJSP search time vs q.
+func Fig17(cfg Config) []Table {
+	vals := make([]string, len(ParamQ))
+	for i, q := range ParamQ {
+		vals[i] = itoa(q)
+	}
+	return coverageSweep(cfg, "fig17", "CJSP search time vs q", "q", vals,
+		func(sd sourceData, i int) map[string]float64 {
+			searchers := buildCoverageSearchers(sd, cfg.F)
+			qs := queries(sd, ParamQ[i], cfg.Seed)
+			return runCoverage(searchers, qs, cfg.Delta, cfg.K)
+		})
+}
+
+// Fig18 regenerates CJSP search time vs δ.
+func Fig18(cfg Config) []Table {
+	vals := make([]string, len(ParamDelta))
+	for i, d := range ParamDelta {
+		vals[i] = ftoa(d)
+	}
+	return coverageSweep(cfg, "fig18", "CJSP search time vs δ", "δ", vals,
+		func(sd sourceData, i int) map[string]float64 {
+			searchers := buildCoverageSearchers(sd, cfg.F)
+			qs := queries(sd, cfg.Q, cfg.Seed)
+			return runCoverage(searchers, qs, ParamDelta[i], cfg.K)
+		})
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+	"dits/internal/index/josie"
+	"dits/internal/index/quadtree"
+	"dits/internal/index/rtree"
+	"dits/internal/index/sts3"
+	"dits/internal/search/overlap"
+	"dits/internal/workload"
+)
+
+// overlapAlgos is the series order of Figs. 9-11.
+var overlapAlgos = []string{"OverlapSearch", "Rtree", "Josie", "QuadTree", "STS3"}
+
+// buildOverlapSearchers builds all five OJSP searchers over one source.
+func buildOverlapSearchers(sd sourceData, f int) map[string]overlap.Searcher {
+	return map[string]overlap.Searcher{
+		"OverlapSearch": &overlap.DITSSearcher{Index: dits.Build(sd.grid, sd.nodes, f)},
+		"QuadTree":      &overlap.QuadtreeSearcher{Index: quadtree.Build(sd.grid.Theta, sd.nodes)},
+		"Rtree":         &overlap.RtreeSearcher{Index: rtree.Build(8, sd.nodes)},
+		"STS3":          &overlap.STS3Searcher{Index: sts3.Build(sd.nodes)},
+		"Josie":         &overlap.JosieSearcher{Index: josie.Build(sd.nodes)},
+	}
+}
+
+// runOverlap measures the total time (ms) each algorithm takes to answer
+// the queries at the given k.
+func runOverlap(searchers map[string]overlap.Searcher, qs []*dataset.Node, k int) map[string]float64 {
+	out := make(map[string]float64)
+	for name, s := range searchers {
+		s := s
+		out[name] = timeIt(func() {
+			for _, q := range qs {
+				s.TopK(q, k)
+			}
+		})
+	}
+	return out
+}
+
+// overlapSweep renders one OJSP figure: rows are (source, param value),
+// columns the five algorithms' total query time.
+func overlapSweep(cfg Config, id, title, param string, values []int,
+	run func(sd sourceData, v int) map[string]float64) []Table {
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"source", param}, overlapAlgos...),
+		Notes: []string{
+			"Total time (ms) over q queries. Paper shape: OverlapSearch fastest;",
+			"tree-based (OverlapSearch, Rtree) beat inverted (STS3); Josie beats STS3.",
+		},
+	}
+	for _, spec := range workload.Specs() {
+		sd := cache.gridded(spec, cfg, cfg.Theta)
+		for _, v := range values {
+			times := run(sd, v)
+			row := []string{spec.Name, itoa(v)}
+			for _, name := range overlapAlgos {
+				row = append(row, ms(times[name]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []Table{t}
+}
+
+// Fig9 regenerates OJSP search time vs k.
+func Fig9(cfg Config) []Table {
+	cfg = overlapCfg(cfg)
+	return overlapSweep(cfg, "fig9", "OJSP search time vs k", "k", ParamK,
+		func(sd sourceData, k int) map[string]float64 {
+			searchers := buildOverlapSearchers(sd, cfg.F)
+			qs := queries(sd, cfg.Q, cfg.Seed)
+			return runOverlap(searchers, qs, k)
+		})
+}
+
+// Fig10 regenerates OJSP search time vs θ. The indexes are rebuilt at each
+// resolution.
+func Fig10(cfg Config) []Table {
+	cfg = overlapCfg(cfg)
+	t := Table{
+		ID:     "fig10",
+		Title:  "OJSP search time vs θ",
+		Header: append([]string{"source", "θ"}, overlapAlgos...),
+		Notes: []string{
+			"Total time (ms) over q queries; all algorithms slow down as cells shrink.",
+		},
+	}
+	for _, spec := range workload.Specs() {
+		for _, theta := range ParamTheta {
+			sd := cache.gridded(spec, cfg, theta)
+			searchers := buildOverlapSearchers(sd, cfg.F)
+			qs := queries(sd, cfg.Q, cfg.Seed)
+			times := runOverlap(searchers, qs, cfg.K)
+			row := []string{spec.Name, itoa(theta)}
+			for _, name := range overlapAlgos {
+				row = append(row, ms(times[name]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []Table{t}
+}
+
+// Fig11 regenerates OJSP search time vs q (number of queries).
+func Fig11(cfg Config) []Table {
+	cfg = overlapCfg(cfg)
+	return overlapSweep(cfg, "fig11", "OJSP search time vs q", "q", ParamQ,
+		func(sd sourceData, q int) map[string]float64 {
+			searchers := buildOverlapSearchers(sd, cfg.F)
+			qs := queries(sd, q, cfg.Seed)
+			return runOverlap(searchers, qs, cfg.K)
+		})
+}
+
+// Fig12 regenerates OJSP search time vs leaf capacity f, for the two
+// capacity-parameterized algorithms (QuadTree is fixed at 4; STS3 and Josie
+// have no tree), matching the paper's Fig. 12.
+func Fig12(cfg Config) []Table {
+	cfg = overlapCfg(cfg)
+	t := Table{
+		ID:     "fig12",
+		Title:  "OJSP search time vs f (OverlapSearch and Rtree only)",
+		Header: []string{"source", "f", "OverlapSearch", "Rtree"},
+		Notes: []string{
+			"Rtree here uses node capacity M=f for comparability.",
+			"Paper shape: larger leaves prune less; OverlapSearch stays below Rtree.",
+		},
+	}
+	for _, spec := range workload.Specs() {
+		sd := cache.gridded(spec, cfg, cfg.Theta)
+		qs := queries(sd, cfg.Q, cfg.Seed)
+		for _, f := range ParamF {
+			ds := &overlap.DITSSearcher{Index: dits.Build(sd.grid, sd.nodes, f)}
+			rs := &overlap.RtreeSearcher{Index: rtree.Build(f, sd.nodes)}
+			dt := timeIt(func() {
+				for _, q := range qs {
+					ds.TopK(q, cfg.K)
+				}
+			})
+			rt := timeIt(func() {
+				for _, q := range qs {
+					rs.TopK(q, cfg.K)
+				}
+			})
+			t.Rows = append(t.Rows, []string{spec.Name, itoa(f), ms(dt), ms(rt)})
+		}
+	}
+	return []Table{t}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"dits/internal/workload"
+)
+
+// Table1 regenerates Table I: the statistics of the five (synthetic) data
+// sources at the configured scale.
+func Table1(cfg Config) []Table {
+	t := Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("Details of five spatial data sources (scale %g of the paper's)", cfg.Scale),
+		Header: []string{
+			"Data source", "Number of datasets", "Number of points", "Coordinates range",
+		},
+		Notes: []string{
+			"Synthetic stand-ins for the paper's portals; counts scale Table I, ranges match it.",
+		},
+	}
+	for _, spec := range workload.Specs() {
+		src := cache.source(spec, cfg)
+		st := src.ComputeStats()
+		t.Rows = append(t.Rows, []string{
+			spec.Name + "-dataset",
+			itoa(st.NumDatasets),
+			itoa(st.NumPoints),
+			fmt.Sprintf("[(%.2f, %.2f), (%.2f, %.2f)]",
+				spec.Bounds.MinX, spec.Bounds.MinY, spec.Bounds.MaxX, spec.Bounds.MaxY),
+		})
+	}
+	return []Table{t}
+}
+
+// Table2 prints the parameter grid of Table II (defaults marked *).
+func Table2(cfg Config) []Table {
+	mark := func(vals []int, def int) string {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = itoa(v)
+			if v == def {
+				parts[i] += "*"
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	markF := func(vals []float64, def float64) string {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = ftoa(v)
+			if v == def {
+				parts[i] += "*"
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	return []Table{{
+		ID:     "table2",
+		Title:  "Parameter settings (defaults marked *)",
+		Header: []string{"Parameter", "Settings"},
+		Rows: [][]string{
+			{"k: number of results", mark(ParamK, cfg.K)},
+			{"q: number of queries", mark(ParamQ, cfg.Q)},
+			{"θ: resolution", mark(ParamTheta, cfg.Theta)},
+			{"δ: connectivity threshold", markF(ParamDelta, cfg.Delta)},
+			{"f: leaf node capacity", mark(ParamF, cfg.F)},
+		},
+	}}
+}
+
+// heatChars maps density quantiles to glyphs, darkest last.
+const heatChars = " .:-=+*#%@"
+
+// Fig7 renders each source's dataset-distribution heatmap as text art plus
+// density statistics.
+func Fig7(cfg Config) []Table {
+	const res = 48
+	var tables []Table
+	for _, spec := range workload.Specs() {
+		src := cache.source(spec, cfg)
+		hm := workload.Heatmap(src, res)
+		maxBin, total := 0, 0
+		for _, row := range hm {
+			for _, v := range row {
+				total += v
+				if v > maxBin {
+					maxBin = v
+				}
+			}
+		}
+		t := Table{
+			ID:     "fig7",
+			Title:  fmt.Sprintf("%s-dataset heatmap (%d points, max bin %d)", spec.Name, total, maxBin),
+			Header: []string{"density (north at top)"},
+		}
+		for y := res - 1; y >= 0; y-- {
+			var line strings.Builder
+			for x := 0; x < res; x++ {
+				v := hm[y][x]
+				idx := 0
+				if maxBin > 0 && v > 0 {
+					idx = 1 + v*(len(heatChars)-2)/maxBin
+					if idx >= len(heatChars) {
+						idx = len(heatChars) - 1
+					}
+				}
+				line.WriteByte(heatChars[idx])
+			}
+			t.Rows = append(t.Rows, []string{line.String()})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"math/rand"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/index/josie"
+	"dits/internal/index/quadtree"
+	"dits/internal/index/rtree"
+	"dits/internal/index/sts3"
+	"dits/internal/workload"
+)
+
+// updateIndexNames is the series order of Figs. 21-22 (the paper plots
+// STS3, DITS, Rtree, QuadTree, Josie).
+var updateIndexNames = []string{"STS3", "DITS", "Rtree", "QuadTree", "Josie"}
+
+// mutableIndexes builds fresh instances of all five indexes over sd and
+// returns uniform insert/update closures for each.
+func mutableIndexes(sd sourceData, f int) map[string]struct {
+	insert func(*dataset.Node)
+	update func(*dataset.Node)
+} {
+	d := dits.Build(sd.grid, sd.nodes, f)
+	qt := quadtree.Build(sd.grid.Theta, sd.nodes)
+	rt := rtree.Build(8, sd.nodes)
+	st := sts3.Build(sd.nodes)
+	jo := josie.Build(sd.nodes)
+	return map[string]struct {
+		insert func(*dataset.Node)
+		update func(*dataset.Node)
+	}{
+		"DITS": {
+			insert: func(n *dataset.Node) { _ = d.Insert(n) },
+			update: func(n *dataset.Node) { _ = d.Update(n) },
+		},
+		"QuadTree": {insert: qt.Insert, update: qt.Update},
+		"Rtree":    {insert: rt.Insert, update: rt.Update},
+		"STS3":     {insert: st.Insert, update: st.Update},
+		"Josie":    {insert: jo.Insert, update: jo.Update},
+	}
+}
+
+// syntheticNode fabricates a new dataset node near a random existing one,
+// so inserts and updates have realistic spatial locality.
+func syntheticNode(rng *rand.Rand, sd sourceData, id int) *dataset.Node {
+	base := sd.nodes[rng.Intn(len(sd.nodes))]
+	side := int64(sd.grid.Side())
+	n := 4 + rng.Intn(32)
+	ids := make([]uint64, n)
+	bx, by := geo.ZDecode(base.Cells[rng.Intn(base.Cells.Len())])
+	for j := range ids {
+		x := int64(bx) + int64(rng.Intn(17)) - 8
+		y := int64(by) + int64(rng.Intn(17)) - 8
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		if x >= side {
+			x = side - 1
+		}
+		if y >= side {
+			y = side - 1
+		}
+		ids[j] = geo.ZEncode(uint32(x), uint32(y))
+	}
+	return dataset.NewNodeFromCells(id, "synthetic", cellset.New(ids...))
+}
+
+// updateFigure runs one batch-mutation figure: for each β, apply β
+// operations per index and report the time.
+func updateFigure(cfg Config, id, title string, insert bool) []Table {
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"β"}, updateIndexNames...),
+		Notes: []string{
+			"Time (ms) to apply β operations on the Transit source.",
+			"Paper shape: STS3 fastest; Josie slowest inserts (sorted posting lists);",
+			"QuadTree slowest updates (per-cell delete+insert); DITS between.",
+		},
+	}
+	spec, err := workload.SpecByName("Transit")
+	if err != nil {
+		panic(err)
+	}
+	sd := cache.gridded(spec, cfg, cfg.Theta)
+	for _, beta := range ParamBeta {
+		row := []string{itoa(beta)}
+		idxs := mutableIndexes(sd, cfg.F)
+		for _, name := range updateIndexNames {
+			ops := idxs[name]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(beta)))
+			// Pre-generate the batch so generation cost is excluded.
+			batch := make([]*dataset.Node, beta)
+			for i := range batch {
+				if insert {
+					batch[i] = syntheticNode(rng, sd, 1_000_000+i)
+				} else {
+					victim := sd.nodes[rng.Intn(len(sd.nodes))]
+					nd := syntheticNode(rng, sd, victim.ID)
+					batch[i] = nd
+				}
+			}
+			elapsed := timeIt(func() {
+				for _, nd := range batch {
+					if insert {
+						ops.insert(nd)
+					} else {
+						ops.update(nd)
+					}
+				}
+			})
+			row = append(row, ms(elapsed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// Fig21 regenerates index updating time as dataset insertions increase.
+func Fig21(cfg Config) []Table {
+	return updateFigure(cfg, "fig21", "Index updating time vs number of dataset inserts", true)
+}
+
+// Fig22 regenerates index updating time as dataset updates increase.
+func Fig22(cfg Config) []Table {
+	return updateFigure(cfg, "fig22", "Index updating time vs number of dataset updates", false)
+}

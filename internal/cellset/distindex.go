@@ -1,0 +1,88 @@
+package cellset
+
+import (
+	"math"
+
+	"dits/internal/geo"
+)
+
+// DistIndex answers repeated "is this set within δ of q?" questions against
+// a fixed set q — the access pattern of connectivity verification, where
+// FindConnectSet probes many candidate datasets against the same (growing)
+// merged query. It hashes q's cells into square buckets of side
+// max(⌈δ⌉, 1): any pair of cells within δ lies in the same or an adjacent
+// bucket, so each probe inspects at most a 3×3 bucket neighborhood.
+type DistIndex struct {
+	delta   float64
+	d2      float64
+	side    int64 // bucket side in cell units
+	buckets map[bucketKey][]cellXY
+}
+
+type bucketKey struct{ x, y int32 }
+
+// NewDistIndex builds the index over q for threshold delta. A nil index is
+// returned for an empty q or a negative delta: Connected on it is false.
+func NewDistIndex(q Set, delta float64) *DistIndex {
+	if len(q) == 0 || delta < 0 || math.IsNaN(delta) {
+		return nil
+	}
+	side := int64(math.Ceil(delta))
+	if side < 1 {
+		side = 1
+	}
+	ix := &DistIndex{
+		delta:   delta,
+		d2:      delta * delta,
+		side:    side,
+		buckets: make(map[bucketKey][]cellXY, len(q)),
+	}
+	for _, c := range q {
+		x, y := geo.ZDecode(c)
+		k := bucketKey{int32(int64(x) / side), int32(int64(y) / side)}
+		ix.buckets[k] = append(ix.buckets[k], cellXY{x, y})
+	}
+	return ix
+}
+
+// Add extends the indexed set with more cells (the merge step of
+// CoverageSearch grows the query side without rebuilding).
+func (ix *DistIndex) Add(cells Set) {
+	if ix == nil {
+		return
+	}
+	for _, c := range cells {
+		x, y := geo.ZDecode(c)
+		k := bucketKey{int32(int64(x) / ix.side), int32(int64(y) / ix.side)}
+		ix.buckets[k] = append(ix.buckets[k], cellXY{x, y})
+	}
+}
+
+// Connected reports whether any cell of s lies within delta of an indexed
+// cell — exactly the directly-connected relation of Definition 7.
+func (ix *DistIndex) Connected(s Set) bool {
+	if ix == nil || len(s) == 0 {
+		return false
+	}
+	for _, c := range s {
+		x, y := geo.ZDecode(c)
+		bx := int64(x) / ix.side
+		by := int64(y) / ix.side
+		for dy := int64(-1); dy <= 1; dy++ {
+			for dx := int64(-1); dx <= 1; dx++ {
+				pts, ok := ix.buckets[bucketKey{int32(bx + dx), int32(by + dy)}]
+				if !ok {
+					continue
+				}
+				for _, p := range pts {
+					ddx := float64(p.x) - float64(x)
+					ddy := float64(p.y) - float64(y)
+					if ddx*ddx+ddy*ddy <= ix.d2 {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package cellset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDistIndexMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		q := randomGridSet(rng, 1+rng.Intn(50))
+		s := randomGridSet(rng, 1+rng.Intn(50))
+		for _, delta := range []float64{0, 1, 2.5, 7, 15, 40} {
+			ix := NewDistIndex(q, delta)
+			want := DistNaive(q, s) <= delta
+			if got := ix.Connected(s); got != want {
+				t.Fatalf("trial %d δ=%v: Connected=%v, naive=%v\nq=%v\ns=%v",
+					trial, delta, got, want, q, s)
+			}
+		}
+	}
+}
+
+func TestDistIndexAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		base := randomGridSet(rng, 1+rng.Intn(30))
+		extra := randomGridSet(rng, 1+rng.Intn(30))
+		probe := randomGridSet(rng, 1+rng.Intn(30))
+		delta := float64(rng.Intn(8))
+		ix := NewDistIndex(base, delta)
+		ix.Add(extra)
+		want := DistNaive(base, probe) <= delta || DistNaive(extra, probe) <= delta
+		if got := ix.Connected(probe); got != want {
+			t.Fatalf("trial %d δ=%v: Connected=%v, want %v", trial, delta, got, want)
+		}
+	}
+}
+
+func TestDistIndexEdgeCases(t *testing.T) {
+	if ix := NewDistIndex(nil, 5); ix != nil {
+		t.Error("empty set should yield nil index")
+	}
+	if ix := NewDistIndex(New(1), -1); ix != nil {
+		t.Error("negative delta should yield nil index")
+	}
+	var nilIx *DistIndex
+	if nilIx.Connected(New(1)) {
+		t.Error("nil index connects nothing")
+	}
+	nilIx.Add(New(1)) // must not panic
+	ix := NewDistIndex(New(5), 0)
+	if !ix.Connected(New(5)) {
+		t.Error("identical cell should be connected at δ=0")
+	}
+	if ix.Connected(nil) {
+		t.Error("empty probe is never connected")
+	}
+}
+
+func BenchmarkDistIndexConnected(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	q := randomGridSet(rng, 2000)
+	s := randomGridSet(rng, 200)
+	ix := NewDistIndex(q, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Connected(s)
+	}
+}

@@ -1,0 +1,269 @@
+// Package cellset implements the cell-based dataset representation of the
+// paper (Definition 5): a spatial dataset reduced to the sorted set of
+// z-order cell IDs its points occupy. All of OJSP's overlap computation and
+// CJSP's coverage/marginal-gain computation happens on these sets.
+package cellset
+
+import (
+	"sort"
+
+	"dits/internal/geo"
+)
+
+// Set is a cell-based dataset: a strictly increasing slice of z-order cell
+// IDs. The sorted-unique invariant makes intersection and union linear
+// merges and keeps results deterministic.
+type Set []uint64
+
+// New builds a Set from arbitrary (possibly duplicated, unsorted) cell IDs.
+func New(ids ...uint64) Set {
+	s := make(Set, len(ids))
+	copy(s, ids)
+	return s.normalize()
+}
+
+// FromPoints builds the cell-based dataset S_{D,Cθ} of the given points
+// under grid g.
+func FromPoints(g geo.Grid, pts []geo.Point) Set {
+	s := make(Set, len(pts))
+	for i, p := range pts {
+		s[i] = g.CellID(p)
+	}
+	return s.normalize()
+}
+
+// normalize sorts s and removes duplicates in place.
+func (s Set) normalize() Set {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Len returns the number of cells, the spatial coverage |S_D| of the set.
+func (s Set) Len() int { return len(s) }
+
+// IsEmpty reports whether the set has no cells.
+func (s Set) IsEmpty() bool { return len(s) == 0 }
+
+// Contains reports whether cell c is in the set.
+func (s Set) Contains(c uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= c })
+	return i < len(s) && s[i] == c
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same cells.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectCount returns |s ∩ t|, the overlap measure of OJSP
+// (Definition 10), without materializing the intersection.
+func (s Set) IntersectCount(t Set) int {
+	// Merge the shorter into the longer with galloping when sizes are very
+	// skewed; plain linear merge otherwise.
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	if len(t)/len(s) >= 32 {
+		return gallopIntersectCount(s, t)
+	}
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			n++
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// gallopIntersectCount counts the intersection of a small set s against a
+// much larger set t using exponential + binary search.
+func gallopIntersectCount(s, t Set) int {
+	n, lo := 0, 0
+	for _, c := range s {
+		// Exponential probe from lo.
+		hi, step := lo, 1
+		for hi < len(t) && t[hi] < c {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(t) {
+			hi = len(t)
+		}
+		k := lo + sort.Search(hi-lo, func(i int) bool { return t[lo+i] >= c })
+		if k < len(t) && t[k] == c {
+			n++
+			lo = k + 1
+		} else {
+			lo = k
+		}
+		if lo >= len(t) {
+			break
+		}
+	}
+	return n
+}
+
+// Intersect returns s ∩ t as a new Set.
+func (s Set) Intersect(t Set) Set {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	out := make(Set, 0, len(s))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t as a new Set.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			out = append(out, t[j])
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// UnionCount returns |s ∪ t| without materializing the union.
+func (s Set) UnionCount(t Set) int {
+	return len(s) + len(t) - s.IntersectCount(t)
+}
+
+// MarginalGain returns g(t, s) = |t ∪ s| − |s|: the number of cells t adds
+// on top of s (Equation 3 with s playing the accumulated result set).
+func (s Set) MarginalGain(t Set) int {
+	return len(t) - s.IntersectCount(t)
+}
+
+// Diff returns s \ t as a new Set.
+func (s Set) Diff(t Set) Set {
+	out := make(Set, 0, len(s))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			i++
+			j++
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	return out
+}
+
+// UnionAll returns the union of all given sets.
+func UnionAll(sets ...Set) Set {
+	var out Set
+	for _, s := range sets {
+		out = out.Union(s)
+	}
+	return out
+}
+
+// Bounds returns the MBR, in grid-coordinate space, spanned by the set's
+// cells: [minX,maxX]×[minY,maxY] inclusive. ok is false for an empty set.
+func (s Set) Bounds() (minX, minY, maxX, maxY uint32, ok bool) {
+	if len(s) == 0 {
+		return 0, 0, 0, 0, false
+	}
+	minX, minY = ^uint32(0), ^uint32(0)
+	for _, c := range s {
+		x, y := geo.ZDecode(c)
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return minX, minY, maxX, maxY, true
+}
+
+// FilterRect returns the subset of s whose cells fall inside the
+// grid-coordinate span of rect r under grid g. It implements the query
+// clipping of the second distribution strategy in §VI-A: only the portion
+// of the query intersecting a candidate source's MBR is shipped.
+func (s Set) FilterRect(g geo.Grid, r geo.Rect) Set {
+	if r.IsEmpty() {
+		return nil
+	}
+	x0, y0, x1, y1 := g.RectCoords(r)
+	out := make(Set, 0, len(s))
+	for _, c := range s {
+		x, y := geo.ZDecode(c)
+		if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

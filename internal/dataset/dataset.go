@@ -1,0 +1,123 @@
+// Package dataset models the data of the paper: spatial datasets
+// (Definition 2), the dataset nodes that wrap them with MBR/pivot/radius
+// metadata (Definition 12), and spatial data sources (Definition 3).
+package dataset
+
+import (
+	"fmt"
+
+	"dits/internal/cellset"
+	"dits/internal/geo"
+)
+
+// Dataset is a named collection of spatial points (Definition 2).
+type Dataset struct {
+	ID     int         // identifier, unique within a source
+	Name   string      // human-readable name (e.g. a file or route name)
+	Points []geo.Point // the raw spatial points
+}
+
+// Size returns |D|, the number of points.
+func (d *Dataset) Size() int { return len(d.Points) }
+
+// MBR returns the minimum bounding rectangle of the dataset's points.
+func (d *Dataset) MBR() geo.Rect { return geo.BoundingRect(d.Points) }
+
+// CellSet returns the cell-based dataset S_{D,Cθ} under grid g.
+func (d *Dataset) CellSet(g geo.Grid) cellset.Set {
+	return cellset.FromPoints(g, d.Points)
+}
+
+// String implements fmt.Stringer.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("Dataset{id=%d, name=%q, |D|=%d}", d.ID, d.Name, len(d.Points))
+}
+
+// Node is a dataset node (Definition 12): the per-dataset record stored in
+// the indexes. Rect is the MBR in grid-coordinate space, O the pivot
+// (center of Rect), R half the diagonal of Rect, and Cells the cell-based
+// dataset. Keeping everything in grid coordinates makes MBR pruning,
+// connectivity bounds (Lemma 4), and cell distances directly comparable.
+type Node struct {
+	ID    int         // dataset identifier
+	Name  string      // dataset name carried through for results
+	Rect  geo.Rect    // MBR over the cell grid coordinates
+	O     geo.Point   // pivot: center of Rect
+	R     float64     // radius: half of Rect's diagonal
+	Cells cellset.Set // the cell-based dataset S_D
+}
+
+// NewNode builds the dataset node of d under grid g. It returns nil for a
+// dataset with no points: an empty dataset occupies no cells and can never
+// join anything.
+func NewNode(g geo.Grid, d *Dataset) *Node {
+	cells := d.CellSet(g)
+	n := NewNodeFromCells(d.ID, d.Name, cells)
+	return n
+}
+
+// NewNodeFromCells builds a dataset node directly from a cell-based
+// dataset. It returns nil when cells is empty.
+func NewNodeFromCells(id int, name string, cells cellset.Set) *Node {
+	minX, minY, maxX, maxY, ok := cells.Bounds()
+	if !ok {
+		return nil
+	}
+	r := geo.Rect{
+		MinX: float64(minX), MinY: float64(minY),
+		MaxX: float64(maxX), MaxY: float64(maxY),
+	}
+	return &Node{
+		ID:    id,
+		Name:  name,
+		Rect:  r,
+		O:     r.Center(),
+		R:     r.Radius(),
+		Cells: cells,
+	}
+}
+
+// Coverage returns |S_D|, the number of cells covered by the node.
+func (n *Node) Coverage() int { return n.Cells.Len() }
+
+// Overlap returns |S_D ∩ S_Q| against another node's cell set.
+func (n *Node) Overlap(q *Node) int { return n.Cells.IntersectCount(q.Cells) }
+
+// DistBounds returns the Lemma 4 lower and upper bounds on the cell-based
+// dataset distance between n and q:
+//
+//	lb = max(‖o_n − o_q‖ − r_n − r_q, 0)    ub = ‖o_n − o_q‖ + r_n + r_q
+func (n *Node) DistBounds(q *Node) (lb, ub float64) {
+	c := n.O.Dist(q.O)
+	lb = c - n.R - q.R
+	if lb < 0 {
+		lb = 0
+	}
+	return lb, c + n.R + q.R
+}
+
+// Merge returns a new node covering n and m: union of cells, combined MBR,
+// recomputed pivot and radius. It implements the spatial merge strategy of
+// CoverageSearch (Algorithm 3, line 11). The merged node keeps n's ID and
+// an empty name; it never enters an index.
+func (n *Node) Merge(m *Node) *Node {
+	if m == nil {
+		return n
+	}
+	if n == nil {
+		return m
+	}
+	r := n.Rect.Union(m.Rect)
+	return &Node{
+		ID:    n.ID,
+		Rect:  r,
+		O:     r.Center(),
+		R:     r.Radius(),
+		Cells: n.Cells.Union(m.Cells),
+	}
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("Node{id=%d, |S|=%d, rect=%v}", n.ID, n.Cells.Len(), n.Rect)
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dits/internal/cellset"
+	"dits/internal/geo"
+)
+
+func grid4() geo.Grid {
+	return geo.NewGrid(2, geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4})
+}
+
+func TestNewNode(t *testing.T) {
+	g := grid4()
+	d := &Dataset{ID: 7, Name: "route-7", Points: []geo.Point{
+		geo.Pt(1.5, 2.5), geo.Pt(1.5, 3.5), // cells 9 and 11: coords (1,2),(1,3)
+	}}
+	n := NewNode(g, d)
+	if n == nil {
+		t.Fatal("NewNode returned nil for non-empty dataset")
+	}
+	if n.ID != 7 || n.Name != "route-7" {
+		t.Errorf("identity not carried: %+v", n)
+	}
+	if !n.Cells.Equal(cellset.Set{9, 11}) {
+		t.Errorf("Cells = %v, want {9,11}", n.Cells)
+	}
+	want := geo.Rect{MinX: 1, MinY: 2, MaxX: 1, MaxY: 3}
+	if n.Rect != want {
+		t.Errorf("Rect = %v, want %v", n.Rect, want)
+	}
+	if n.O != geo.Pt(1, 2.5) {
+		t.Errorf("pivot = %v, want (1,2.5)", n.O)
+	}
+	if math.Abs(n.R-0.5) > 1e-12 {
+		t.Errorf("radius = %v, want 0.5", n.R)
+	}
+	if n.Coverage() != 2 {
+		t.Errorf("Coverage = %d, want 2", n.Coverage())
+	}
+}
+
+func TestNewNodeEmpty(t *testing.T) {
+	if n := NewNode(grid4(), &Dataset{ID: 1}); n != nil {
+		t.Errorf("empty dataset should yield nil node, got %v", n)
+	}
+	if n := NewNodeFromCells(1, "x", nil); n != nil {
+		t.Errorf("empty cells should yield nil node, got %v", n)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := NewNodeFromCells(1, "", cellset.New(1, 2, 3))
+	b := NewNodeFromCells(2, "", cellset.New(2, 3, 4))
+	if got := a.Overlap(b); got != 2 {
+		t.Errorf("Overlap = %d, want 2", got)
+	}
+}
+
+func TestDistBoundsBracketTrueDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		a := randomNode(rng, trial*2)
+		b := randomNode(rng, trial*2+1)
+		lb, ub := a.DistBounds(b)
+		if lb < 0 {
+			t.Fatalf("lb = %v < 0", lb)
+		}
+		if lb > ub+1e-9 {
+			t.Fatalf("lb %v > ub %v", lb, ub)
+		}
+		d := cellset.Dist(a.Cells, b.Cells)
+		if d < lb-1e-9 || d > ub+1e-9 {
+			t.Fatalf("trial %d: true dist %v outside [%v, %v]\na=%v\nb=%v",
+				trial, d, lb, ub, a.Cells, b.Cells)
+		}
+	}
+}
+
+func TestDistBoundsPaperExample(t *testing.T) {
+	// Example 6 of the paper: centers 5 apart, radii sqrt2 each; the true
+	// distance sqrt5 lies within [5−2·sqrt2, 5+2·sqrt2].
+	a := &Node{O: geo.Pt(1, 1), R: math.Sqrt2}
+	b := &Node{O: geo.Pt(4, 5), R: math.Sqrt2}
+	lb, ub := a.DistBounds(b)
+	if math.Abs(lb-(5-2*math.Sqrt2)) > 1e-12 {
+		t.Errorf("lb = %v, want %v", lb, 5-2*math.Sqrt2)
+	}
+	if math.Abs(ub-(5+2*math.Sqrt2)) > 1e-12 {
+		t.Errorf("ub = %v, want %v", ub, 5+2*math.Sqrt2)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewNodeFromCells(1, "", cellset.New(geo.ZEncode(0, 0), geo.ZEncode(1, 1)))
+	b := NewNodeFromCells(2, "", cellset.New(geo.ZEncode(3, 3)))
+	m := a.Merge(b)
+	if m.Cells.Len() != 3 {
+		t.Errorf("merged cells = %d, want 3", m.Cells.Len())
+	}
+	if !m.Rect.ContainsRect(a.Rect) || !m.Rect.ContainsRect(b.Rect) {
+		t.Error("merged rect should contain both inputs")
+	}
+	if m.O != m.Rect.Center() {
+		t.Error("merged pivot should be rect center")
+	}
+	if got := a.Merge(nil); got != a {
+		t.Error("Merge(nil) should return receiver")
+	}
+	var nilNode *Node
+	if got := nilNode.Merge(b); got != b {
+		t.Error("nil.Merge(b) should return b")
+	}
+}
+
+func TestSourceStats(t *testing.T) {
+	s := &Source{Name: "test", Datasets: []*Dataset{
+		{ID: 0, Points: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 1)}},
+		{ID: 1, Points: []geo.Point{geo.Pt(2, 2)}},
+		{ID: 2}, // empty
+	}}
+	st := s.ComputeStats()
+	if st.NumDatasets != 3 || st.NumPoints != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MinSize != 0 || st.MaxSize != 2 {
+		t.Errorf("sizes = [%d,%d], want [0,2]", st.MinSize, st.MaxSize)
+	}
+	want := geo.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	if st.Bounds != want {
+		t.Errorf("bounds = %v, want %v", st.Bounds, want)
+	}
+	nodes := s.Nodes(grid4())
+	if len(nodes) != 2 {
+		t.Errorf("Nodes dropped empties wrong: got %d, want 2", len(nodes))
+	}
+}
+
+func randomNode(rng *rand.Rand, id int) *Node {
+	n := 1 + rng.Intn(30)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = geo.ZEncode(uint32(rng.Intn(128)), uint32(rng.Intn(128)))
+	}
+	return NewNodeFromCells(id, "", cellset.New(ids...))
+}

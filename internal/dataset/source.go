@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"dits/internal/geo"
+)
+
+// Source is a spatial data source (Definition 3): an autonomous collection
+// of spatial datasets. Each source may pick its own grid resolution; the
+// global index reconciles them through latitude/longitude space (§V-B).
+type Source struct {
+	Name     string
+	Datasets []*Dataset
+}
+
+// NumDatasets returns n, the number of datasets in the source.
+func (s *Source) NumDatasets() int { return len(s.Datasets) }
+
+// NumPoints returns the total number of points across all datasets.
+func (s *Source) NumPoints() int {
+	total := 0
+	for _, d := range s.Datasets {
+		total += len(d.Points)
+	}
+	return total
+}
+
+// Bounds returns the MBR, in raw coordinates, of all points in the source.
+func (s *Source) Bounds() geo.Rect {
+	r := geo.EmptyRect
+	for _, d := range s.Datasets {
+		r = r.Union(d.MBR())
+	}
+	return r
+}
+
+// Nodes converts every non-empty dataset into a dataset node under grid g,
+// preserving dataset order.
+func (s *Source) Nodes(g geo.Grid) []*Node {
+	nodes := make([]*Node, 0, len(s.Datasets))
+	for _, d := range s.Datasets {
+		if n := NewNode(g, d); n != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// Stats summarizes a source the way Table I of the paper does.
+type Stats struct {
+	Name        string
+	NumDatasets int
+	NumPoints   int
+	Bounds      geo.Rect
+	MinSize     int // smallest dataset (points)
+	MaxSize     int // largest dataset (points)
+}
+
+// ComputeStats returns the Table I row for the source.
+func (s *Source) ComputeStats() Stats {
+	st := Stats{
+		Name:        s.Name,
+		NumDatasets: len(s.Datasets),
+		NumPoints:   s.NumPoints(),
+		Bounds:      s.Bounds(),
+	}
+	if len(s.Datasets) > 0 {
+		st.MinSize = s.Datasets[0].Size()
+	}
+	for _, d := range s.Datasets {
+		if d.Size() < st.MinSize {
+			st.MinSize = d.Size()
+		}
+		if d.Size() > st.MaxSize {
+			st.MaxSize = d.Size()
+		}
+	}
+	return st
+}
+
+// String implements fmt.Stringer.
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: %d datasets, %d points, bounds %v",
+		st.Name, st.NumDatasets, st.NumPoints, st.Bounds)
+}
+
+// SortByID orders nodes by dataset ID, useful for deterministic comparison
+// of search results in tests.
+func SortByID(nodes []*Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+}

@@ -1,0 +1,313 @@
+package federation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dits/internal/cellset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/transport"
+)
+
+// Options tune the data center's query distribution strategies (§VI-A).
+// Both default to on; benchmarks switch them off to model the baselines,
+// which broadcast the full query to every source.
+type Options struct {
+	// GlobalFilter prunes non-candidate sources through DITS-G (first
+	// strategy: fewer communications).
+	GlobalFilter bool
+	// ClipQuery ships only the query cells intersecting each candidate
+	// source's root MBR (second strategy: fewer bytes per communication).
+	ClipQuery bool
+}
+
+// DefaultOptions enables both distribution strategies.
+func DefaultOptions() Options { return Options{GlobalFilter: true, ClipQuery: true} }
+
+// member is one registered source: its summary and its connection.
+type member struct {
+	summary dits.SourceSummary
+	peer    transport.Peer
+}
+
+// Center is the data center: it maintains DITS-G over the source summaries
+// and coordinates multi-source OJSP and CJSP.
+type Center struct {
+	Grid    geo.Grid // the federation's shared grid
+	Options Options
+	Metrics *transport.Metrics
+
+	members map[string]*member
+	global  *dits.Global
+	gf      int // leaf capacity for DITS-G
+}
+
+// NewCenter creates a data center over the shared grid.
+func NewCenter(g geo.Grid, opts Options) *Center {
+	return &Center{
+		Grid:    g,
+		Options: opts,
+		Metrics: &transport.Metrics{},
+		members: make(map[string]*member),
+		gf:      dits.DefaultLeafCapacity,
+	}
+}
+
+// Register adds a source: the source uploads its root summary and the
+// center rebuilds DITS-G (§V-B).
+func (c *Center) Register(summary dits.SourceSummary, peer transport.Peer) {
+	c.members[summary.Name] = &member{summary: summary, peer: peer}
+	c.rebuildGlobal()
+}
+
+// RegisterRemote fetches the source's summary over the peer connection
+// (MethodSummary) and registers it — how a data center bootstraps against
+// already-running source servers.
+func (c *Center) RegisterRemote(peer transport.Peer) (dits.SourceSummary, error) {
+	body, err := peer.Call(MethodSummary, nil)
+	if err != nil {
+		return dits.SourceSummary{}, fmt.Errorf("federation: fetch summary: %w", err)
+	}
+	var summary dits.SourceSummary
+	if err := transport.Decode(body, &summary); err != nil {
+		return dits.SourceSummary{}, err
+	}
+	c.Register(summary, peer)
+	return summary, nil
+}
+
+// Unregister removes a source (its peer is not closed).
+func (c *Center) Unregister(name string) {
+	delete(c.members, name)
+	c.rebuildGlobal()
+}
+
+func (c *Center) rebuildGlobal() {
+	summaries := make([]dits.SourceSummary, 0, len(c.members))
+	for _, m := range c.members {
+		summaries = append(summaries, m.summary)
+	}
+	// Deterministic global tree regardless of registration order.
+	sort.Slice(summaries, func(i, j int) bool { return summaries[i].Name < summaries[j].Name })
+	c.global = dits.BuildGlobal(summaries, c.gf)
+}
+
+// NumSources returns the number of registered sources.
+func (c *Center) NumSources() int { return len(c.members) }
+
+// SourceResult is a federated OJSP result: a dataset within one source.
+type SourceResult struct {
+	Source  string
+	ID      int
+	Name    string
+	Overlap int
+}
+
+// queryNode converts query cells into the raw-coordinate query summary used
+// against DITS-G.
+func (c *Center) queryNode(cells cellset.Set) (dits.QueryNode, bool) {
+	minX, minY, maxX, maxY, ok := cells.Bounds()
+	if !ok {
+		return dits.QueryNode{}, false
+	}
+	g := c.Grid
+	raw := geo.Rect{
+		MinX: g.Origin.X + float64(minX)*g.CellW,
+		MinY: g.Origin.Y + float64(minY)*g.CellH,
+		MaxX: g.Origin.X + float64(maxX+1)*g.CellW,
+		MaxY: g.Origin.Y + float64(maxY+1)*g.CellH,
+	}
+	return dits.QueryNode{Rect: raw, O: raw.Center(), R: raw.Radius()}, true
+}
+
+// candidates returns the sources the query must be sent to, in
+// deterministic name order.
+func (c *Center) candidates(qn dits.QueryNode, deltaRaw float64) []*member {
+	var out []*member
+	if c.Options.GlobalFilter {
+		for _, s := range c.global.CandidateSources(qn, deltaRaw) {
+			out = append(out, c.members[s.Name])
+		}
+	} else {
+		for _, m := range c.members {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].summary.Name < out[j].summary.Name })
+	return out
+}
+
+// clipFor returns the query cells shipped to a source: the full set, or the
+// portion within the source's root MBR expanded by expandCells grid cells.
+func (c *Center) clipFor(m *member, cells cellset.Set, expandCells float64) cellset.Set {
+	if !c.Options.ClipQuery {
+		return cells
+	}
+	expand := expandCells * math.Max(c.Grid.CellW, c.Grid.CellH)
+	return cells.FilterRect(c.Grid, m.summary.Rect.Expand(expand))
+}
+
+// deltaRaw converts a connectivity threshold in cell units to a safe raw
+// distance for global-index pruning: cell-coordinate distance δ spans at
+// most δ·max(ν, µ) raw units between cell centers, plus one cell diagonal
+// of slack for the cells' own extent.
+func (c *Center) deltaRaw(delta float64) float64 {
+	return delta*math.Max(c.Grid.CellW, c.Grid.CellH) +
+		math.Hypot(c.Grid.CellW, c.Grid.CellH)
+}
+
+// OverlapSearch answers the multi-source OJSP: the k datasets with the
+// largest overlap with the query across all registered sources.
+func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, error) {
+	if k <= 0 || queryCells.IsEmpty() || len(c.members) == 0 {
+		return nil, nil
+	}
+	qn, ok := c.queryNode(queryCells)
+	if !ok {
+		return nil, nil
+	}
+	// Fan out to candidate sources in parallel: sources are independent
+	// machines, so their local searches overlap in time. Each peer is
+	// driven by exactly one goroutine.
+	outs, err := fanOut(c.candidates(qn, 0), func(m *member) ([]SourceResult, error) {
+		cells := c.clipFor(m, queryCells, 0)
+		if cells.IsEmpty() {
+			return nil, nil
+		}
+		body, err := transport.Encode(OverlapRequest{Cells: cells, K: k})
+		if err != nil {
+			return nil, err
+		}
+		respBody, err := m.peer.Call(MethodOverlap, body)
+		if err != nil {
+			return nil, fmt.Errorf("federation: overlap at %s: %w", m.summary.Name, err)
+		}
+		var resp OverlapResponse
+		if err := transport.Decode(respBody, &resp); err != nil {
+			return nil, err
+		}
+		rs := make([]SourceResult, len(resp.Results))
+		for i, r := range resp.Results {
+			rs[i] = SourceResult{Source: m.summary.Name, ID: r.ID, Name: r.Name, Overlap: r.Overlap}
+		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []SourceResult
+	for _, rs := range outs {
+		all = append(all, rs...)
+	}
+	// Aggregate: global top-k, deterministic tie-break.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Overlap != all[j].Overlap {
+			return all[i].Overlap > all[j].Overlap
+		}
+		if all[i].Source != all[j].Source {
+			return all[i].Source < all[j].Source
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// CoverageResult is the outcome of a federated CJSP search.
+type CoverageResult struct {
+	Picked        []SourceResult // in greedy pick order; Overlap field holds the gain
+	Coverage      int            // |S_Q ∪ picked|
+	QueryCoverage int            // |S_Q|
+}
+
+// CoverageSearch answers the multi-source CJSP greedily: each iteration
+// asks every candidate source for its best connected dataset given the
+// merged result so far, picks the global maximum marginal gain, merges it,
+// and repeats up to k times (§VI-A + Algorithm 3 lifted to the federation).
+func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (CoverageResult, error) {
+	res := CoverageResult{QueryCoverage: queryCells.Len(), Coverage: queryCells.Len()}
+	if k <= 0 || queryCells.IsEmpty() || len(c.members) == 0 {
+		return res, nil
+	}
+	merged := queryCells
+	excluded := make(map[string][]int)
+	draw := c.deltaRaw(delta)
+
+	for len(res.Picked) < k {
+		qn, ok := c.queryNode(merged)
+		if !ok {
+			break
+		}
+		offers, err := fanOut(c.candidates(qn, draw), func(m *member) (*offer, error) {
+			cells := c.clipFor(m, merged, delta+1)
+			if cells.IsEmpty() {
+				return nil, nil
+			}
+			body, err := transport.Encode(CoverageRequest{
+				Merged:  cells,
+				Delta:   delta,
+				Exclude: excluded[m.summary.Name],
+			})
+			if err != nil {
+				return nil, err
+			}
+			respBody, err := m.peer.Call(MethodCoverage, body)
+			if err != nil {
+				return nil, fmt.Errorf("federation: coverage at %s: %w", m.summary.Name, err)
+			}
+			var cand CoverageCandidate
+			if err := transport.Decode(respBody, &cand); err != nil {
+				return nil, err
+			}
+			if !cand.Found {
+				return nil, nil
+			}
+			return &offer{src: m.summary.Name, cand: cand}, nil
+		})
+		if err != nil {
+			return res, err
+		}
+		var best *offer
+		for _, o := range offers {
+			if o == nil {
+				continue
+			}
+			if best == nil || betterOffer(*o, *best) {
+				best = o
+			}
+		}
+		if best == nil {
+			break // no source has a connected dataset left
+		}
+		name := best.src
+		excluded[name] = append(excluded[name], best.cand.ID)
+		merged = merged.Union(best.cand.Cells)
+		res.Picked = append(res.Picked, SourceResult{
+			Source: name, ID: best.cand.ID, Name: best.cand.Name, Overlap: best.cand.Gain,
+		})
+		res.Coverage = merged.Len()
+	}
+	return res, nil
+}
+
+// offer is one source's candidate in a coverage iteration.
+type offer struct {
+	src  string
+	cand CoverageCandidate
+}
+
+// betterOffer orders candidate offers by gain descending, then source name,
+// then dataset ID, for deterministic aggregation.
+func betterOffer(a, b offer) bool {
+	if a.cand.Gain != b.cand.Gain {
+		return a.cand.Gain > b.cand.Gain
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.cand.ID < b.cand.ID
+}

@@ -1,0 +1,36 @@
+package federation
+
+import "sync"
+
+// fanOut runs fn against every member concurrently and collects the
+// results in member order. Each member (and thus each peer connection) is
+// driven by exactly one goroutine, so peers only need to be safe for
+// sequential use. The first error wins; the remaining calls still run to
+// completion before fanOut returns, keeping connection state consistent.
+func fanOut[T any](members []*member, fn func(*member) (T, error)) ([]T, error) {
+	if len(members) == 1 {
+		// Common single-candidate case: skip the goroutine machinery.
+		out, err := fn(members[0])
+		if err != nil {
+			return nil, err
+		}
+		return []T{out}, nil
+	}
+	outs := make([]T, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			outs[i], errs[i] = fn(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,67 @@
+// Package federation implements the multi-source joinable search framework
+// of §IV and §VI-A: autonomous source servers each holding a DITS-L index,
+// and a data center holding the DITS-G global index, distributing queries
+// to candidate sources only and shipping only the clipped portion of the
+// query each source can possibly match.
+package federation
+
+import "dits/internal/cellset"
+
+// Method names of the source-server protocol.
+const (
+	MethodOverlap  = "overlap.search"
+	MethodCoverage = "coverage.best"
+	MethodStats    = "source.stats"
+	MethodSummary  = "source.summary"
+)
+
+// OverlapRequest asks a source for its local top-k overlap results. Cells
+// is the query's cell-based set, possibly clipped to the portion
+// intersecting the source's root MBR (§VI-A, second strategy).
+type OverlapRequest struct {
+	Cells cellset.Set
+	K     int
+}
+
+// OverlapItem is one local result.
+type OverlapItem struct {
+	ID      int
+	Name    string
+	Overlap int
+}
+
+// OverlapResponse carries a source's local top-k.
+type OverlapResponse struct {
+	Results []OverlapItem
+}
+
+// CoverageRequest asks a source for its best next dataset in one greedy
+// iteration of the multi-source CJSP: the dataset directly connected to the
+// merged result set with the maximum marginal gain. Merged is the union of
+// the query's and all picked datasets' cells, clipped to the source's
+// δ-expanded root MBR — the clipped set yields exactly the same gains and
+// connectivity decisions for datasets inside the source (their cells cannot
+// meet clipped-away cells within δ).
+type CoverageRequest struct {
+	Merged  cellset.Set
+	Delta   float64
+	Exclude []int // dataset IDs already picked from this source
+}
+
+// CoverageCandidate is a source's best next pick; Found is false when the
+// source has no remaining connected dataset with positive cells.
+type CoverageCandidate struct {
+	Found bool
+	ID    int
+	Name  string
+	Gain  int
+	Cells cellset.Set // full cell set, needed by the center to merge
+}
+
+// StatsResponse reports a source's basic statistics for monitoring.
+type StatsResponse struct {
+	Name        string
+	NumDatasets int
+	TreeNodes   int
+	Height      int
+}

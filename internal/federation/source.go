@@ -1,0 +1,124 @@
+package federation
+
+import (
+	"fmt"
+
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+	"dits/internal/search/coverage"
+	"dits/internal/search/overlap"
+	"dits/internal/transport"
+)
+
+// SourceServer is one autonomous data source: it owns its datasets, builds
+// its own DITS-L index, and answers the data center's requests. The same
+// handler serves both the in-process and the TCP transports.
+type SourceServer struct {
+	Name  string
+	Index *dits.Local
+}
+
+// NewSourceServer indexes a source with the given resolution and leaf
+// capacity and wraps it for serving.
+func NewSourceServer(src *dataset.Source, theta, f int) *SourceServer {
+	return &SourceServer{
+		Name:  src.Name,
+		Index: dits.BuildFromSource(src, theta, f),
+	}
+}
+
+// NewSourceServerWithGrid indexes pre-gridded dataset nodes. All federation
+// members must share the grid for cell IDs to be comparable.
+func NewSourceServerWithGrid(name string, idx *dits.Local) *SourceServer {
+	return &SourceServer{Name: name, Index: idx}
+}
+
+// Summary returns the root-node summary uploaded to the data center.
+func (s *SourceServer) Summary() dits.SourceSummary {
+	return s.Index.Summary(s.Name)
+}
+
+// Handler returns the transport.Handler serving this source.
+func (s *SourceServer) Handler() transport.Handler {
+	return func(method string, body []byte) ([]byte, error) {
+		switch method {
+		case MethodOverlap:
+			var req OverlapRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(s.handleOverlap(req))
+		case MethodCoverage:
+			var req CoverageRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(s.handleCoverage(req))
+		case MethodStats:
+			return transport.Encode(StatsResponse{
+				Name:        s.Name,
+				NumDatasets: s.Index.Len(),
+				TreeNodes:   s.Index.NumTreeNodes(),
+				Height:      s.Index.Height(),
+			})
+		case MethodSummary:
+			// Lets a data center bootstrap registration over the wire
+			// (§V-B: "each source sends its root node to the data
+			// center") instead of requiring out-of-band summaries.
+			return transport.Encode(s.Summary())
+		default:
+			return nil, fmt.Errorf("federation: unknown method %q", method)
+		}
+	}
+}
+
+// handleOverlap runs the local OverlapSearch (Algorithm 2).
+func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
+	q := dataset.NewNodeFromCells(-1, "query", req.Cells)
+	if q == nil || req.K <= 0 {
+		return OverlapResponse{}
+	}
+	searcher := &overlap.DITSSearcher{Index: s.Index}
+	rs := searcher.TopK(q, req.K)
+	resp := OverlapResponse{Results: make([]OverlapItem, len(rs))}
+	for i, r := range rs {
+		resp.Results[i] = OverlapItem{ID: r.ID, Name: r.Name, Overlap: r.Overlap}
+	}
+	return resp
+}
+
+// handleCoverage runs one greedy iteration locally: FindConnectSet from the
+// merged node, then the maximum-marginal-gain pick among non-excluded
+// datasets (Algorithm 3's per-iteration body).
+func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
+	merged := dataset.NewNodeFromCells(-1, "merged", req.Merged)
+	if merged == nil {
+		return CoverageCandidate{}
+	}
+	excluded := make(map[int]bool, len(req.Exclude))
+	for _, id := range req.Exclude {
+		excluded[id] = true
+	}
+	cands := coverage.FindConnectSet(s.Index.Root, merged, req.Delta)
+	var best *dataset.Node
+	bestGain := -1
+	for _, nd := range cands {
+		if excluded[nd.ID] || nd.Cells.Len() < bestGain {
+			continue
+		}
+		g := merged.Cells.MarginalGain(nd.Cells)
+		if g > bestGain || (g == bestGain && best != nil && nd.ID < best.ID) {
+			best, bestGain = nd, g
+		}
+	}
+	if best == nil {
+		return CoverageCandidate{}
+	}
+	return CoverageCandidate{
+		Found: true,
+		ID:    best.ID,
+		Name:  best.Name,
+		Gain:  bestGain,
+		Cells: best.Cells,
+	}
+}

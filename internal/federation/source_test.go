@@ -1,0 +1,130 @@
+package federation
+
+import (
+	"testing"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/transport"
+)
+
+func testServer(t *testing.T) *SourceServer {
+	t.Helper()
+	g := geo.NewGrid(6, geo.Rect{MinX: 0, MinY: 0, MaxX: 64, MaxY: 64})
+	var nodes []*dataset.Node
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, dataset.NewNodeFromCells(i, "d",
+			cellset.New(geo.ZEncode(uint32(i*4), 8), geo.ZEncode(uint32(i*4+1), 8))))
+	}
+	return NewSourceServerWithGrid("src", dits.Build(g, nodes, 4))
+}
+
+func TestHandlerStats(t *testing.T) {
+	srv := testServer(t)
+	body, err := srv.Handler()(MethodStats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := transport.Decode(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Name != "src" || stats.NumDatasets != 12 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.TreeNodes == 0 || stats.Height == 0 {
+		t.Errorf("tree shape missing: %+v", stats)
+	}
+}
+
+func TestHandlerSummary(t *testing.T) {
+	srv := testServer(t)
+	body, err := srv.Handler()(MethodSummary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary dits.SourceSummary
+	if err := transport.Decode(body, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Name != "src" || summary.Rect.IsEmpty() {
+		t.Errorf("summary = %+v", summary)
+	}
+	if summary.Theta != 6 {
+		t.Errorf("theta = %d, want 6", summary.Theta)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	srv := testServer(t)
+	h := srv.Handler()
+	if _, err := h("no.such.method", nil); err == nil {
+		t.Error("unknown method should error")
+	}
+	if _, err := h(MethodOverlap, []byte("garbage")); err == nil {
+		t.Error("garbage overlap body should error")
+	}
+	if _, err := h(MethodCoverage, []byte("garbage")); err == nil {
+		t.Error("garbage coverage body should error")
+	}
+}
+
+func TestHandlerOverlapEmptyQuery(t *testing.T) {
+	srv := testServer(t)
+	body, err := transport.Encode(OverlapRequest{Cells: nil, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, err := srv.Handler()(MethodOverlap, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp OverlapResponse
+	if err := transport.Decode(respBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 0 {
+		t.Errorf("empty query returned %v", resp.Results)
+	}
+}
+
+func TestHandlerCoverageExcludes(t *testing.T) {
+	srv := testServer(t)
+	q := cellset.New(geo.ZEncode(0, 8))
+	// First call finds dataset 0 (closest); excluding it yields another.
+	call := func(exclude []int) CoverageCandidate {
+		body, err := transport.Encode(CoverageRequest{Merged: q, Delta: 4, Exclude: exclude})
+		if err != nil {
+			t.Fatal(err)
+		}
+		respBody, err := srv.Handler()(MethodCoverage, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cand CoverageCandidate
+		if err := transport.Decode(respBody, &cand); err != nil {
+			t.Fatal(err)
+		}
+		return cand
+	}
+	first := call(nil)
+	if !first.Found {
+		t.Fatal("expected a first candidate")
+	}
+	second := call([]int{first.ID})
+	if second.Found && second.ID == first.ID {
+		t.Error("excluded dataset returned again")
+	}
+	// RegisterRemote round-trips the summary over a peer.
+	center := NewCenter(geo.NewGrid(6, geo.Rect{MaxX: 64, MaxY: 64}), DefaultOptions())
+	peer := &transport.InProc{Name: "src", Handler: srv.Handler(), Metrics: center.Metrics}
+	summary, err := center.RegisterRemote(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Name != "src" || center.NumSources() != 1 {
+		t.Errorf("RegisterRemote: %+v, sources %d", summary, center.NumSources())
+	}
+}

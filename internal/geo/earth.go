@@ -1,0 +1,55 @@
+package geo
+
+import "math"
+
+// Helpers for interpreting grids over longitude/latitude degrees. The
+// paper sets θ by distance sampling ("one degree of longitude or latitude
+// is about 111km; dividing the globe into a 2^12 × 2^12 grid makes each
+// cell about 10km × 5km") and δ by "the closest distance between point
+// pairs the user requires"; these helpers do those conversions.
+
+// KmPerDegree is the approximate surface distance of one degree of
+// latitude (and of longitude at the equator).
+const KmPerDegree = 111.0
+
+// CellSizeKm returns the approximate width and height of one grid cell in
+// kilometers, at the latitude of the grid's vertical center. Longitude
+// degrees shrink with cos(latitude).
+func (g Grid) CellSizeKm() (w, h float64) {
+	midLat := g.Origin.Y + float64(g.Side())*g.CellH/2
+	scale := math.Cos(midLat * math.Pi / 180)
+	if scale < 0.01 {
+		scale = 0.01 // near-polar grids: avoid a zero width
+	}
+	return g.CellW * KmPerDegree * scale, g.CellH * KmPerDegree
+}
+
+// DeltaForKm converts a connectivity distance in kilometers into the cell
+// units Definition 7's threshold δ is expressed in, using the larger cell
+// dimension so the returned δ never under-connects.
+func (g Grid) DeltaForKm(km float64) float64 {
+	w, h := g.CellSizeKm()
+	m := math.Min(w, h)
+	if m <= 0 {
+		return 0
+	}
+	return km / m
+}
+
+// ThetaForCellKm returns the smallest resolution θ whose cells are no
+// wider than the requested kilometers on either axis, for a space covering
+// bounds — the paper's distance-sampling recipe for picking θ.
+func ThetaForCellKm(bounds Rect, km float64) int {
+	if km <= 0 || bounds.IsEmpty() {
+		return MaxTheta
+	}
+	spanKm := math.Max(bounds.Width(), bounds.Height()) * KmPerDegree
+	theta := int(math.Ceil(math.Log2(spanKm / km)))
+	if theta < 1 {
+		return 1
+	}
+	if theta > MaxTheta {
+		return MaxTheta
+	}
+	return theta
+}

@@ -1,0 +1,55 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellSizeKm(t *testing.T) {
+	// The paper's example: a 2^12 grid over the globe gives cells of
+	// roughly 10km x 5km (longitude shrinks with latitude; at mid
+	// latitudes the width is below the equatorial 9.77km).
+	g := NewGrid(12, Rect{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90})
+	w, h := g.CellSizeKm()
+	if h < 4 || h > 6 {
+		t.Errorf("cell height = %vkm, want ~5km", h)
+	}
+	if w <= 0 || w > 10 {
+		t.Errorf("cell width = %vkm, want positive and below the equatorial 10km", w)
+	}
+}
+
+func TestDeltaForKm(t *testing.T) {
+	g := NewGrid(12, Rect{MinX: -78, MinY: 36, MaxX: -74, MaxY: 40})
+	delta := g.DeltaForKm(1.0) // connect routes within ~1km
+	if delta <= 0 {
+		t.Fatalf("delta = %v, want positive", delta)
+	}
+	// A δ of that many cells must span at least 1km.
+	w, h := g.CellSizeKm()
+	if delta*math.Max(w, h) < 1-1e-9 {
+		t.Errorf("δ=%v cells spans %vkm, want >= 1km", delta, delta*math.Max(w, h))
+	}
+}
+
+func TestThetaForCellKm(t *testing.T) {
+	world := Rect{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+	theta := ThetaForCellKm(world, 10)
+	if theta < 11 || theta > 13 {
+		t.Errorf("θ for 10km world cells = %d, want ~12", theta)
+	}
+	g := NewGrid(theta, world)
+	_, h := g.CellSizeKm()
+	if h > 10+1e-9 {
+		t.Errorf("cells at θ=%d are %vkm tall, want <= 10km", theta, h)
+	}
+	if got := ThetaForCellKm(world, 0); got != MaxTheta {
+		t.Errorf("zero km should clamp to MaxTheta, got %d", got)
+	}
+	if got := ThetaForCellKm(world, 1e9); got != 1 {
+		t.Errorf("huge km should clamp to 1, got %d", got)
+	}
+	if got := ThetaForCellKm(EmptyRect, 10); got != MaxTheta {
+		t.Errorf("empty bounds should clamp to MaxTheta, got %d", got)
+	}
+}

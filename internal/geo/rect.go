@@ -1,0 +1,168 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle, used as the minimum bounding rectangle
+// (MBR) of datasets and index nodes. A Rect is valid when MinX <= MaxX and
+// MinY <= MaxY; the zero Rect is the degenerate rectangle at the origin.
+type Rect struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+}
+
+// EmptyRect is the identity element for Union: it contains nothing and
+// Union(EmptyRect, r) == r.
+var EmptyRect = Rect{
+	MinX: math.Inf(1), MinY: math.Inf(1),
+	MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X), MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X), MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// BoundingRect returns the MBR of the given points. It returns EmptyRect
+// when pts is empty.
+func BoundingRect(pts []Point) Rect {
+	r := EmptyRect
+	for _, p := range pts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// IsEmpty reports whether r contains no points (as EmptyRect does).
+func (r Rect) IsEmpty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the extent of r along the x axis.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the extent of r along the y axis.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r, 0 for an empty rectangle.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Center returns the pivot of r: the average of its bottom-left and
+// top-right corners (Definition 12).
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Radius returns half the diagonal length of r, the ball radius used by
+// dataset and index nodes (Definition 12).
+func (r Rect) Radius() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return math.Hypot(r.Width(), r.Height()) / 2
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r. An empty s is
+// contained in every rectangle.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point (boundary
+// touching counts as intersection, matching the MBR-overlap pruning rule
+// N.rect ∩ N_Q.rect ≠ ∅ of Algorithm 2).
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersection returns the overlapping region of r and s, or EmptyRect when
+// they are disjoint.
+func (r Rect) Intersection(s Rect) Rect {
+	if !r.Intersects(s) {
+		return EmptyRect
+	}
+	return Rect{
+		MinX: math.Max(r.MinX, s.MinX), MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX), MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX), MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX), MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendPoint returns the smallest rectangle containing r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	if r.IsEmpty() {
+		return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, p.X), MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X), MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Expand returns r grown by d on every side. Expanding by a negative d
+// shrinks the rectangle and may produce an empty one.
+func (r Rect) Expand(d float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	return Rect{MinX: r.MinX - d, MinY: r.MinY - d, MaxX: r.MaxX + d, MaxY: r.MaxY + d}
+}
+
+// MinDist returns the minimum Euclidean distance between any point of r and
+// any point of s; 0 when they intersect.
+func (r Rect) MinDist(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := math.Max(0, math.Max(s.MinX-r.MaxX, r.MinX-s.MaxX))
+	dy := math.Max(0, math.Max(s.MinY-r.MaxY, r.MinY-s.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// MinDistPoint returns the minimum Euclidean distance from p to r; 0 when p
+// is inside r.
+func (r Rect) MinDistPoint(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.4f,%.4f]x[%.4f,%.4f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

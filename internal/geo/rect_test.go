@@ -1,0 +1,168 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt(2, 5), Pt(0, 1))
+	if r.MinX != 0 || r.MaxX != 2 || r.MinY != 1 || r.MaxY != 5 {
+		t.Fatalf("NewRect normalized wrong: %v", r)
+	}
+	if got := r.Width(); got != 2 {
+		t.Errorf("Width = %v, want 2", got)
+	}
+	if got := r.Height(); got != 4 {
+		t.Errorf("Height = %v, want 4", got)
+	}
+	if got := r.Area(); got != 8 {
+		t.Errorf("Area = %v, want 8", got)
+	}
+	if got := r.Center(); got != Pt(1, 3) {
+		t.Errorf("Center = %v, want (1,3)", got)
+	}
+	if got, want := r.Radius(), math.Hypot(2, 4)/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Radius = %v, want %v", got, want)
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	if !EmptyRect.IsEmpty() {
+		t.Error("EmptyRect should be empty")
+	}
+	if EmptyRect.Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+	if EmptyRect.Intersects(Rect{MaxX: 1, MaxY: 1}) {
+		t.Error("empty rect should intersect nothing")
+	}
+	r := Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}
+	if got := EmptyRect.Union(r); got != r {
+		t.Errorf("EmptyRect.Union = %v, want %v", got, r)
+	}
+	if got := r.Union(EmptyRect); got != r {
+		t.Errorf("Union(empty) = %v, want %v", got, r)
+	}
+	if BoundingRect(nil) != EmptyRect {
+		t.Error("BoundingRect(nil) should be EmptyRect")
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}
+	cases := []struct {
+		name      string
+		b         Rect
+		wantEmpty bool
+		want      Rect
+	}{
+		{"overlap", Rect{MinX: 2, MinY: 2, MaxX: 6, MaxY: 6}, false, Rect{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4}},
+		{"contained", Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, false, Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}},
+		{"touching-edge", Rect{MinX: 4, MinY: 0, MaxX: 8, MaxY: 4}, false, Rect{MinX: 4, MinY: 0, MaxX: 4, MaxY: 4}},
+		{"disjoint", Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, true, EmptyRect},
+		{"disjoint-x-only", Rect{MinX: 5, MinY: 0, MaxX: 6, MaxY: 4}, true, EmptyRect},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := a.Intersection(c.b)
+			if c.wantEmpty {
+				if !got.IsEmpty() {
+					t.Errorf("Intersection = %v, want empty", got)
+				}
+				if a.Intersects(c.b) {
+					t.Error("Intersects should be false")
+				}
+				return
+			}
+			if got != c.want {
+				t.Errorf("Intersection = %v, want %v", got, c.want)
+			}
+			if !a.Intersects(c.b) || !c.b.Intersects(a) {
+				t.Error("Intersects should be true and symmetric")
+			}
+		})
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{Rect{MinX: 2, MinY: 0, MaxX: 3, MaxY: 1}, 1},                    // right
+		{Rect{MinX: 0, MinY: 3, MaxX: 1, MaxY: 4}, 2},                    // above
+		{Rect{MinX: 4, MinY: 5, MaxX: 6, MaxY: 7}, math.Hypot(3, 4)},     // diagonal
+		{Rect{MinX: 0.5, MinY: 0.5, MaxX: 2, MaxY: 2}, 0},                // overlap
+		{Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, 0},                    // corner touch
+		{Rect{MinX: -3, MinY: -4, MaxX: -2, MaxY: -3}, math.Hypot(2, 3)}, // below-left
+	}
+	for _, c := range cases {
+		if got := a.MinDist(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinDist(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestRectMinDistPoint(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	if got := r.MinDistPoint(Pt(1, 1)); got != 0 {
+		t.Errorf("inside point dist = %v, want 0", got)
+	}
+	if got := r.MinDistPoint(Pt(5, 6)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("corner dist = %v, want 5", got)
+	}
+}
+
+func TestRectUnionContainsProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := NewRect(Pt(norm(ax), norm(ay)), Pt(norm(bx), norm(by)))
+		b := NewRect(Pt(norm(cx), norm(cy)), Pt(norm(dx), norm(dy)))
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectIntersectionSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := NewRect(Pt(norm(ax), norm(ay)), Pt(norm(bx), norm(by)))
+		b := NewRect(Pt(norm(cx), norm(cy)), Pt(norm(dx), norm(dy)))
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		// Intersection is contained in both.
+		i := a.Intersection(b)
+		return a.ContainsRect(i) && b.ContainsRect(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// norm maps arbitrary float64s (possibly NaN/Inf from quick) into a sane
+// bounded range so rectangle invariants are meaningful.
+func norm(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestBoundingRect(t *testing.T) {
+	pts := []Point{Pt(3, -1), Pt(0, 4), Pt(-2, 2)}
+	got := BoundingRect(pts)
+	want := Rect{MinX: -2, MinY: -1, MaxX: 3, MaxY: 4}
+	if got != want {
+		t.Errorf("BoundingRect = %v, want %v", got, want)
+	}
+	for _, p := range pts {
+		if !got.Contains(p) {
+			t.Errorf("BoundingRect should contain %v", p)
+		}
+	}
+}

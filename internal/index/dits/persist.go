@@ -1,0 +1,83 @@
+package dits
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+)
+
+// Index persistence. The snapshot stores the grid, the leaf capacity, and
+// the dataset nodes; the tree itself is rebuilt on load. Rebuilding costs
+// O(n log n) — the same as the original Algorithm 1 construction — and
+// avoids serializing a structure with parent pointers, while guaranteeing
+// a loaded index is byte-for-byte the index Build would produce today.
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the serialized form of a Local index.
+type snapshot struct {
+	Version int
+	Theta   int
+	Origin  geo.Point
+	CellW   float64
+	CellH   float64
+	F       int
+	Nodes   []snapshotNode
+}
+
+type snapshotNode struct {
+	ID    int
+	Name  string
+	Cells []uint64
+}
+
+// Save writes the index to w. The format is stable across processes on the
+// same architecture (encoding/gob).
+func (l *Local) Save(w io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Theta:   l.Grid.Theta,
+		Origin:  l.Grid.Origin,
+		CellW:   l.Grid.CellW,
+		CellH:   l.Grid.CellH,
+		F:       l.F,
+	}
+	nodes := l.All()
+	dataset.SortByID(nodes)
+	for _, nd := range nodes {
+		snap.Nodes = append(snap.Nodes, snapshotNode{ID: nd.ID, Name: nd.Name, Cells: nd.Cells})
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("dits: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save and rebuilds it.
+func Load(r io.Reader) (*Local, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dits: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("dits: load: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Theta < 1 || snap.Theta > geo.MaxTheta {
+		return nil, fmt.Errorf("dits: load: corrupt resolution θ=%d", snap.Theta)
+	}
+	g := geo.Grid{Theta: snap.Theta, Origin: snap.Origin, CellW: snap.CellW, CellH: snap.CellH}
+	nodes := make([]*dataset.Node, 0, len(snap.Nodes))
+	for _, sn := range snap.Nodes {
+		nd := dataset.NewNodeFromCells(sn.ID, sn.Name, cellset.Set(sn.Cells))
+		if nd == nil {
+			return nil, fmt.Errorf("dits: load: dataset %d has no cells", sn.ID)
+		}
+		nodes = append(nodes, nd)
+	}
+	return Build(g, nodes, snap.F), nil
+}

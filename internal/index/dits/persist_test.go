@@ -1,0 +1,81 @@
+package dits
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	orig := Build(testGrid(8), randomNodes(rng, 200, 8), 7)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.F != orig.F {
+		t.Fatalf("loaded %d/%d, want %d/%d", loaded.Len(), loaded.F, orig.Len(), orig.F)
+	}
+	if loaded.Grid != orig.Grid {
+		t.Fatalf("grid %v, want %v", loaded.Grid, orig.Grid)
+	}
+	// Every dataset must come back with identical cells.
+	for _, nd := range orig.All() {
+		got := loaded.Get(nd.ID)
+		if got == nil {
+			t.Fatalf("dataset %d lost", nd.ID)
+		}
+		if !got.Cells.Equal(nd.Cells) {
+			t.Fatalf("dataset %d cells differ", nd.ID)
+		}
+		if got.Name != nd.Name {
+			t.Fatalf("dataset %d name differs", nd.ID)
+		}
+	}
+	// The rebuilt tree must be structurally identical to a fresh build
+	// (Save sorts by ID; Build is deterministic).
+	if loaded.NumTreeNodes() != orig.NumTreeNodes() || loaded.Height() != orig.Height() {
+		t.Errorf("tree shape differs: %d/%d nodes, %d/%d height",
+			loaded.NumTreeNodes(), orig.NumTreeNodes(), loaded.Height(), orig.Height())
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	orig := Build(testGrid(4), nil, 5)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Errorf("loaded %d datasets from empty index", loaded.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	orig := Build(testGrid(4), nil, 5)
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt by truncation.
+	if _, err := Load(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Error("truncated snapshot should fail to load")
+	}
+}

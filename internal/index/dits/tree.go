@@ -1,0 +1,237 @@
+// Package dits implements the paper's DIstributed Tree-based Spatial index:
+// the per-source local index DITS-L (§V-A, Algorithm 1) — a top-down
+// ball-tree over dataset nodes whose leaves carry an inverted index from
+// cell ID to the datasets containing it — and the centralized global index
+// DITS-G (§V-B) built over the sources' root-node summaries.
+package dits
+
+import (
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+)
+
+// TreeNode is a node of the DITS-L tree. Internal nodes (Definition 13)
+// have Left and Right children; leaf nodes (Definition 14) hold up to F
+// dataset nodes in Children plus the inverted index Inv. All nodes carry
+// the MBR (in grid-coordinate space), pivot, radius, and a parent pointer —
+// the bidirectional structure Appendix C relies on for fast updates.
+type TreeNode struct {
+	Rect   geo.Rect
+	O      geo.Point
+	R      float64
+	Parent *TreeNode
+
+	// Internal node fields.
+	Left, Right *TreeNode
+
+	// Leaf node fields.
+	Children []*dataset.Node
+	Inv      map[uint64][]int32 // cell ID -> positions in Children
+	// MaxCells caches the largest |S_D| among Children: min(|S_Q|,
+	// MaxCells) is a free upper bound on any intersection in the leaf,
+	// checked before the O(|S_Q|) Lemma 2/3 bounds.
+	MaxCells int
+}
+
+// IsLeaf reports whether n is a leaf node.
+func (n *TreeNode) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// refreshGeometry recomputes Rect, O, and R from the node's children
+// (dataset nodes for leaves, subtrees for internal nodes).
+func (n *TreeNode) refreshGeometry() {
+	r := geo.EmptyRect
+	if n.IsLeaf() {
+		n.MaxCells = 0
+		for _, c := range n.Children {
+			r = r.Union(c.Rect)
+			if c.Cells.Len() > n.MaxCells {
+				n.MaxCells = c.Cells.Len()
+			}
+		}
+	} else {
+		if n.Left != nil {
+			r = r.Union(n.Left.Rect)
+		}
+		if n.Right != nil {
+			r = r.Union(n.Right.Rect)
+		}
+	}
+	n.Rect = r
+	if r.IsEmpty() {
+		n.O = geo.Point{}
+		n.R = 0
+		return
+	}
+	n.O = r.Center()
+	n.R = r.Radius()
+}
+
+// rebuildInv reconstructs the leaf's inverted index from its children; it
+// is used at construction and when a leaf is split. Point mutations use
+// the incremental addInv/removeInv/moveInv instead, so an insert or delete
+// touches only the affected dataset's postings.
+func (n *TreeNode) rebuildInv() {
+	n.Inv = make(map[uint64][]int32)
+	for i, c := range n.Children {
+		for _, cell := range c.Cells {
+			n.Inv[cell] = append(n.Inv[cell], int32(i))
+		}
+	}
+}
+
+// addInv appends postings for the dataset at child position pos.
+func (n *TreeNode) addInv(nd *dataset.Node, pos int) {
+	if n.Inv == nil {
+		n.Inv = make(map[uint64][]int32)
+	}
+	for _, cell := range nd.Cells {
+		n.Inv[cell] = append(n.Inv[cell], int32(pos))
+	}
+}
+
+// removeInv deletes the postings of the dataset that was at position pos.
+func (n *TreeNode) removeInv(nd *dataset.Node, pos int) {
+	for _, cell := range nd.Cells {
+		pl := n.Inv[cell]
+		for i, p := range pl {
+			if p == int32(pos) {
+				pl[i] = pl[len(pl)-1]
+				pl = pl[:len(pl)-1]
+				break
+			}
+		}
+		if len(pl) == 0 {
+			delete(n.Inv, cell)
+		} else {
+			n.Inv[cell] = pl
+		}
+	}
+}
+
+// moveInv rewrites the postings of nd from child position from to position
+// to (used when a delete swap-moves the last child into the freed slot).
+func (n *TreeNode) moveInv(nd *dataset.Node, from, to int) {
+	for _, cell := range nd.Cells {
+		pl := n.Inv[cell]
+		for i, p := range pl {
+			if p == int32(from) {
+				pl[i] = int32(to)
+				break
+			}
+		}
+	}
+}
+
+// inRect reports whether cell c's grid coordinates fall inside the node's
+// MBR. Decoding is a handful of bit operations, much cheaper than a map
+// lookup, so bounds and verification clip query cells against the leaf
+// rectangle first.
+func (n *TreeNode) inRect(c uint64) bool {
+	x, y := geo.ZDecode(c)
+	fx, fy := float64(x), float64(y)
+	return fx >= n.Rect.MinX && fx <= n.Rect.MaxX && fy >= n.Rect.MinY && fy <= n.Rect.MaxY
+}
+
+// OverlapBounds returns the Lemma 2 upper bound and Lemma 3 lower bound on
+// the set intersection between the query cells and any dataset in this
+// leaf: ub counts query cells present in the inverted index at all, lb
+// counts query cells whose posting list covers every child of the leaf.
+// It iterates whichever side is smaller: the query's cells (clipped to the
+// leaf MBR) or the leaf's posting keys.
+func (n *TreeNode) OverlapBounds(q cellset.Set) (lb, ub int) {
+	full := len(n.Children)
+	if len(n.Inv) < len(q) {
+		for c, pl := range n.Inv {
+			if !q.Contains(c) {
+				continue
+			}
+			ub++
+			if len(pl) == full {
+				lb++
+			}
+		}
+		return lb, ub
+	}
+	for _, c := range q {
+		if !n.inRect(c) {
+			continue
+		}
+		pl, ok := n.Inv[c]
+		if !ok {
+			continue
+		}
+		ub++
+		if len(pl) == full {
+			lb++
+		}
+	}
+	return lb, ub
+}
+
+// OverlapCounts computes, via one pass over the leaf's posting lists, the
+// exact |S_Q ∩ S_D| for every dataset node in the leaf. The returned slice
+// is indexed like Children. This is the verification step of Algorithm 2.
+func (n *TreeNode) OverlapCounts(q cellset.Set) []int {
+	counts := make([]int, len(n.Children))
+	if len(n.Inv) < len(q) {
+		for c, pl := range n.Inv {
+			if !q.Contains(c) {
+				continue
+			}
+			for _, idx := range pl {
+				counts[idx]++
+			}
+		}
+		return counts
+	}
+	for _, c := range q {
+		if !n.inRect(c) {
+			continue
+		}
+		for _, idx := range n.Inv[c] {
+			counts[idx]++
+		}
+	}
+	return counts
+}
+
+// visitLeaves calls fn for every leaf under n.
+func (n *TreeNode) visitLeaves(fn func(*TreeNode)) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		fn(n)
+		return
+	}
+	n.Left.visitLeaves(fn)
+	n.Right.visitLeaves(fn)
+}
+
+// countNodes returns the number of tree nodes (internal + leaf) under n.
+func (n *TreeNode) countNodes() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return 1 + n.Left.countNodes() + n.Right.countNodes()
+}
+
+// height returns the height of the subtree rooted at n (a single leaf has
+// height 1).
+func (n *TreeNode) height() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	l, r := n.Left.height(), n.Right.height()
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}

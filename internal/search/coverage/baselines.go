@@ -1,0 +1,203 @@
+package coverage
+
+import (
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+)
+
+// SG is the standard greedy baseline of §VII-D [30] extended to CJSP: each
+// iteration it traverses all datasets in the source, tests direct
+// connectivity against every member of the running result set with the
+// naive pairwise cell distance, and adds the connected dataset with the
+// maximum marginal gain. O(|R|·n) connectivity work per round.
+type SG struct {
+	Nodes []*dataset.Node
+}
+
+// Name implements Searcher.
+func (s *SG) Name() string { return "SG" }
+
+// Search implements Searcher.
+func (s *SG) Search(q *dataset.Node, delta float64, k int) Result {
+	if q == nil || k <= 0 {
+		return resultFor(q, nil)
+	}
+	covered := q.Cells
+	picked := map[int]bool{}
+	members := []*dataset.Node{q}
+	var chosen []*dataset.Node
+
+	for len(chosen) < k {
+		var cands []*dataset.Node
+		for _, nd := range s.Nodes {
+			if nd == nil || picked[nd.ID] {
+				continue
+			}
+			// Directly connected to any member of R ∪ {Q}? The exact
+			// Definition 7 predicate is evaluated from scratch for every
+			// (dataset, member) pair — SG has no index to prune with or
+			// cache in, which is what makes it the slow baseline.
+			for _, m := range members {
+				if cellset.WithinDist(nd.Cells, m.Cells, delta) {
+					cands = append(cands, nd)
+					break
+				}
+			}
+		}
+		best := pickBest(cands, picked, covered)
+		if best == nil {
+			break
+		}
+		picked[best.ID] = true
+		chosen = append(chosen, best)
+		members = append(members, best)
+		covered = covered.Union(best.Cells)
+	}
+	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
+}
+
+// SGDITS is the SG+DITS baseline of §VII-D: the same greedy loop as SG,
+// but each round finds the connected candidates through one FindConnectSet
+// tree search per result-set member (no merge strategy), so it benefits
+// from the Lemma 4 bounds yet still pays |R| searches per round.
+type SGDITS struct {
+	Index *dits.Local
+}
+
+// Name implements Searcher.
+func (s *SGDITS) Name() string { return "SG+DITS" }
+
+// Search implements Searcher.
+func (s *SGDITS) Search(q *dataset.Node, delta float64, k int) Result {
+	if q == nil || k <= 0 || s.Index.Root == nil {
+		return resultFor(q, nil)
+	}
+	covered := q.Cells
+	picked := map[int]bool{}
+	members := []*dataset.Node{q}
+	var chosen []*dataset.Node
+
+	for len(chosen) < k {
+		seen := map[int]bool{}
+		var cands []*dataset.Node
+		for _, m := range members {
+			for _, nd := range FindConnectSet(s.Index.Root, m, delta) {
+				if !seen[nd.ID] {
+					seen[nd.ID] = true
+					cands = append(cands, nd)
+				}
+			}
+		}
+		best := pickBest(cands, picked, covered)
+		if best == nil {
+			break
+		}
+		picked[best.ID] = true
+		chosen = append(chosen, best)
+		members = append(members, best)
+		covered = covered.Union(best.Cells)
+	}
+	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
+}
+
+// Exhaustive solves CJSP exactly by enumerating every subset of size <= k
+// that satisfies spatial connectivity together with the query
+// (Definition 9). It is exponential and exists only as the test oracle for
+// the greedy algorithms' approximation behaviour on small instances.
+type Exhaustive struct {
+	Nodes []*dataset.Node
+}
+
+// Name implements Searcher.
+func (s *Exhaustive) Name() string { return "Exhaustive" }
+
+// Search implements Searcher. It returns an optimal subset; among optimal
+// subsets the pick order is unspecified.
+func (s *Exhaustive) Search(q *dataset.Node, delta float64, k int) Result {
+	if q == nil || k <= 0 {
+		return resultFor(q, nil)
+	}
+	nodes := make([]*dataset.Node, 0, len(s.Nodes))
+	for _, nd := range s.Nodes {
+		if nd != nil {
+			nodes = append(nodes, nd)
+		}
+	}
+	n := len(nodes)
+	if n > 20 {
+		panic("coverage: Exhaustive limited to 20 datasets")
+	}
+	// Precompute the direct-connection graph over nodes ∪ {q}; index n is q.
+	adj := make([][]bool, n+1)
+	for i := range adj {
+		adj[i] = make([]bool, n+1)
+	}
+	all := append(append([]*dataset.Node(nil), nodes...), q)
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			c := cellset.DistNaive(all[i].Cells, all[j].Cells) <= delta
+			adj[i][j], adj[j][i] = c, c
+		}
+	}
+
+	best := Result{Coverage: q.Cells.Len(), QueryCoverage: q.Cells.Len()}
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) > k {
+			continue
+		}
+		if !connectedSubset(mask, n, adj) {
+			continue
+		}
+		covered := q.Cells
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				covered = covered.Union(nodes[i].Cells)
+			}
+		}
+		if covered.Len() > best.Coverage {
+			var picked []*dataset.Node
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					picked = append(picked, nodes[i])
+				}
+			}
+			best = Result{Picked: picked, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
+		}
+	}
+	return best
+}
+
+// connectedSubset reports whether the chosen datasets together with q form
+// a connected graph under the direct-connection adjacency (Definition 9:
+// every pair directly or indirectly connected within the collection).
+func connectedSubset(mask, n int, adj [][]bool) bool {
+	members := []int{n} // q always participates
+	for i := 0; i < n; i++ {
+		if mask&(1<<i) != 0 {
+			members = append(members, i)
+		}
+	}
+	visited := map[int]bool{n: true}
+	queue := []int{n}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range members {
+			if !visited[v] && adj[u][v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(visited) == len(members)
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}

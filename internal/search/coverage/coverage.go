@@ -1,0 +1,186 @@
+// Package coverage solves the Coverage Joinable Search Problem (CJSP,
+// Definition 11): pick up to k datasets maximizing the cells covered
+// together with the query, subject to spatial connectivity (Definitions
+// 7-9). CJSP is NP-hard (Lemma 1); the paper's CoverageSearch (Algorithm 3)
+// is a greedy (1−1/e under the Lemma 5 assumption) algorithm accelerated by
+// the Lemma 4 distance bounds and the spatial merge strategy. The package
+// also provides the two baselines of §VII-D: the standard greedy SG and
+// SG+DITS.
+//
+// All three algorithms make the same greedy choice sequence (maximum
+// marginal gain, ties toward smaller IDs): a dataset is directly connected
+// to the merged result set exactly when it is directly connected to at
+// least one member, because the minimum cell distance to a union of sets is
+// the minimum over the sets. Tests assert the three produce identical
+// results; only their running time differs.
+package coverage
+
+import (
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+)
+
+// Result is the outcome of a coverage joinable search.
+type Result struct {
+	// Picked lists the chosen dataset nodes in greedy pick order.
+	Picked []*dataset.Node
+	// Coverage is |S_Q ∪ (∪ picked)|, the objective of Equation 2.
+	Coverage int
+	// QueryCoverage is |S_Q| alone, for reporting the gain.
+	QueryCoverage int
+}
+
+// IDs returns the picked dataset IDs in pick order.
+func (r Result) IDs() []int {
+	out := make([]int, len(r.Picked))
+	for i, n := range r.Picked {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// Searcher is a CJSP algorithm over one data source.
+type Searcher interface {
+	// Name identifies the algorithm (for benchmark tables).
+	Name() string
+	// Search returns up to k connected datasets greedily maximizing
+	// coverage together with the query, under connectivity threshold
+	// delta (in cell units).
+	Search(q *dataset.Node, delta float64, k int) Result
+}
+
+// pickBest selects, among candidates not yet picked, the dataset with the
+// maximum marginal gain over covered, applying the size filter of
+// Algorithm 3 (lines 5-9): a dataset with fewer cells than the best gain
+// seen so far cannot reach it, so its exact gain is never computed. (The
+// paper filters |S_D| > τ strictly; ties are admitted here so that the
+// ID tie-break is independent of candidate order and all three algorithms
+// return identical results.) Ties break toward smaller IDs.
+func pickBest(cands []*dataset.Node, picked map[int]bool, covered cellset.Set) *dataset.Node {
+	tau := -1
+	var best *dataset.Node
+	for _, nd := range cands {
+		if nd == nil || picked[nd.ID] {
+			continue
+		}
+		if nd.Cells.Len() < tau {
+			continue // size filter: gain <= |S_D| < τ
+		}
+		g := covered.MarginalGain(nd.Cells)
+		if g > tau || (g == tau && best != nil && nd.ID < best.ID) {
+			best = nd
+			tau = g
+		}
+	}
+	return best
+}
+
+// DITSSearcher implements CoverageSearch (Algorithm 3): each of the k
+// iterations performs one FindConnectSet tree search from the merged
+// result node N_M, then greedily adds the connected dataset with the
+// maximum marginal gain and merges it into N_M.
+type DITSSearcher struct {
+	Index *dits.Local
+}
+
+// Name implements Searcher.
+func (s *DITSSearcher) Name() string { return "CoverageSearch" }
+
+// Search implements Searcher.
+func (s *DITSSearcher) Search(q *dataset.Node, delta float64, k int) Result {
+	if q == nil || k <= 0 || s.Index.Root == nil {
+		return resultFor(q, nil)
+	}
+	merged := q
+	covered := q.Cells
+	picked := map[int]bool{}
+	qIdx := cellset.NewDistIndex(q.Cells, delta)
+	var chosen []*dataset.Node
+
+	for len(chosen) < k {
+		cands := findConnectSet(s.Index.Root, merged, delta, qIdx)
+		best := pickBest(cands, picked, covered)
+		if best == nil {
+			break // nothing connected remains
+		}
+		picked[best.ID] = true
+		chosen = append(chosen, best)
+		covered = covered.Union(best.Cells)
+		merged = merged.Merge(best)
+		qIdx.Add(best.Cells)
+	}
+	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
+}
+
+// FindConnectSet walks the DITS-L tree and returns every dataset node
+// directly connected to q under threshold delta (Algorithm 3, lines
+// 14-26): a subtree whose Lemma 4 upper bound is within delta is accepted
+// wholesale; one whose lower bound exceeds delta is pruned; leaves in
+// between are verified cell-exactly.
+func FindConnectSet(root *dits.TreeNode, q *dataset.Node, delta float64) []*dataset.Node {
+	return findConnectSet(root, q, delta, cellset.NewDistIndex(q.Cells, delta))
+}
+
+// findConnectSet is FindConnectSet with the query's distance index supplied
+// by the caller, so iterative searches can reuse (and grow) it.
+func findConnectSet(root *dits.TreeNode, q *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+	var out []*dataset.Node
+	var walk func(n *dits.TreeNode)
+	walk = func(n *dits.TreeNode) {
+		if n == nil || n.Rect.IsEmpty() {
+			return
+		}
+		c := n.O.Dist(q.O)
+		lb := c - n.R - q.R
+		if lb < 0 {
+			lb = 0
+		}
+		ub := c + n.R + q.R
+		if ub <= delta {
+			// Whole subtree connected: collect every dataset under it.
+			collect(n, &out)
+			return
+		}
+		if lb > delta {
+			return // whole subtree too far
+		}
+		if n.IsLeaf() {
+			for _, nd := range n.Children {
+				ndLB, ndUB := nd.DistBounds(q)
+				if ndLB > delta {
+					continue
+				}
+				if ndUB <= delta || qIdx.Connected(nd.Cells) {
+					out = append(out, nd)
+				}
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	return out
+}
+
+func collect(n *dits.TreeNode, out *[]*dataset.Node) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		*out = append(*out, n.Children...)
+		return
+	}
+	collect(n.Left, out)
+	collect(n.Right, out)
+}
+
+func resultFor(q *dataset.Node, picked []*dataset.Node) Result {
+	r := Result{Picked: picked}
+	if q != nil {
+		r.QueryCoverage = q.Cells.Len()
+		r.Coverage = q.Cells.Len()
+	}
+	return r
+}

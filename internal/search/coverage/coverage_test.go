@@ -1,0 +1,264 @@
+package coverage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+)
+
+const theta = 7
+
+func grid() geo.Grid {
+	side := float64(int64(1) << theta)
+	return geo.NewGrid(theta, geo.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side})
+}
+
+func randomNodes(rng *rand.Rand, n int) []*dataset.Node {
+	side := 1 << theta
+	nodes := make([]*dataset.Node, 0, n)
+	for i := 0; i < n; i++ {
+		cx, cy := rng.Intn(side), rng.Intn(side)
+		m := 1 + rng.Intn(20)
+		ids := make([]uint64, m)
+		for j := range ids {
+			x := clamp(cx+rng.Intn(11)-5, 0, side-1)
+			y := clamp(cy+rng.Intn(11)-5, 0, side-1)
+			ids[j] = geo.ZEncode(uint32(x), uint32(y))
+		}
+		nodes = append(nodes, dataset.NewNodeFromCells(i, "", cellset.New(ids...)))
+	}
+	return nodes
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func searchers(nodes []*dataset.Node) []Searcher {
+	idx := dits.Build(grid(), nodes, 6)
+	return []Searcher{
+		&DITSSearcher{Index: idx},
+		&SGDITS{Index: idx},
+		&SG{Nodes: nodes},
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestThreeAlgorithmsAgree asserts the central equivalence: CoverageSearch
+// (merge strategy), SG+DITS (tree-accelerated greedy), and SG (naive
+// greedy) make identical greedy choices, because connectivity to the merged
+// node equals connectivity to at least one member.
+func TestThreeAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nodes := randomNodes(rng, 200)
+	ss := searchers(nodes)
+	for trial := 0; trial < 30; trial++ {
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		for _, delta := range []float64{0, 1, 3, 8, 20} {
+			for _, k := range []int{1, 3, 8} {
+				ref := ss[2].Search(q, delta, k) // SG as reference
+				for _, s := range ss[:2] {
+					got := s.Search(q, delta, k)
+					if got.Coverage != ref.Coverage || !equalIDs(got.IDs(), ref.IDs()) {
+						t.Fatalf("trial %d δ=%v k=%d: %s picked %v (cov %d), SG picked %v (cov %d)",
+							trial, delta, k, s.Name(), got.IDs(), got.Coverage, ref.IDs(), ref.Coverage)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConnectivityInvariant verifies every result satisfies Definition 9:
+// the picked sets plus the query form a connected graph under direct
+// connection at threshold δ.
+func TestConnectivityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nodes := randomNodes(rng, 150)
+	ss := searchers(nodes)
+	for trial := 0; trial < 20; trial++ {
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		for _, delta := range []float64{0, 2, 6} {
+			for _, s := range ss {
+				res := s.Search(q, delta, 6)
+				if !satisfiesConnectivity(q, res.Picked, delta) {
+					t.Fatalf("trial %d δ=%v: %s result %v violates connectivity",
+						trial, delta, s.Name(), res.IDs())
+				}
+				// Coverage accounting must match a recomputation.
+				covered := q.Cells
+				for _, nd := range res.Picked {
+					covered = covered.Union(nd.Cells)
+				}
+				if covered.Len() != res.Coverage {
+					t.Fatalf("%s: Coverage %d, recomputed %d", s.Name(), res.Coverage, covered.Len())
+				}
+			}
+		}
+	}
+}
+
+func satisfiesConnectivity(q *dataset.Node, picked []*dataset.Node, delta float64) bool {
+	members := append([]*dataset.Node{q}, picked...)
+	n := len(members)
+	visited := make([]bool, n)
+	visited[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if !visited[v] && cellset.DistNaive(members[u].Cells, members[v].Cells) <= delta {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, v := range visited {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGreedyMatchesMCPGuarantee: with δ large enough that every dataset is
+// always eligible, CJSP degenerates to the classical maximum coverage
+// problem, where greedy provably achieves (1−1/e)·OPT. Compare against the
+// exhaustive oracle on small instances.
+func TestGreedyMatchesMCPGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		nodes := randomNodes(rng, 10)
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		k := 1 + rng.Intn(4)
+		delta := 1e9 // everything connected
+		opt := (&Exhaustive{Nodes: nodes}).Search(q, delta, k)
+		for _, s := range searchers(nodes) {
+			got := s.Search(q, delta, k)
+			if got.Coverage > opt.Coverage {
+				t.Fatalf("trial %d: %s coverage %d exceeds optimum %d",
+					trial, s.Name(), got.Coverage, opt.Coverage)
+			}
+			// The classical bound relates the *gain* over the always-kept
+			// query coverage: |C_k| >= (1-1/e)|OPT| (Theorem 1).
+			bound := (1 - 1/math.E) * float64(opt.Coverage)
+			if float64(got.Coverage) < bound-1e-9 {
+				t.Fatalf("trial %d k=%d: %s coverage %d below (1-1/e)·OPT = %.2f (OPT %d)",
+					trial, k, s.Name(), got.Coverage, bound, opt.Coverage)
+			}
+		}
+	}
+}
+
+// TestGreedyRespectsConnectivityConstraintVsOracle checks greedy never
+// exceeds the true constrained optimum at tight δ.
+func TestGreedyNeverExceedsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		nodes := randomNodes(rng, 9)
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		delta := float64(rng.Intn(5))
+		k := 1 + rng.Intn(3)
+		opt := (&Exhaustive{Nodes: nodes}).Search(q, delta, k)
+		for _, s := range searchers(nodes) {
+			got := s.Search(q, delta, k)
+			if got.Coverage > opt.Coverage {
+				t.Fatalf("trial %d δ=%v k=%d: %s coverage %d > optimum %d (picked %v)",
+					trial, delta, k, s.Name(), got.Coverage, opt.Coverage, got.IDs())
+			}
+			if len(got.Picked) > k {
+				t.Fatalf("%s picked %d > k=%d", s.Name(), len(got.Picked), k)
+			}
+		}
+	}
+}
+
+func TestFindConnectSetMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nodes := randomNodes(rng, 200)
+	idx := dits.Build(grid(), nodes, 5)
+	for trial := 0; trial < 50; trial++ {
+		q := randomNodes(rng, 1)[0]
+		for _, delta := range []float64{0, 1, 2.5, 7, 30} {
+			got := map[int]bool{}
+			for _, nd := range FindConnectSet(idx.Root, q, delta) {
+				got[nd.ID] = true
+			}
+			for _, nd := range nodes {
+				want := cellset.DistNaive(nd.Cells, q.Cells) <= delta
+				if got[nd.ID] != want {
+					t.Fatalf("trial %d δ=%v: dataset %d connected=%v reported=%v",
+						trial, delta, nd.ID, want, got[nd.ID])
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nodes := randomNodes(rng, 20)
+	q := randomNodes(rng, 1)[0]
+	for _, s := range searchers(nodes) {
+		if res := s.Search(nil, 5, 3); len(res.Picked) != 0 {
+			t.Errorf("%s: nil query picked %v", s.Name(), res.IDs())
+		}
+		if res := s.Search(q, 5, 0); len(res.Picked) != 0 {
+			t.Errorf("%s: k=0 picked %v", s.Name(), res.IDs())
+		}
+		// Isolated query with δ=0 and no overlapping dataset: no picks,
+		// coverage is the query's own.
+		far := dataset.NewNodeFromCells(-1, "", cellset.New(geo.ZEncode(127, 127)))
+		res := s.Search(far, 0, 5)
+		if res.Coverage != far.Cells.Len() {
+			t.Errorf("%s: isolated coverage %d, want %d", s.Name(), res.Coverage, far.Cells.Len())
+		}
+	}
+}
+
+// TestMergeExpandsReach verifies indirect connectivity arises across
+// iterations: a chain A(adjacent to Q) - B(adjacent to A only) is fully
+// picked even though B is not directly connected to Q.
+func TestMergeExpandsReach(t *testing.T) {
+	q := dataset.NewNodeFromCells(-1, "", cellset.New(geo.ZEncode(0, 0)))
+	a := dataset.NewNodeFromCells(1, "", cellset.New(geo.ZEncode(1, 0)))
+	b := dataset.NewNodeFromCells(2, "", cellset.New(geo.ZEncode(2, 0)))
+	c := dataset.NewNodeFromCells(3, "", cellset.New(geo.ZEncode(90, 90))) // unreachable
+	nodes := []*dataset.Node{a, b, c}
+	for _, s := range searchers(nodes) {
+		res := s.Search(q, 1, 3)
+		if !equalIDs(res.IDs(), []int{1, 2}) {
+			t.Errorf("%s: picked %v, want [1 2]", s.Name(), res.IDs())
+		}
+		if res.Coverage != 3 {
+			t.Errorf("%s: coverage %d, want 3", s.Name(), res.Coverage)
+		}
+	}
+}

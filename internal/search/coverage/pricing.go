@@ -1,0 +1,118 @@
+package coverage
+
+import (
+	"math"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+)
+
+// The paper's conclusion names "spatial dataset search based on data
+// pricing [to] return the optimal dataset combination" as future work.
+// PricedSearch implements that extension: every dataset carries a price,
+// the searcher has a budget, and the goal is maximum connected coverage
+// per money — the budgeted maximum coverage problem (Khuller et al. [33])
+// under CJSP's spatial-connectivity constraint. The greedy rule picks the
+// connected dataset with the best marginal-gain-to-price ratio that still
+// fits the budget; like budgeted MCP, pure ratio greedy is taken because
+// the per-iteration candidate set changes with connectivity.
+
+// Pricing maps dataset IDs to prices. Datasets without an entry cost
+// DefaultPrice.
+type Pricing struct {
+	Prices       map[int]float64
+	DefaultPrice float64
+}
+
+// PriceOf returns the price of a dataset.
+func (p Pricing) PriceOf(id int) float64 {
+	if v, ok := p.Prices[id]; ok {
+		return v
+	}
+	return p.DefaultPrice
+}
+
+// PricedResult is the outcome of a budgeted coverage search.
+type PricedResult struct {
+	Picked        []*dataset.Node
+	Coverage      int
+	QueryCoverage int
+	Spent         float64
+}
+
+// IDs returns the picked dataset IDs in pick order.
+func (r PricedResult) IDs() []int {
+	out := make([]int, len(r.Picked))
+	for i, n := range r.Picked {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// PricedSearch greedily buys connected datasets maximizing marginal
+// coverage per price until no affordable connected dataset remains or k
+// datasets were bought (k <= 0 means unbounded by count).
+func PricedSearch(idx *dits.Local, q *dataset.Node, delta float64, budget float64, k int, pricing Pricing) PricedResult {
+	res := PricedResult{}
+	if q == nil || idx == nil || idx.Root == nil {
+		return res
+	}
+	res.QueryCoverage = q.Cells.Len()
+	res.Coverage = res.QueryCoverage
+	if budget <= 0 {
+		return res
+	}
+	if k <= 0 {
+		k = idx.Len()
+	}
+
+	merged := q
+	covered := q.Cells
+	picked := map[int]bool{}
+	qIdx := cellset.NewDistIndex(q.Cells, delta)
+
+	for len(res.Picked) < k {
+		cands := findConnectSet(idx.Root, merged, delta, qIdx)
+		var best *dataset.Node
+		bestRatio := -1.0
+		bestGain := 0
+		for _, nd := range cands {
+			if picked[nd.ID] {
+				continue
+			}
+			price := pricing.PriceOf(nd.ID)
+			if price > budget-res.Spent {
+				continue // unaffordable
+			}
+			g := covered.MarginalGain(nd.Cells)
+			if g <= 0 {
+				continue // buying it adds nothing
+			}
+			ratio := ratioOf(g, price)
+			if ratio > bestRatio || (ratio == bestRatio && best != nil && nd.ID < best.ID) {
+				best, bestRatio, bestGain = nd, ratio, g
+			}
+		}
+		if best == nil {
+			break
+		}
+		picked[best.ID] = true
+		res.Picked = append(res.Picked, best)
+		res.Spent += pricing.PriceOf(best.ID)
+		covered = covered.Union(best.Cells)
+		res.Coverage = covered.Len()
+		merged = merged.Merge(best)
+		qIdx.Add(best.Cells)
+		_ = bestGain
+	}
+	return res
+}
+
+// ratioOf is gain/price with a free dataset treated as infinitely good.
+func ratioOf(gain int, price float64) float64 {
+	if price <= 0 {
+		return math.Inf(1)
+	}
+	return float64(gain) / price
+}

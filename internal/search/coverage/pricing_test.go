@@ -1,0 +1,124 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+)
+
+func TestPricedSearchRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nodes := randomNodes(rng, 100)
+	idx := dits.Build(grid(), nodes, 6)
+	pricing := Pricing{Prices: map[int]float64{}, DefaultPrice: 1}
+	for _, nd := range nodes {
+		pricing.Prices[nd.ID] = 0.5 + rng.Float64()*4
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		budget := rng.Float64() * 10
+		res := PricedSearch(idx, q, 1e9, budget, 0, pricing)
+		if res.Spent > budget+1e-9 {
+			t.Fatalf("trial %d: spent %v > budget %v", trial, res.Spent, budget)
+		}
+		var sum float64
+		for _, nd := range res.Picked {
+			sum += pricing.PriceOf(nd.ID)
+		}
+		if sum != res.Spent {
+			t.Fatalf("Spent %v does not match prices %v", res.Spent, sum)
+		}
+		// Coverage accounting.
+		covered := q.Cells
+		for _, nd := range res.Picked {
+			covered = covered.Union(nd.Cells)
+		}
+		if covered.Len() != res.Coverage {
+			t.Fatalf("Coverage %d, recomputed %d", res.Coverage, covered.Len())
+		}
+	}
+}
+
+func TestPricedSearchConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	nodes := randomNodes(rng, 80)
+	idx := dits.Build(grid(), nodes, 6)
+	pricing := Pricing{DefaultPrice: 1}
+	for trial := 0; trial < 20; trial++ {
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		res := PricedSearch(idx, q, 3, 8, 0, pricing)
+		if !satisfiesConnectivity(q, res.Picked, 3) {
+			t.Fatalf("trial %d: result %v violates connectivity", trial, res.IDs())
+		}
+	}
+}
+
+func TestPricedSearchUniformPriceMatchesGreedy(t *testing.T) {
+	// With all prices 1 and budget >= k, ratio greedy equals plain greedy
+	// (same gains, same tie-break), so PricedSearch must match
+	// CoverageSearch's picks.
+	rng := rand.New(rand.NewSource(33))
+	nodes := randomNodes(rng, 120)
+	idx := dits.Build(grid(), nodes, 6)
+	pricing := Pricing{DefaultPrice: 1}
+	for trial := 0; trial < 15; trial++ {
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		k := 1 + rng.Intn(5)
+		want := (&DITSSearcher{Index: idx}).Search(q, 4, k)
+		got := PricedSearch(idx, q, 4, float64(k), k, pricing)
+		// Plain greedy may pick zero-gain datasets to fill k; PricedSearch
+		// never buys a zero-gain dataset, so compare coverage only.
+		if got.Coverage != want.Coverage {
+			t.Fatalf("trial %d k=%d: priced coverage %d (%v), greedy %d (%v)",
+				trial, k, got.Coverage, got.IDs(), want.Coverage, want.IDs())
+		}
+	}
+}
+
+func TestPricedSearchPrefersCheap(t *testing.T) {
+	// Two equal-coverage datasets touch the query; only the cheaper one
+	// fits the budget twice over; ratio greedy must take the cheap one
+	// first.
+	q := dataset.NewNodeFromCells(-1, "", cellset.New(geo.ZEncode(10, 10)))
+	cheap := dataset.NewNodeFromCells(1, "", cellset.New(geo.ZEncode(11, 10), geo.ZEncode(12, 10)))
+	dear := dataset.NewNodeFromCells(2, "", cellset.New(geo.ZEncode(10, 11), geo.ZEncode(10, 12)))
+	idx := dits.Build(grid(), []*dataset.Node{cheap, dear}, 4)
+	pricing := Pricing{Prices: map[int]float64{1: 1, 2: 5}, DefaultPrice: 1}
+	res := PricedSearch(idx, q, 1.5, 2, 0, pricing)
+	if len(res.Picked) != 1 || res.Picked[0].ID != 1 {
+		t.Fatalf("picked %v, want [1]", res.IDs())
+	}
+	if res.Spent != 1 {
+		t.Fatalf("spent %v, want 1", res.Spent)
+	}
+}
+
+func TestPricedSearchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	nodes := randomNodes(rng, 10)
+	idx := dits.Build(grid(), nodes, 4)
+	pricing := Pricing{DefaultPrice: 1}
+	q := randomNodes(rng, 1)[0]
+	if res := PricedSearch(idx, nil, 5, 10, 3, pricing); len(res.Picked) != 0 {
+		t.Error("nil query should pick nothing")
+	}
+	if res := PricedSearch(idx, q, 5, 0, 3, pricing); len(res.Picked) != 0 || res.Spent != 0 {
+		t.Error("zero budget should pick nothing")
+	}
+	if res := PricedSearch(nil, q, 5, 10, 3, pricing); len(res.Picked) != 0 {
+		t.Error("nil index should pick nothing")
+	}
+	// Free datasets are always worth buying when they add coverage.
+	free := Pricing{DefaultPrice: 0}
+	res := PricedSearch(idx, q, 1e9, 0.0001, 0, free)
+	if res.Coverage < q.Cells.Len() {
+		t.Error("coverage shrank")
+	}
+}

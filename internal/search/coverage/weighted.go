@@ -1,0 +1,95 @@
+package coverage
+
+import (
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+)
+
+// Weighted coverage: the weighted-MCP variant the related work surveys
+// ([48] in §II). Cells carry weights — think population served, demand, or
+// risk — and the objective becomes the total weight of cells covered by
+// the query plus the picked connected datasets, instead of their count.
+
+// CellWeight returns the weight of one cell. Weights must be non-negative;
+// the unweighted problem is CellWeight that returns 1 for every cell.
+type CellWeight func(cell uint64) float64
+
+// WeightedResult is the outcome of a weighted coverage search.
+type WeightedResult struct {
+	Picked        []*dataset.Node
+	Weight        float64 // total weight of covered cells
+	QueryWeight   float64 // weight covered by the query alone
+	Coverage      int     // covered cell count, for reference
+	QueryCoverage int
+}
+
+// IDs returns the picked dataset IDs in pick order.
+func (r WeightedResult) IDs() []int {
+	out := make([]int, len(r.Picked))
+	for i, n := range r.Picked {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// WeightedSearch greedily picks up to k connected datasets maximizing the
+// covered cell weight, using the same merge strategy and Lemma 4 bounds as
+// CoverageSearch. With a constant weight function it reduces exactly to
+// CoverageSearch (tests assert this).
+func WeightedSearch(idx *dits.Local, q *dataset.Node, delta float64, k int, weight CellWeight) WeightedResult {
+	res := WeightedResult{}
+	if q == nil || idx == nil || idx.Root == nil || weight == nil || k <= 0 {
+		if q != nil && weight != nil {
+			res.QueryWeight = setWeight(q.Cells, weight)
+			res.Weight = res.QueryWeight
+			res.QueryCoverage = q.Cells.Len()
+			res.Coverage = res.QueryCoverage
+		}
+		return res
+	}
+	res.QueryWeight = setWeight(q.Cells, weight)
+	res.Weight = res.QueryWeight
+	res.QueryCoverage = q.Cells.Len()
+	res.Coverage = res.QueryCoverage
+
+	merged := q
+	covered := q.Cells
+	picked := map[int]bool{}
+	qIdx := cellset.NewDistIndex(q.Cells, delta)
+
+	for len(res.Picked) < k {
+		cands := findConnectSet(idx.Root, merged, delta, qIdx)
+		var best *dataset.Node
+		bestGain := -1.0
+		for _, nd := range cands {
+			if picked[nd.ID] {
+				continue
+			}
+			g := setWeight(nd.Cells.Diff(covered), weight)
+			if g > bestGain || (g == bestGain && best != nil && nd.ID < best.ID) {
+				best, bestGain = nd, g
+			}
+		}
+		if best == nil || bestGain < 0 {
+			break
+		}
+		picked[best.ID] = true
+		res.Picked = append(res.Picked, best)
+		res.Weight += bestGain
+		covered = covered.Union(best.Cells)
+		res.Coverage = covered.Len()
+		merged = merged.Merge(best)
+		qIdx.Add(best.Cells)
+	}
+	return res
+}
+
+// setWeight sums the weights of a cell set.
+func setWeight(s cellset.Set, weight CellWeight) float64 {
+	var total float64
+	for _, c := range s {
+		total += weight(c)
+	}
+	return total
+}

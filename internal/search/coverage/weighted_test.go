@@ -1,0 +1,91 @@
+package coverage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+)
+
+func TestWeightedSearchUnitWeightsMatchCoverageSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	nodes := randomNodes(rng, 120)
+	idx := dits.Build(grid(), nodes, 6)
+	unit := func(uint64) float64 { return 1 }
+	for trial := 0; trial < 20; trial++ {
+		q := randomNodes(rng, 1)[0]
+		q.ID = -1
+		for _, delta := range []float64{0, 3, 10} {
+			want := (&DITSSearcher{Index: idx}).Search(q, delta, 5)
+			got := WeightedSearch(idx, q, delta, 5, unit)
+			if got.Coverage != want.Coverage || !equalIDs(got.IDs(), want.IDs()) {
+				t.Fatalf("trial %d δ=%v: weighted %v (cov %d), plain %v (cov %d)",
+					trial, delta, got.IDs(), got.Coverage, want.IDs(), want.Coverage)
+			}
+			if math.Abs(got.Weight-float64(got.Coverage)) > 1e-9 {
+				t.Fatalf("unit weight %v != coverage %d", got.Weight, got.Coverage)
+			}
+		}
+	}
+}
+
+func TestWeightedSearchFollowsWeights(t *testing.T) {
+	// Two candidate datasets touch the query. One covers many worthless
+	// cells, the other few precious cells; the weighted greedy must pick
+	// the precious one first even though plain greedy would not.
+	q := dataset.NewNodeFromCells(-1, "", cellset.New(geo.ZEncode(10, 10)))
+	var bigCells []uint64
+	for i := 0; i < 10; i++ {
+		bigCells = append(bigCells, geo.ZEncode(uint32(11+i), 10))
+	}
+	big := dataset.NewNodeFromCells(1, "", cellset.New(bigCells...))
+	precious := dataset.NewNodeFromCells(2, "", cellset.New(geo.ZEncode(10, 11), geo.ZEncode(10, 12)))
+	idx := dits.Build(grid(), []*dataset.Node{big, precious}, 4)
+
+	// Cells in big's row are worth 0.1; precious's column cells are worth 50.
+	weight := func(c uint64) float64 {
+		_, y := geo.ZDecode(c)
+		if y > 10 {
+			return 50
+		}
+		return 0.1
+	}
+	res := WeightedSearch(idx, q, 1, 1, weight)
+	if len(res.Picked) != 1 || res.Picked[0].ID != 2 {
+		t.Fatalf("weighted greedy picked %v, want [2]", res.IDs())
+	}
+	if math.Abs(res.Weight-res.QueryWeight-100) > 1e-9 {
+		t.Fatalf("gain weight = %v, want 100", res.Weight-res.QueryWeight)
+	}
+
+	// Plain greedy prefers the many-cell dataset.
+	plain := (&DITSSearcher{Index: idx}).Search(q, 1, 1)
+	if len(plain.Picked) != 1 || plain.Picked[0].ID != 1 {
+		t.Fatalf("plain greedy picked %v, want [1]", plain.IDs())
+	}
+}
+
+func TestWeightedSearchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nodes := randomNodes(rng, 20)
+	idx := dits.Build(grid(), nodes, 4)
+	unit := func(uint64) float64 { return 1 }
+	q := randomNodes(rng, 1)[0]
+	if res := WeightedSearch(idx, nil, 5, 3, unit); len(res.Picked) != 0 {
+		t.Error("nil query should pick nothing")
+	}
+	if res := WeightedSearch(idx, q, 5, 0, unit); len(res.Picked) != 0 {
+		t.Error("k=0 should pick nothing")
+	}
+	if res := WeightedSearch(idx, q, 5, 3, nil); len(res.Picked) != 0 {
+		t.Error("nil weight should pick nothing")
+	}
+	res := WeightedSearch(idx, q, 5, 3, unit)
+	if !satisfiesConnectivity(q, res.Picked, 5) {
+		t.Errorf("weighted result %v violates connectivity", res.IDs())
+	}
+}

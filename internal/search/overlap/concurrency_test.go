@@ -1,0 +1,49 @@
+package overlap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dits/internal/index/dits"
+)
+
+// TestConcurrentSearches validates the documented guarantee that read-only
+// searches on one DITS-L index are safe to run concurrently (run with
+// -race to actually exercise the detector).
+func TestConcurrentSearches(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	nodes := randomNodes(rng, 200)
+	idx := dits.Build(grid(), nodes, 8)
+	s := &DITSSearcher{Index: idx}
+	oracle := &BruteForce{Nodes: nodes}
+
+	queries := randomNodes(rng, 8)
+	wants := make([][]int, len(queries))
+	for i, q := range queries {
+		q.ID = -1
+		wants[i] = overlapsOf(oracle.TopK(q, 10))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i, q := range queries {
+					if got := overlapsOf(s.TopK(q, 10)); !equalInts(got, wants[i]) {
+						errs <- "concurrent result mismatch"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

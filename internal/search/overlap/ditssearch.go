@@ -1,0 +1,99 @@
+package overlap
+
+import (
+	"sort"
+
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+)
+
+// DITSSearcher implements OverlapSearch (Algorithm 2) on a DITS-L index:
+// a branch-and-bound pass prunes subtrees whose MBR misses the query and
+// collects the surviving leaves; those are verified best-upper-bound-first
+// against the running k-th best overlap, with the Lemma 2/3 posting-list
+// bounds giving each leaf a second chance to be skipped before the exact
+// per-dataset counting. Whole leaves prune in batch, and verification
+// stops as soon as no remaining leaf can improve the result.
+type DITSSearcher struct {
+	Index *dits.Local
+
+	// DisableBounds switches off the Lemma 2/3 leaf bounds and the batch
+	// pruning built on them, so every MBR-intersecting leaf is verified.
+	// It exists for the ablation benchmark; results are identical either
+	// way, only the work done differs.
+	DisableBounds bool
+}
+
+// Name implements Searcher.
+func (s *DITSSearcher) Name() string {
+	if s.DisableBounds {
+		return "OverlapSearch(no-bounds)"
+	}
+	return "OverlapSearch"
+}
+
+// candidateLeaf is a leaf that survived MBR pruning, with its cheap upper
+// bound min(|S_Q|, MaxCells).
+type candidateLeaf struct {
+	leaf *dits.TreeNode
+	ub   int
+}
+
+// TopK implements Searcher.
+func (s *DITSSearcher) TopK(q *dataset.Node, k int) []Result {
+	if q == nil || k <= 0 || s.Index.Root == nil {
+		return nil
+	}
+	// Filter step: collect the leaves whose MBR intersects the query MBR
+	// (internal-node pruning of Algorithm 2, lines 24-26). Each carries
+	// the free upper bound min(|S_Q|, MaxCells).
+	var cands []candidateLeaf
+	var walk func(n *dits.TreeNode)
+	walk = func(n *dits.TreeNode) {
+		if n == nil || !n.Rect.Intersects(q.Rect) {
+			return
+		}
+		if !n.IsLeaf() {
+			walk(n.Left)
+			walk(n.Right)
+			return
+		}
+		ub := n.MaxCells
+		if qn := q.Cells.Len(); qn < ub {
+			ub = qn
+		}
+		if ub > 0 {
+			cands = append(cands, candidateLeaf{leaf: n, ub: ub})
+		}
+	}
+	walk(s.Index.Root)
+
+	// Verification in decreasing upper-bound order: once k results are
+	// held, a leaf whose bound is below the running k-th best — and, as
+	// the leaves are sorted, every later leaf — can be pruned in batch.
+	// For surviving leaves the Lemma 2/3 bounds give a second, tighter
+	// chance to skip before the exact per-dataset counting.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ub > cands[j].ub })
+	res := newTopK(k)
+	for _, c := range cands {
+		if res.full() && c.ub < res.kthOverlap() {
+			break // every later leaf has an even smaller upper bound
+		}
+		if !s.DisableBounds {
+			// Lemma 2's ub skips the exact counting when nothing in the
+			// leaf can improve the top-k; Lemma 3's lb is subsumed by the
+			// counting that follows for surviving leaves.
+			if _, ub := c.leaf.OverlapBounds(q.Cells); ub == 0 ||
+				(res.full() && ub < res.kthOverlap()) {
+				continue
+			}
+		}
+		counts := c.leaf.OverlapCounts(q.Cells)
+		for i, d := range c.leaf.Children {
+			if counts[i] > 0 {
+				res.offer(Result{ID: d.ID, Name: d.Name, Overlap: counts[i]})
+			}
+		}
+	}
+	return res.sorted()
+}

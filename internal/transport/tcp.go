@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The TCP wire format frames each request as
+//
+//	uint32 method length | method | uint32 body length | body
+//
+// and each response as
+//
+//	uint8 status (0 ok, 1 error) | uint32 payload length | payload
+//
+// where an error payload is the error text.
+
+// maxFrame caps a frame payload to guard against corrupt length prefixes.
+const maxFrame = 1 << 30
+
+// Server serves one data source's Handler over TCP.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a TCP server on addr (e.g. "127.0.0.1:0") for the handler.
+func Serve(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// track registers a live connection; it reports false when the server is
+// already closed and the connection should be dropped.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, terminating in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		method, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		resp, herr := s.handler(string(method), body)
+		if herr != nil {
+			if err := writeResponse(w, 1, []byte(herr.Error())); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writeResponse(w, 0, resp); err != nil {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errors.New("transport: frame too large")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, b []byte) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func writeResponse(w *bufio.Writer, status byte, payload []byte) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := writeFrame(w, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// TCPPeer is a Peer over a TCP connection. It is safe for sequential use;
+// guard concurrent Calls externally or use one peer per goroutine.
+type TCPPeer struct {
+	Name    string
+	Metrics *Metrics
+
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a source server.
+func Dial(name, addr string, metrics *Metrics) (*TCPPeer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &TCPPeer{
+		Name:    name,
+		Metrics: metrics,
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+	}, nil
+}
+
+// Call implements Peer.
+func (p *TCPPeer) Call(method string, body []byte) ([]byte, error) {
+	if err := writeFrame(p.w, []byte(method)); err != nil {
+		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+	}
+	if err := writeFrame(p.w, body); err != nil {
+		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+	}
+	if err := p.w.Flush(); err != nil {
+		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+	}
+	status, err := p.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("transport: recv %s: %w", p.Name, err)
+	}
+	payload, err := readFrame(p.r)
+	if err != nil {
+		return nil, fmt.Errorf("transport: recv %s: %w", p.Name, err)
+	}
+	if status != 0 {
+		return nil, fmt.Errorf("transport: source %s: %s", p.Name, payload)
+	}
+	p.Metrics.Record(len(body)+len(method), len(payload))
+	return payload, nil
+}
+
+// Close implements Peer.
+func (p *TCPPeer) Close() error { return p.conn.Close() }

@@ -1,0 +1,133 @@
+// Package transport carries messages between the data center and the data
+// sources. Two implementations are provided: an in-process transport whose
+// payloads are still fully serialized (so communication-cost measurements
+// are real byte counts, §VII-C2), and a TCP transport using the same wire
+// encoding for actually distributed deployments. Transmission time over a
+// given bandwidth follows the paper's model: time = bytes / bandwidth.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Handler serves one source's requests: it receives a method name and a
+// gob-encoded request body and returns a gob-encoded response body.
+type Handler func(method string, body []byte) ([]byte, error)
+
+// Peer is a connection to one data source.
+type Peer interface {
+	// Call sends a request and waits for the response.
+	Call(method string, body []byte) ([]byte, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// Encode gob-encodes a value into a payload.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a payload into v.
+func Decode(body []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// Metrics accumulates the communication cost of a search: messages
+// exchanged and payload bytes in both directions. It is safe for
+// concurrent use.
+type Metrics struct {
+	mu            sync.Mutex
+	messages      int64
+	bytesSent     int64
+	bytesReceived int64
+}
+
+// Record adds one request/response exchange.
+func (m *Metrics) Record(sent, received int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.messages++
+	m.bytesSent += int64(sent)
+	m.bytesReceived += int64(received)
+	m.mu.Unlock()
+}
+
+// Messages returns the number of exchanges recorded.
+func (m *Metrics) Messages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
+
+// Bytes returns total payload bytes transferred in both directions.
+func (m *Metrics) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesSent + m.bytesReceived
+}
+
+// BytesSent returns request payload bytes (center -> sources).
+func (m *Metrics) BytesSent() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesSent
+}
+
+// BytesReceived returns response payload bytes (sources -> center).
+func (m *Metrics) BytesReceived() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesReceived
+}
+
+// Reset zeroes the counters.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	m.messages, m.bytesSent, m.bytesReceived = 0, 0, 0
+	m.mu.Unlock()
+}
+
+// TransmissionTime models the network time to move the recorded bytes over
+// a link of the given bandwidth (bytes per second), as in Figs. 14 and 20:
+// transmission time is proportional to bytes when bandwidth is constant.
+func (m *Metrics) TransmissionTime(bytesPerSecond float64) time.Duration {
+	if bytesPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(float64(m.Bytes()) / bytesPerSecond * float64(time.Second))
+}
+
+// InProc is a Peer that invokes a Handler directly. Payloads cross the
+// boundary as encoded bytes, so the metrics are identical to what a real
+// network link would carry.
+type InProc struct {
+	Name    string
+	Handler Handler
+	Metrics *Metrics
+}
+
+// Call implements Peer.
+func (p *InProc) Call(method string, body []byte) ([]byte, error) {
+	resp, err := p.Handler(method, body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: source %s: %w", p.Name, err)
+	}
+	p.Metrics.Record(len(body)+len(method), len(resp))
+	return resp, nil
+}
+
+// Close implements Peer.
+func (p *InProc) Close() error { return nil }

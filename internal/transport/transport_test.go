@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(method string, body []byte) ([]byte, error) {
+	if method == "fail" {
+		return nil, errors.New("boom")
+	}
+	out := append([]byte(method+":"), body...)
+	return out, nil
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type msg struct {
+		K     int
+		Cells []uint64
+		Name  string
+	}
+	in := msg{K: 7, Cells: []uint64{1, 5, 9}, Name: "q"}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := Decode(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K != in.K || out.Name != in.Name || len(out.Cells) != 3 || out.Cells[2] != 9 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if err := Decode([]byte("garbage"), &out); err == nil {
+		t.Error("Decode of garbage should error")
+	}
+}
+
+func TestInProcCountsBytes(t *testing.T) {
+	m := &Metrics{}
+	p := &InProc{Name: "s1", Handler: echoHandler, Metrics: m}
+	resp, err := p.Call("hello", []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "hello:world" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if m.Messages() != 1 {
+		t.Errorf("Messages = %d, want 1", m.Messages())
+	}
+	if m.BytesSent() != int64(len("world")+len("hello")) {
+		t.Errorf("BytesSent = %d", m.BytesSent())
+	}
+	if m.BytesReceived() != int64(len("hello:world")) {
+		t.Errorf("BytesReceived = %d", m.BytesReceived())
+	}
+	if _, err := p.Call("fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error not propagated: %v", err)
+	}
+	// Errors do not count as delivered traffic.
+	if m.Messages() != 1 {
+		t.Errorf("failed call counted: %d", m.Messages())
+	}
+	p.Close()
+}
+
+func TestMetricsTransmissionTime(t *testing.T) {
+	m := &Metrics{}
+	m.Record(600, 400) // 1000 bytes total
+	if got := m.TransmissionTime(1000); got != time.Second {
+		t.Errorf("TransmissionTime = %v, want 1s", got)
+	}
+	if got := m.TransmissionTime(0); got != 0 {
+		t.Errorf("zero bandwidth should yield 0, got %v", got)
+	}
+	m.Reset()
+	if m.Bytes() != 0 || m.Messages() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+	var nilM *Metrics
+	nilM.Record(1, 1) // must not panic
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := &Metrics{}
+	peer, err := Dial("s1", srv.Addr(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	for i := 0; i < 10; i++ {
+		resp, err := peer.Call("m", []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "m:payload" {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+	if m.Messages() != 10 {
+		t.Errorf("Messages = %d, want 10", m.Messages())
+	}
+	if _, err := peer.Call("fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("remote error not propagated: %v", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &Metrics{}
+			peer, err := Dial("s", srv.Addr(), m)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer peer.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := peer.Call("x", []byte("y")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerClosedRejects(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	peer, err := Dial("s", addr, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The in-flight connection is closed by the server; calls now fail.
+	if _, err := peer.Call("m", []byte("b")); err == nil {
+		t.Error("Call after server close should error")
+	}
+	peer.Close()
+}

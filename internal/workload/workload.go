@@ -1,0 +1,273 @@
+// Package workload generates synthetic spatial data sources replicating the
+// shape of the paper's five real sources (Table I, Fig. 7): dataset counts,
+// point volumes, coordinate ranges, and spatial skew. The real portals
+// (Baidu Maps, BTAA Geoportal, NYU Spatial Data Repository, the Maryland/DC
+// transit portal, and the University of Minnesota repository) cannot be
+// bundled, so seeded generators stand in; the search algorithms only
+// observe cell sets and MBR geometry, which these generators reproduce.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dits/internal/dataset"
+	"dits/internal/geo"
+)
+
+// Kind selects the spatial character of a generated source, mirroring the
+// heatmaps of Fig. 7.
+type Kind int
+
+const (
+	// KindClustered concentrates datasets around a set of city-like
+	// hotspots (Baidu, NYU).
+	KindClustered Kind = iota
+	// KindUniform spreads datasets widely with mild clustering (BTAA, UMN).
+	KindUniform
+	// KindRoutes generates trajectory-like datasets inside one dense metro
+	// region (Transit).
+	KindRoutes
+)
+
+// Spec describes one synthetic data source.
+type Spec struct {
+	Name        string
+	NumDatasets int      // Table I dataset count at scale 1.0
+	TotalPoints int      // Table I point count at scale 1.0
+	Bounds      geo.Rect // Table I coordinate range (lon/lat degrees)
+	Kind        Kind
+	Clusters    int // hotspot count for KindClustered / KindUniform
+}
+
+// Specs returns the five sources of Table I. Point totals are the paper's;
+// Generate scales them down and additionally caps points per dataset so
+// laptop-scale runs stay fast.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "Baidu", NumDatasets: 6581, TotalPoints: 3710526,
+			Bounds: geo.Rect{MinX: 87.52, MinY: 19.98, MaxX: 127.15, MaxY: 46.35},
+			Kind:   KindClustered, Clusters: 28,
+		},
+		{
+			Name: "BTAA", NumDatasets: 3204, TotalPoints: 96788280,
+			Bounds: geo.Rect{MinX: -179.77, MinY: -87.70, MaxX: 179.99, MaxY: 71.40},
+			Kind:   KindUniform, Clusters: 12,
+		},
+		{
+			Name: "NYU", NumDatasets: 1093, TotalPoints: 15303410,
+			Bounds: geo.Rect{MinX: -138.00, MinY: -74.01, MaxX: 56.39, MaxY: 83.09},
+			Kind:   KindClustered, Clusters: 16,
+		},
+		{
+			Name: "Transit", NumDatasets: 1967, TotalPoints: 522461,
+			Bounds: geo.Rect{MinX: -77.73, MinY: 36.81, MaxX: -74.53, MaxY: 39.78},
+			Kind:   KindRoutes, Clusters: 6,
+		},
+		{
+			Name: "UMN", NumDatasets: 5453, TotalPoints: 54417609,
+			Bounds: geo.Rect{MinX: -179.14, MinY: -14.55, MaxX: 179.77, MaxY: 71.35},
+			Kind:   KindUniform, Clusters: 20,
+		},
+	}
+}
+
+// SpecByName returns the spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown source %q", name)
+}
+
+// MaxPointsPerDataset caps a single generated dataset's size so scaled-down
+// runs of the point-heavy sources (BTAA holds ~30k points per dataset)
+// remain laptop-sized without changing the datasets' spatial footprint.
+// Experiments chasing the paper's absolute workload weight can raise it
+// (cmd/ditsbench -maxpoints); the default keeps the test suite fast.
+var MaxPointsPerDataset = 2000
+
+// Generate builds a synthetic source from its spec at the given scale
+// (fraction of Table I's dataset count, in (0, 1]). Generation is
+// deterministic in (spec.Name, scale, seed).
+func Generate(spec Spec, scale float64, seed int64) *dataset.Source {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(hash(spec.Name))))
+	n := int(math.Ceil(float64(spec.NumDatasets) * scale))
+	if n < 1 {
+		n = 1
+	}
+	meanPts := float64(spec.TotalPoints) / float64(spec.NumDatasets)
+	if meanPts > float64(MaxPointsPerDataset) {
+		meanPts = float64(MaxPointsPerDataset)
+	}
+	if meanPts < 4 {
+		meanPts = 4
+	}
+
+	centers := hotspots(rng, spec)
+	src := &dataset.Source{Name: spec.Name, Datasets: make([]*dataset.Dataset, 0, n)}
+	for i := 0; i < n; i++ {
+		// Log-normal size variation around the mean.
+		size := int(meanPts * math.Exp(rng.NormFloat64()*0.6))
+		if size < 2 {
+			size = 2
+		}
+		if size > MaxPointsPerDataset {
+			size = MaxPointsPerDataset
+		}
+		var pts []geo.Point
+		switch spec.Kind {
+		case KindRoutes:
+			pts = route(rng, spec.Bounds, centers, size)
+		default:
+			pts = blob(rng, spec.Bounds, centers, size, spec.Kind)
+		}
+		src.Datasets = append(src.Datasets, &dataset.Dataset{
+			ID:     i,
+			Name:   fmt.Sprintf("%s-%05d", spec.Name, i),
+			Points: pts,
+		})
+	}
+	return src
+}
+
+// GenerateAll builds all five sources at the given scale.
+func GenerateAll(scale float64, seed int64) []*dataset.Source {
+	specs := Specs()
+	out := make([]*dataset.Source, len(specs))
+	for i, sp := range specs {
+		out[i] = Generate(sp, scale, seed+int64(i))
+	}
+	return out
+}
+
+// hotspots places the spec's cluster centers, biased toward the middle of
+// the bounds like real population centers.
+func hotspots(rng *rand.Rand, spec Spec) []geo.Point {
+	k := spec.Clusters
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]geo.Point, k)
+	for i := range centers {
+		u, v := beta(rng), beta(rng)
+		centers[i] = geo.Pt(
+			spec.Bounds.MinX+u*spec.Bounds.Width(),
+			spec.Bounds.MinY+v*spec.Bounds.Height(),
+		)
+	}
+	return centers
+}
+
+// beta samples a center-biased value in [0,1] (mean of two uniforms).
+func beta(rng *rand.Rand) float64 { return (rng.Float64() + rng.Float64()) / 2 }
+
+// blob generates a Gaussian cloud around one hotspot. KindClustered uses a
+// tight spread (dense city heatmaps); KindUniform spreads the hotspots
+// continent-wide but keeps each dataset local — real repository datasets
+// cover a state or a survey area, not a hemisphere.
+func blob(rng *rand.Rand, bounds geo.Rect, centers []geo.Point, size int, kind Kind) []geo.Point {
+	c := centers[rng.Intn(len(centers))]
+	frac := 0.02
+	if kind == KindUniform {
+		frac = 0.035
+	}
+	sx := bounds.Width() * frac
+	sy := bounds.Height() * frac
+	pts := make([]geo.Point, size)
+	for i := range pts {
+		pts[i] = clampPt(geo.Pt(c.X+rng.NormFloat64()*sx, c.Y+rng.NormFloat64()*sy), bounds)
+	}
+	return pts
+}
+
+// route generates a trajectory: a random walk out of a transit hub, the
+// shape of the transit datasets in Fig. 1. Routes leave each hub along one
+// of a few quantized headings with little wander, so routes sharing a hub
+// and heading reuse the same corridor — which is what makes real transit
+// datasets overlap and connect.
+func route(rng *rand.Rand, bounds geo.Rect, centers []geo.Point, size int) []geo.Point {
+	c := centers[rng.Intn(len(centers))]
+	step := math.Min(bounds.Width(), bounds.Height()) * 0.004
+	x := c.X + rng.NormFloat64()*bounds.Width()*0.002
+	y := c.Y + rng.NormFloat64()*bounds.Height()*0.002
+	heading := float64(rng.Intn(6))/6*2*math.Pi + rng.NormFloat64()*0.05
+	pts := make([]geo.Point, size)
+	for i := range pts {
+		pts[i] = clampPt(geo.Pt(x, y), bounds)
+		heading += rng.NormFloat64() * 0.08
+		x += math.Cos(heading) * step
+		y += math.Sin(heading) * step
+	}
+	return pts
+}
+
+func clampPt(p geo.Point, b geo.Rect) geo.Point {
+	return geo.Pt(math.Min(math.Max(p.X, b.MinX), b.MaxX), math.Min(math.Max(p.Y, b.MinY), b.MaxY))
+}
+
+// hash is a tiny FNV-1a over the name for seed mixing.
+func hash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// SampleQueries picks q datasets from the source as query datasets,
+// mirroring §VII-A ("we randomly select 50 datasets from all downloaded
+// datasets as the query datasets"). Deterministic in seed.
+func SampleQueries(src *dataset.Source, q int, seed int64) []*dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	if q >= len(src.Datasets) {
+		return src.Datasets
+	}
+	perm := rng.Perm(len(src.Datasets))
+	out := make([]*dataset.Dataset, q)
+	for i := 0; i < q; i++ {
+		out[i] = src.Datasets[perm[i]]
+	}
+	return out
+}
+
+// Heatmap renders the source's point density on a res×res grid (row-major,
+// row 0 = south), reproducing Fig. 7.
+func Heatmap(src *dataset.Source, res int) [][]int {
+	grid := make([][]int, res)
+	for i := range grid {
+		grid[i] = make([]int, res)
+	}
+	b := src.Bounds()
+	if b.IsEmpty() || res == 0 {
+		return grid
+	}
+	w, h := b.Width(), b.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	for _, d := range src.Datasets {
+		for _, p := range d.Points {
+			x := int(float64(res) * (p.X - b.MinX) / w)
+			y := int(float64(res) * (p.Y - b.MinY) / h)
+			if x >= res {
+				x = res - 1
+			}
+			if y >= res {
+				y = res - 1
+			}
+			grid[y][x]++
+		}
+	}
+	return grid
+}

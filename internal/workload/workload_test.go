@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"dits/internal/geo"
+)
+
+func TestSpecs(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs, want 5", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if s.NumDatasets <= 0 || s.TotalPoints <= 0 {
+			t.Errorf("%s: bad counts %+v", s.Name, s)
+		}
+		if s.Bounds.IsEmpty() {
+			t.Errorf("%s: empty bounds", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"Baidu", "BTAA", "NYU", "Transit", "UMN"} {
+		if !names[want] {
+			t.Errorf("missing source %s", want)
+		}
+	}
+	if _, err := SpecByName("Baidu"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("SpecByName should fail for unknown names")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, spec := range Specs() {
+		src := Generate(spec, 0.02, 42)
+		wantN := int(float64(spec.NumDatasets)*0.02) + 1
+		if n := src.NumDatasets(); n < wantN-1 || n > wantN+1 {
+			t.Errorf("%s: %d datasets, want ~%d", spec.Name, n, wantN)
+		}
+		b := src.Bounds()
+		if !spec.Bounds.ContainsRect(b) {
+			t.Errorf("%s: generated bounds %v outside spec %v", spec.Name, b, spec.Bounds)
+		}
+		for _, d := range src.Datasets {
+			if len(d.Points) < 2 {
+				t.Errorf("%s/%s: only %d points", spec.Name, d.Name, len(d.Points))
+			}
+			if len(d.Points) > MaxPointsPerDataset {
+				t.Errorf("%s/%s: %d points exceeds cap", spec.Name, d.Name, len(d.Points))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Specs()[0]
+	a := Generate(spec, 0.01, 7)
+	b := Generate(spec, 0.01, 7)
+	if a.NumDatasets() != b.NumDatasets() || a.NumPoints() != b.NumPoints() {
+		t.Fatal("generation is not deterministic in counts")
+	}
+	for i := range a.Datasets {
+		pa, pb := a.Datasets[i].Points, b.Datasets[i].Points
+		if len(pa) != len(pb) {
+			t.Fatalf("dataset %d sizes differ", i)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("dataset %d point %d differs: %v vs %v", i, j, pa[j], pb[j])
+			}
+		}
+	}
+	c := Generate(spec, 0.01, 8)
+	same := a.NumPoints() == c.NumPoints()
+	for i := 0; same && i < len(a.Datasets); i++ {
+		pa, pc := a.Datasets[i].Points, c.Datasets[i].Points
+		if len(pa) != len(pc) {
+			same = false
+			break
+		}
+		for j := range pa {
+			if pa[j] != pc[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different data")
+	}
+}
+
+func TestGenerateBadScaleDefaultsToFull(t *testing.T) {
+	spec := Spec{Name: "tiny", NumDatasets: 3, TotalPoints: 30,
+		Bounds: geo.Rect{MaxX: 1, MaxY: 1}, Kind: KindClustered, Clusters: 1}
+	src := Generate(spec, -1, 1)
+	if src.NumDatasets() != 3 {
+		t.Errorf("bad scale: %d datasets, want 3", src.NumDatasets())
+	}
+	src2 := Generate(spec, 2, 1)
+	if src2.NumDatasets() != 3 {
+		t.Errorf("scale > 1: %d datasets, want 3", src2.NumDatasets())
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	src := Generate(Specs()[3], 0.05, 1)
+	qs := SampleQueries(src, 10, 3)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(qs))
+	}
+	seen := map[int]bool{}
+	for _, q := range qs {
+		if seen[q.ID] {
+			t.Errorf("duplicate query dataset %d", q.ID)
+		}
+		seen[q.ID] = true
+	}
+	again := SampleQueries(src, 10, 3)
+	for i := range qs {
+		if qs[i].ID != again[i].ID {
+			t.Error("sampling not deterministic")
+		}
+	}
+	all := SampleQueries(src, 1<<20, 3)
+	if len(all) != src.NumDatasets() {
+		t.Errorf("oversampling should return all datasets")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	src := Generate(Specs()[0], 0.01, 5)
+	hm := Heatmap(src, 16)
+	if len(hm) != 16 || len(hm[0]) != 16 {
+		t.Fatalf("heatmap shape %dx%d", len(hm), len(hm[0]))
+	}
+	total := 0
+	for _, row := range hm {
+		for _, v := range row {
+			if v < 0 {
+				t.Fatal("negative density")
+			}
+			total += v
+		}
+	}
+	if total != src.NumPoints() {
+		t.Errorf("heatmap total %d, want %d points", total, src.NumPoints())
+	}
+	// Clustered sources concentrate mass: the max bin should hold far more
+	// than the uniform share.
+	maxBin := 0
+	for _, row := range hm {
+		for _, v := range row {
+			if v > maxBin {
+				maxBin = v
+			}
+		}
+	}
+	if maxBin*256 < total*4 {
+		t.Errorf("clustered heatmap looks uniform: max %d of %d", maxBin, total)
+	}
+}
