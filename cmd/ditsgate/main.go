@@ -1,0 +1,121 @@
+// Command ditsgate is the HTTP/JSON gateway of a federation: it connects
+// to running ditsserve sources over pooled TCP connections, maintains the
+// DITS-G global index and a sharded LRU result cache, and serves search
+// queries to ordinary HTTP clients.
+//
+// Usage:
+//
+//	datagen -out data
+//	ditsserve -source data/Transit.gob -addr 127.0.0.1:7101 -bounds=-180,-90,180,90 -theta 12
+//	ditsserve -source data/Baidu.gob   -addr 127.0.0.1:7102 -bounds=-180,-90,180,90 -theta 12
+//	ditsgate -addr 127.0.0.1:8080 -remote 127.0.0.1:7101,127.0.0.1:7102 \
+//	         -bounds=-180,-90,180,90 -theta 12 -pool 8 -cache 4096
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/search/overlap \
+//	     -d '{"points":[[116.3,39.9],[116.4,39.95]],"k":5}'
+//
+// -bounds and -theta must match the values the ditsserve sources were
+// started with: the grid derived from them defines the cell IDs the whole
+// federation shares. See docs/PROTOCOL.md for the endpoint payloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dits/internal/cache"
+	"dits/internal/federation"
+	"dits/internal/gateway"
+	"dits/internal/geo"
+	"dits/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	remote := flag.String("remote", "", "comma-separated ditsserve addresses (required)")
+	theta := flag.Int("theta", 12, "grid resolution θ (must match the sources)")
+	boundsFlag := flag.String("bounds", "", "shared world bounds minX,minY,maxX,maxY (required; must match the sources)")
+	poolSize := flag.Int("pool", 8, "TCP connections per source")
+	cacheSize := flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+	noFilter := flag.Bool("no-filter", false, "disable DITS-G candidate filtering")
+	noClip := flag.Bool("no-clip", false, "disable per-source query clipping")
+	flag.Parse()
+
+	if *remote == "" {
+		fail(fmt.Errorf("-remote is required (comma-separated ditsserve addresses)"))
+	}
+	if *boundsFlag == "" {
+		fail(fmt.Errorf("-bounds is required and must match the sources' -bounds"))
+	}
+	bounds, err := parseBounds(*boundsFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip}
+	center := federation.NewCenter(geo.NewGrid(*theta, bounds), opts)
+	center.SetCache(cache.New(*cacheSize))
+
+	for _, a := range strings.Split(*remote, ",") {
+		a = strings.TrimSpace(a)
+		pool := transport.DialPool(a, a, *poolSize, center.Metrics)
+		summary, err := center.RegisterRemote(pool)
+		if err != nil {
+			fail(fmt.Errorf("register %s: %w", a, err))
+		}
+		fmt.Printf("registered source %q at %s (pool=%d)\n", summary.Name, a, *poolSize)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gateway.New(center).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("gateway serving %d sources on http://%s (cache=%d entries)\n",
+		center.NumSources(), *addr, *cacheSize)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-stop:
+		fmt.Println("shutting down")
+		srv.Close()
+	}
+}
+
+func parseBounds(s string) (geo.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("bounds must be minX,minY,maxX,maxY, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("bad bounds component %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	r := geo.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if r.IsEmpty() {
+		return geo.Rect{}, fmt.Errorf("bounds %q are empty", s)
+	}
+	return r, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ditsgate:", err)
+	os.Exit(1)
+}

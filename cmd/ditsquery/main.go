@@ -1,15 +1,20 @@
-// Command ditsquery runs overlap and coverage joinable searches against
-// sources generated by datagen, either pooled through a single federation
-// or against one source.
+// Command ditsquery runs one-shot overlap and coverage joinable searches,
+// either against an in-process federation built from a datagen directory,
+// or against running ditsserve sources over TCP.
 //
 // Usage:
 //
 //	datagen -out data
 //	ditsquery -data data -mode overlap -query Transit:5 -k 10
 //	ditsquery -data data -mode coverage -query Baidu:0 -k 5 -delta 10
+//	ditsquery -data data -remote 127.0.0.1:7101,127.0.0.1:7102 \
+//	          -bounds=-180,-90,180,90 -mode overlap -query Transit:5
 //
 // The query is 'Source:index': the points of that dataset become the query
-// point set, mirroring the paper's query sampling.
+// point set, mirroring the paper's query sampling. In -remote mode, -data
+// is still used to resolve the query dataset, and -bounds/-theta must
+// match the running sources. For a long-lived HTTP front-end over the same
+// sources, see ditsgate.
 package main
 
 import (

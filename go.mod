@@ -1,0 +1,3 @@
+module dits
+
+go 1.24

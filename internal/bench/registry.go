@@ -33,6 +33,7 @@ var experiments = []Experiment{
 	{"fig21", "Index updating time vs dataset inserts", Fig21},
 	{"fig22", "Index updating time vs dataset updates", Fig22},
 	{"ablation", "Ablation of DITS design choices (extension)", Ablation},
+	{"throughput", "Federated query throughput vs concurrent clients (extension)", Throughput},
 }
 
 // All returns every experiment, sorted by ID.
@@ -49,5 +50,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput)", id)
 }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rescache "dits/internal/cache"
+	"dits/internal/cellset"
+	"dits/internal/federation"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/transport"
+	"dits/internal/workload"
+)
+
+// throughputVariants are the gateway deployment configurations compared by
+// the throughput experiment: the old one-connection-per-source center made
+// safe by a pool of one, versus the concurrent deployment with pooled
+// connections and the result cache.
+var throughputVariants = []struct {
+	name      string
+	poolSize  int
+	cacheSize int
+}{
+	{"pool=1 no-cache", 1, 0},
+	{"pool=8 no-cache", 8, 0},
+	{"pool=8 + cache", 8, 4096},
+}
+
+// throughputClients are the concurrent client counts swept.
+var throughputClients = []int{1, 8, 64}
+
+// throughputQueries is the number of queries issued per table cell, split
+// across the concurrent clients.
+const throughputQueries = 512
+
+// NewTCPFederation starts every source behind a real TCP loopback server
+// and registers each with a fresh center through a connection pool of the
+// given size, with a result cache of cacheSize entries (0 disables). It
+// returns the center, sampled query cell sets, and a stop function that
+// closes the pools and servers. Both the throughput experiment and the
+// BenchmarkGatewayThroughput benchmarks build their federations with it.
+func NewTCPFederation(cfg Config, poolSize, cacheSize int) (*federation.Center, []cellset.Set, func(), error) {
+	world := geo.EmptyRect
+	var sds []sourceData
+	for _, spec := range workload.Specs() {
+		src := cache.source(spec, cfg)
+		world = world.Union(src.Bounds())
+		sds = append(sds, sourceData{spec: spec, src: src})
+	}
+	g := geo.NewGrid(cfg.Theta, world)
+	center := federation.NewCenter(g, federation.DefaultOptions())
+	center.SetCache(rescache.New(cacheSize))
+	var stops []func()
+	stop := func() {
+		for _, fn := range stops {
+			fn()
+		}
+	}
+	for i := range sds {
+		sds[i].grid = g
+		sds[i].nodes = sds[i].src.Nodes(g)
+		idx := dits.Build(g, sds[i].nodes, cfg.F)
+		srv := federation.NewSourceServerWithGrid(sds[i].spec.Name, idx)
+		ts, err := transport.Serve("127.0.0.1:0", srv.Handler())
+		if err != nil {
+			stop()
+			return nil, nil, nil, err
+		}
+		pool := transport.DialPool(srv.Name, ts.Addr(), poolSize, center.Metrics)
+		stops = append(stops, func() { pool.Close(); ts.Close() })
+		center.Register(srv.Summary(), pool)
+	}
+	return center, federationQueries(sds, g, cfg.Q, cfg.Seed), stop, nil
+}
+
+// DrainQueries runs total overlap searches spread over clients goroutines
+// and returns the aggregate queries/sec.
+func DrainQueries(center *federation.Center, qs []cellset.Set, clients, total, k int) (float64, error) {
+	var next atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				if _, err := center.OverlapSearch(qs[i%int64(len(qs))], k); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}
+
+// Throughput measures aggregate federated-OJSP queries/sec over real TCP
+// loopback transport at increasing client concurrency, comparing the
+// serialized single-connection deployment against pooled connections plus
+// the result cache (the concurrent query gateway's configuration).
+func Throughput(cfg Config) []Table {
+	t := Table{
+		ID:     "throughput",
+		Title:  "Federated OJSP throughput (queries/sec) vs concurrent clients",
+		Header: []string{"clients"},
+		Notes: []string{
+			"Real TCP loopback transport; each cell issues the same fixed query mix.",
+			"pool=1 serializes each source's connection; pool=8 + cache is ditsgate's default.",
+			fmt.Sprintf("Pooling gains need parallel hardware: GOMAXPROCS=%d here.", runtime.GOMAXPROCS(0)),
+		},
+	}
+	for _, v := range throughputVariants {
+		t.Header = append(t.Header, v.name)
+	}
+	cells := make(map[int][]string)
+	for _, clients := range throughputClients {
+		cells[clients] = []string{itoa(clients)}
+	}
+	for _, v := range throughputVariants {
+		center, qs, stop, err := NewTCPFederation(cfg, v.poolSize, v.cacheSize)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("SKIPPED %s: %v", v.name, err))
+			for _, clients := range throughputClients {
+				cells[clients] = append(cells[clients], "-")
+			}
+			continue
+		}
+		// Warm up once so index-side caches and the result cache (when
+		// enabled) reflect steady state, as a long-running gateway would.
+		if _, err := DrainQueries(center, qs, 1, len(qs), cfg.K); err != nil {
+			stop()
+			t.Notes = append(t.Notes, fmt.Sprintf("SKIPPED %s: %v", v.name, err))
+			for _, clients := range throughputClients {
+				cells[clients] = append(cells[clients], "-")
+			}
+			continue
+		}
+		for _, clients := range throughputClients {
+			qps, err := DrainQueries(center, qs, clients, throughputQueries, cfg.K)
+			if err != nil {
+				cells[clients] = append(cells[clients], "-")
+				continue
+			}
+			cells[clients] = append(cells[clients], fmt.Sprintf("%.0f", qps))
+		}
+		stop()
+	}
+	for _, clients := range throughputClients {
+		t.Rows = append(t.Rows, cells[clients])
+	}
+	return []Table{t}
+}

@@ -1,0 +1,172 @@
+// Package cache provides a sharded, fixed-capacity LRU cache used by the
+// federation center to memoize whole-query results. Keys are canonical
+// byte strings (the cell-based query representation is already sorted and
+// de-duplicated, so equal queries produce equal keys); sharding by key
+// hash keeps lock contention low when many gateway clients hit the cache
+// concurrently. All methods are safe for concurrent use and safe on a nil
+// *Cache, which behaves as an always-miss cache.
+package cache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// numShards is the shard count; a power of two so shard selection is a
+// mask. 16 shards keep contention negligible at the gateway's default
+// concurrency without bloating the per-cache footprint.
+const numShards = 16
+
+// Cache is a sharded LRU mapping string keys to arbitrary values.
+type Cache struct {
+	shards [numShards]shard
+	seed   maphash.Seed
+}
+
+type shard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// entry is one element payload in a shard's LRU list.
+type entry struct {
+	key   string
+	value any
+}
+
+// New creates a cache holding up to capacity entries, spread evenly over
+// the shards (each shard holds at least one entry). A capacity of 0 or
+// less returns nil, the always-miss cache, so callers can treat "cache
+// disabled" and "cache enabled" uniformly.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	perShard := (capacity + numShards - 1) / numShards
+	c := &Cache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)&(numShards-1)]
+}
+
+// Get returns the cached value for key and promotes it to most recently
+// used. The second result reports whether the key was present.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put stores value under key, evicting the least recently used entry of
+// the key's shard when the shard is full.
+func (c *Cache) Put(key string, value any) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).value = value
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		s.evictions++
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, value: value})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Clear drops every entry; the hit/miss counters are kept. The center
+// calls this when federation membership changes, since cached results may
+// then include departed sources or miss new ones.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[string]*list.Element)
+		s.mu.Unlock()
+	}
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
+	Capacity  int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookups.
+func (st Stats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache's counters summed over the shards.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Len += s.ll.Len()
+		st.Capacity += s.cap
+		s.mu.Unlock()
+	}
+	return st
+}

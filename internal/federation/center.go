@@ -1,10 +1,13 @@
 package federation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"dits/internal/cache"
 	"dits/internal/cellset"
 	"dits/internal/geo"
 	"dits/internal/index/dits"
@@ -34,14 +37,30 @@ type member struct {
 
 // Center is the data center: it maintains DITS-G over the source summaries
 // and coordinates multi-source OJSP and CJSP.
+//
+// A Center is safe for concurrent use: any number of goroutines — one per
+// gateway request, say — may run OverlapSearch and CoverageSearch while
+// others register or unregister sources. Query state is per-call; the
+// membership map and the global index are guarded by mu. Peers themselves
+// must tolerate the resulting concurrent Calls: wrap TCP connections in a
+// transport.Pool (transport.InProc is already safe when its handler is).
 type Center struct {
 	Grid    geo.Grid // the federation's shared grid
 	Options Options
 	Metrics *transport.Metrics
 
+	mu      sync.RWMutex
 	members map[string]*member
 	global  *dits.Global
 	gf      int // leaf capacity for DITS-G
+
+	cache *cache.Cache // optional whole-query result cache
+	// cacheGen increments on every membership change and is folded into
+	// every cache key. Clear() frees the old entries, but an in-flight
+	// query can still Put a result computed under the old membership
+	// after the Clear; the generation in the key guarantees such an
+	// entry can never be returned to a query started after the change.
+	cacheGen uint64
 }
 
 // NewCenter creates a data center over the shared grid.
@@ -55,11 +74,40 @@ func NewCenter(g geo.Grid, opts Options) *Center {
 	}
 }
 
+// SetCache installs a result cache memoizing whole-query answers keyed by
+// the canonical query (cell set + parameters). Pass nil to disable. The
+// cache is cleared whenever membership changes, since cached results could
+// otherwise include departed sources or miss new ones.
+func (c *Center) SetCache(rc *cache.Cache) {
+	c.mu.Lock()
+	c.cache = rc
+	c.mu.Unlock()
+}
+
+// Cache returns the installed result cache (nil when disabled).
+func (c *Center) Cache() *cache.Cache {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cache
+}
+
+// cacheState returns the cache together with the current membership
+// generation, read atomically with respect to membership changes.
+func (c *Center) cacheState() (*cache.Cache, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cache, c.cacheGen
+}
+
 // Register adds a source: the source uploads its root summary and the
 // center rebuilds DITS-G (§V-B).
 func (c *Center) Register(summary dits.SourceSummary, peer transport.Peer) {
+	c.mu.Lock()
 	c.members[summary.Name] = &member{summary: summary, peer: peer}
 	c.rebuildGlobal()
+	c.cacheGen++
+	c.cache.Clear()
+	c.mu.Unlock()
 }
 
 // RegisterRemote fetches the source's summary over the peer connection
@@ -80,10 +128,15 @@ func (c *Center) RegisterRemote(peer transport.Peer) (dits.SourceSummary, error)
 
 // Unregister removes a source (its peer is not closed).
 func (c *Center) Unregister(name string) {
+	c.mu.Lock()
 	delete(c.members, name)
 	c.rebuildGlobal()
+	c.cacheGen++
+	c.cache.Clear()
+	c.mu.Unlock()
 }
 
+// rebuildGlobal rebuilds DITS-G; the caller holds c.mu.
 func (c *Center) rebuildGlobal() {
 	summaries := make([]dits.SourceSummary, 0, len(c.members))
 	for _, m := range c.members {
@@ -95,7 +148,11 @@ func (c *Center) rebuildGlobal() {
 }
 
 // NumSources returns the number of registered sources.
-func (c *Center) NumSources() int { return len(c.members) }
+func (c *Center) NumSources() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.members)
+}
 
 // SourceResult is a federated OJSP result: a dataset within one source.
 type SourceResult struct {
@@ -123,12 +180,18 @@ func (c *Center) queryNode(cells cellset.Set) (dits.QueryNode, bool) {
 }
 
 // candidates returns the sources the query must be sent to, in
-// deterministic name order.
+// deterministic name order. It snapshots the membership under the read
+// lock, so an in-flight query keeps a consistent member set even while
+// sources register or unregister concurrently.
 func (c *Center) candidates(qn dits.QueryNode, deltaRaw float64) []*member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []*member
 	if c.Options.GlobalFilter {
 		for _, s := range c.global.CandidateSources(qn, deltaRaw) {
-			out = append(out, c.members[s.Name])
+			if m, ok := c.members[s.Name]; ok {
+				out = append(out, m)
+			}
 		}
 	} else {
 		for _, m := range c.members {
@@ -158,11 +221,37 @@ func (c *Center) deltaRaw(delta float64) float64 {
 		math.Hypot(c.Grid.CellW, c.Grid.CellH)
 }
 
+// queryKey canonicalizes a query for the result cache. The cell set is
+// already sorted and de-duplicated (the cellset.Set invariant), so equal
+// queries serialize to equal keys regardless of how they were built. gen
+// is the membership generation the query started under.
+func queryKey(gen uint64, kind byte, a, b uint64, cells cellset.Set) string {
+	buf := make([]byte, 0, 25+8*len(cells))
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, a)
+	buf = binary.LittleEndian.AppendUint64(buf, b)
+	for _, cell := range cells {
+		buf = binary.LittleEndian.AppendUint64(buf, cell)
+	}
+	return string(buf)
+}
+
 // OverlapSearch answers the multi-source OJSP: the k datasets with the
 // largest overlap with the query across all registered sources.
 func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, error) {
-	if k <= 0 || queryCells.IsEmpty() || len(c.members) == 0 {
+	if k <= 0 || queryCells.IsEmpty() || c.NumSources() == 0 {
 		return nil, nil
+	}
+	rc, gen := c.cacheState()
+	key := ""
+	if rc != nil {
+		key = queryKey(gen, 'O', uint64(k), 0, queryCells)
+		if v, ok := rc.Get(key); ok {
+			// Hand out a copy: callers may sort or truncate the slice.
+			cached := v.([]SourceResult)
+			return append([]SourceResult(nil), cached...), nil
+		}
 	}
 	qn, ok := c.queryNode(queryCells)
 	if !ok {
@@ -214,6 +303,10 @@ func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, e
 	if len(all) > k {
 		all = all[:k]
 	}
+	if rc != nil {
+		// Cache a private copy so later caller mutations cannot corrupt it.
+		rc.Put(key, append([]SourceResult(nil), all...))
+	}
 	return all, nil
 }
 
@@ -230,8 +323,18 @@ type CoverageResult struct {
 // and repeats up to k times (§VI-A + Algorithm 3 lifted to the federation).
 func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (CoverageResult, error) {
 	res := CoverageResult{QueryCoverage: queryCells.Len(), Coverage: queryCells.Len()}
-	if k <= 0 || queryCells.IsEmpty() || len(c.members) == 0 {
+	if k <= 0 || queryCells.IsEmpty() || c.NumSources() == 0 {
 		return res, nil
+	}
+	rc, gen := c.cacheState()
+	key := ""
+	if rc != nil {
+		key = queryKey(gen, 'C', uint64(k), math.Float64bits(delta), queryCells)
+		if v, ok := rc.Get(key); ok {
+			cached := v.(CoverageResult)
+			cached.Picked = append([]SourceResult(nil), cached.Picked...)
+			return cached, nil
+		}
 	}
 	merged := queryCells
 	excluded := make(map[string][]int)
@@ -290,6 +393,11 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 			Source: name, ID: best.cand.ID, Name: best.cand.Name, Overlap: best.cand.Gain,
 		})
 		res.Coverage = merged.Len()
+	}
+	if rc != nil {
+		cached := res
+		cached.Picked = append([]SourceResult(nil), res.Picked...)
+		rc.Put(key, cached)
 	}
 	return res, nil
 }

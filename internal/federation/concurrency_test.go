@@ -1,0 +1,191 @@
+package federation
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dits/internal/cache"
+	"dits/internal/cellset"
+	"dits/internal/geo"
+	"dits/internal/transport"
+)
+
+// tcpFederation rebuilds buildFederation's sources behind real TCP servers,
+// each fronted by a connection pool of the given size, so concurrent
+// queries exercise the pooled transport end to end.
+func tcpFederation(t *testing.T, rng *rand.Rand, m, perSource, poolSize int) (*Center, []cellset.Set) {
+	t.Helper()
+	_, pooled, servers := buildFederation(rng, m, perSource, DefaultOptions())
+	center := NewCenter(worldGrid(), DefaultOptions())
+	for _, srv := range servers {
+		ts, err := transport.Serve("127.0.0.1:0", srv.Handler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ts.Close() })
+		pool := transport.DialPool(srv.Name, ts.Addr(), poolSize, center.Metrics)
+		t.Cleanup(func() { pool.Close() })
+		if _, err := center.RegisterRemote(pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query workloads: the cell sets of a few pooled datasets.
+	var queries []cellset.Set
+	for i := 0; i < 8 && i < len(pooled); i++ {
+		queries = append(queries, pooled[i*7%len(pooled)].Cells)
+	}
+	return center, queries
+}
+
+// TestCenterConcurrentQueries is the -race test for the concurrent center:
+// many goroutines issue overlap and coverage searches through pooled TCP
+// peers with the result cache enabled, and every answer must equal the
+// sequential baseline.
+func TestCenterConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	center, queries := tcpFederation(t, rng, 3, 60, 4)
+	center.SetCache(cache.New(256))
+
+	// Sequential baselines first (these also warm the cache).
+	wantOverlap := make([][]SourceResult, len(queries))
+	wantCoverage := make([]CoverageResult, len(queries))
+	for i, q := range queries {
+		var err error
+		if wantOverlap[i], err = center.OverlapSearch(q, 5); err != nil {
+			t.Fatal(err)
+		}
+		if wantCoverage[i], err = center.CoverageSearch(q, 3, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3*len(queries); i++ {
+				qi := (w + i) % len(queries)
+				rs, err := center.OverlapSearch(queries[qi], 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(rs, wantOverlap[qi]) {
+					t.Errorf("overlap[%d] diverged under concurrency", qi)
+					return
+				}
+				cr, err := center.CoverageSearch(queries[qi], 3, 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(cr, wantCoverage[qi]) {
+					t.Errorf("coverage[%d] diverged under concurrency", qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if st := center.Cache().Stats(); st.Hits == 0 {
+		t.Errorf("cache never hit: %+v", st)
+	}
+}
+
+// TestCenterCachedResultsAreIsolated verifies copy-on-hit: mutating a
+// returned result must not corrupt later answers for the same query.
+func TestCenterCachedResultsAreIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	center, _, _ := buildFederation(rng, 2, 40, DefaultOptions())
+	center.SetCache(cache.New(64))
+	q := cellset.New(geo.ZEncode(3, 3), geo.ZEncode(4, 4), geo.ZEncode(5, 5))
+
+	first, err := center.OverlapSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) > 0 {
+		first[0] = SourceResult{Source: "mutated", ID: -99}
+	}
+	second, err := center.OverlapSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range second {
+		if r.Source == "mutated" {
+			t.Fatal("caller mutation leaked into the cache")
+		}
+	}
+
+	cr, err := center.CoverageSearch(q, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Picked) > 0 {
+		cr.Picked[0] = SourceResult{Source: "mutated"}
+	}
+	cr2, err := center.CoverageSearch(q, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cr2.Picked {
+		if r.Source == "mutated" {
+			t.Fatal("caller mutation leaked into the coverage cache")
+		}
+	}
+}
+
+// TestCenterMembershipChurn races queries against register/unregister and
+// relies on the race detector to catch unsynchronized state.
+func TestCenterMembershipChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	center, pooled, servers := buildFederation(rng, 3, 40, DefaultOptions())
+	center.SetCache(cache.New(64))
+	churn := servers[len(servers)-1]
+	churnPeer := &transport.InProc{Name: churn.Name, Handler: churn.Handler(), Metrics: center.Metrics}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				center.Unregister(churn.Name)
+			} else {
+				center.Register(churn.Summary(), churnPeer)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				q := pooled[(w*31+i)%len(pooled)].Cells
+				if _, err := center.OverlapSearch(q, 3); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := center.CoverageSearch(q, 2, 2); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+}

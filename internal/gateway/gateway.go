@@ -1,0 +1,273 @@
+// Package gateway exposes a federation.Center to ordinary clients over
+// HTTP/JSON. It is the user-facing front of the system: clients POST a
+// query as raw points (gridded under the federation's shared grid) or as
+// precomputed cell IDs, and the gateway fans the search out to the
+// federated sources through the center's pooled peer connections.
+//
+// Endpoints:
+//
+//	POST /search/overlap   {"points":[[x,y],...], "k":10}
+//	POST /search/coverage  {"points":[[x,y],...], "delta":10, "k":5}
+//	GET  /stats            gateway, cache, and transport counters
+//	GET  /healthz          200 when ≥1 source is registered, else 503
+//
+// See docs/PROTOCOL.md for the full payload specification.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"dits/internal/cellset"
+	"dits/internal/federation"
+	"dits/internal/geo"
+)
+
+// maxBodyBytes caps a request body; a query of a million points is ~16 MB.
+const maxBodyBytes = 32 << 20
+
+// defaultK is used when a search request omits k.
+const defaultK = 10
+
+// defaultDelta is the connectivity threshold (in grid cells) used when a
+// coverage request omits delta.
+const defaultDelta = 10.0
+
+// maxK bounds k so one request cannot ask every source for an unbounded
+// result set.
+const maxK = 1000
+
+// Gateway serves the HTTP API over one federation center.
+type Gateway struct {
+	center *federation.Center
+	start  time.Time
+
+	overlapQueries  atomic.Int64
+	coverageQueries atomic.Int64
+	clientErrors    atomic.Int64
+	serverErrors    atomic.Int64
+}
+
+// New creates a gateway over the center.
+func New(center *federation.Center) *Gateway {
+	return &Gateway{center: center, start: time.Now()}
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search/overlap", g.handleOverlap)
+	mux.HandleFunc("POST /search/coverage", g.handleCoverage)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return mux
+}
+
+// SearchRequest is the body of both search endpoints. Exactly one of
+// Points and Cells must be non-empty: Points are raw coordinates gridded
+// under the federation's shared grid; Cells are precomputed z-order cell
+// IDs for clients that grid locally.
+type SearchRequest struct {
+	Points [][2]float64 `json:"points,omitempty"`
+	Cells  []uint64     `json:"cells,omitempty"`
+	K      int          `json:"k,omitempty"`
+	Delta  *float64     `json:"delta,omitempty"` // coverage only; default 10
+}
+
+// OverlapResult is one ranked dataset in an overlap response.
+type OverlapResult struct {
+	Source  string `json:"source"`
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Overlap int    `json:"overlap"`
+}
+
+// OverlapResponse is the body of a successful POST /search/overlap.
+type OverlapResponse struct {
+	Results []OverlapResult `json:"results"`
+	TookMs  float64         `json:"tookMs"`
+}
+
+// CoveragePick is one greedily picked dataset in a coverage response.
+type CoveragePick struct {
+	Source string `json:"source"`
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Gain   int    `json:"gain"`
+}
+
+// CoverageResponse is the body of a successful POST /search/coverage.
+type CoverageResponse struct {
+	Picked        []CoveragePick `json:"picked"`
+	Coverage      int            `json:"coverage"`
+	QueryCoverage int            `json:"queryCoverage"`
+	TookMs        float64        `json:"tookMs"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Sources         int     `json:"sources"`
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+	OverlapQueries  int64   `json:"overlapQueries"`
+	CoverageQueries int64   `json:"coverageQueries"`
+	ClientErrors    int64   `json:"clientErrors"`
+	ServerErrors    int64   `json:"serverErrors"`
+
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+	CacheEntries   int     `json:"cacheEntries"`
+	CacheCapacity  int     `json:"cacheCapacity"`
+	PeerMessages   int64   `json:"peerMessages"`
+	PeerBytesSent  int64   `json:"peerBytesSent"`
+	PeerBytesRecvd int64   `json:"peerBytesReceived"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) badRequest(w http.ResponseWriter, format string, args ...any) {
+	g.clientErrors.Add(1)
+	g.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeQuery parses and validates a search request into query cells.
+func (g *Gateway) decodeQuery(w http.ResponseWriter, r *http.Request) (cellset.Set, SearchRequest, bool) {
+	var req SearchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		g.badRequest(w, "bad request body: %v", err)
+		return nil, req, false
+	}
+	if len(req.Points) == 0 && len(req.Cells) == 0 {
+		g.badRequest(w, "request must set points or cells")
+		return nil, req, false
+	}
+	if len(req.Points) > 0 && len(req.Cells) > 0 {
+		g.badRequest(w, "request must set points or cells, not both")
+		return nil, req, false
+	}
+	if req.K == 0 {
+		req.K = defaultK
+	}
+	if req.K < 0 || req.K > maxK {
+		g.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
+		return nil, req, false
+	}
+	if req.Delta != nil && (*req.Delta < 0 || *req.Delta != *req.Delta) {
+		g.badRequest(w, "delta must be a non-negative number")
+		return nil, req, false
+	}
+	var cells cellset.Set
+	if len(req.Cells) > 0 {
+		cells = cellset.New(req.Cells...)
+	} else {
+		pts := make([]geo.Point, len(req.Points))
+		for i, p := range req.Points {
+			pts[i] = geo.Point{X: p[0], Y: p[1]}
+		}
+		cells = cellset.FromPoints(g.center.Grid, pts)
+	}
+	if cells.IsEmpty() {
+		g.badRequest(w, "query gridded to zero cells")
+		return nil, req, false
+	}
+	return cells, req, true
+}
+
+func (g *Gateway) handleOverlap(w http.ResponseWriter, r *http.Request) {
+	cells, req, ok := g.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	g.overlapQueries.Add(1)
+	start := time.Now()
+	rs, err := g.center.OverlapSearch(cells, req.K)
+	if err != nil {
+		g.serverErrors.Add(1)
+		g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := OverlapResponse{
+		Results: make([]OverlapResult, len(rs)),
+		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, res := range rs {
+		resp.Results[i] = OverlapResult{Source: res.Source, ID: res.ID, Name: res.Name, Overlap: res.Overlap}
+	}
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	cells, req, ok := g.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	delta := defaultDelta
+	if req.Delta != nil {
+		delta = *req.Delta
+	}
+	g.coverageQueries.Add(1)
+	start := time.Now()
+	res, err := g.center.CoverageSearch(cells, delta, req.K)
+	if err != nil {
+		g.serverErrors.Add(1)
+		g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := CoverageResponse{
+		Picked:        make([]CoveragePick, len(res.Picked)),
+		Coverage:      res.Coverage,
+		QueryCoverage: res.QueryCoverage,
+		TookMs:        float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, p := range res.Picked {
+		resp.Picked[i] = CoveragePick{Source: p.Source, ID: p.ID, Name: p.Name, Gain: p.Overlap}
+	}
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := g.center.Cache().Stats()
+	resp := StatsResponse{
+		Sources:         g.center.NumSources(),
+		UptimeSeconds:   time.Since(g.start).Seconds(),
+		OverlapQueries:  g.overlapQueries.Load(),
+		CoverageQueries: g.coverageQueries.Load(),
+		ClientErrors:    g.clientErrors.Load(),
+		ServerErrors:    g.serverErrors.Load(),
+		CacheHits:       st.Hits,
+		CacheMisses:     st.Misses,
+		CacheHitRate:    st.HitRate(),
+		CacheEntries:    st.Len,
+		CacheCapacity:   st.Capacity,
+		PeerMessages:    g.center.Metrics.Messages(),
+		PeerBytesSent:   g.center.Metrics.BytesSent(),
+		PeerBytesRecvd:  g.center.Metrics.BytesReceived(),
+	}
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	n := g.center.NumSources()
+	status := http.StatusOK
+	state := "ok"
+	if n == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no sources"
+	}
+	g.writeJSON(w, status, map[string]any{"status": state, "sources": n})
+}

@@ -205,7 +205,7 @@ func (p *TCPPeer) Call(method string, body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("transport: recv %s: %w", p.Name, err)
 	}
 	if status != 0 {
-		return nil, fmt.Errorf("transport: source %s: %s", p.Name, payload)
+		return nil, &RemoteError{Source: p.Name, Msg: string(payload)}
 	}
 	p.Metrics.Record(len(body)+len(method), len(payload))
 	return payload, nil

@@ -1,9 +1,11 @@
 // Package transport carries messages between the data center and the data
-// sources. Two implementations are provided: an in-process transport whose
-// payloads are still fully serialized (so communication-cost measurements
-// are real byte counts, §VII-C2), and a TCP transport using the same wire
-// encoding for actually distributed deployments. Transmission time over a
-// given bandwidth follows the paper's model: time = bytes / bandwidth.
+// sources. Three Peer implementations are provided: an in-process
+// transport whose payloads are still fully serialized (so
+// communication-cost measurements are real byte counts, §VII-C2), a TCP
+// transport using the same wire encoding for actually distributed
+// deployments, and a connection pool multiplexing concurrent calls over
+// several TCP connections to one source. Transmission time over a given
+// bandwidth follows the paper's model: time = bytes / bandwidth.
 package transport
 
 import (
@@ -17,6 +19,20 @@ import (
 // Handler serves one source's requests: it receives a method name and a
 // gob-encoded request body and returns a gob-encoded response body.
 type Handler func(method string, body []byte) ([]byte, error)
+
+// RemoteError is an application-level error returned by a source's handler.
+// The request/response exchange itself succeeded, so the connection that
+// carried it is still healthy — Pool uses this distinction to decide
+// whether a failed connection should be discarded.
+type RemoteError struct {
+	Source string // peer name
+	Msg    string // the handler's error text
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: source %s: %s", e.Source, e.Msg)
+}
 
 // Peer is a connection to one data source.
 type Peer interface {
@@ -123,7 +139,7 @@ type InProc struct {
 func (p *InProc) Call(method string, body []byte) ([]byte, error) {
 	resp, err := p.Handler(method, body)
 	if err != nil {
-		return nil, fmt.Errorf("transport: source %s: %w", p.Name, err)
+		return nil, &RemoteError{Source: p.Name, Msg: err.Error()}
 	}
 	p.Metrics.Record(len(body)+len(method), len(resp))
 	return resp, nil
