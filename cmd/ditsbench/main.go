@@ -6,6 +6,12 @@
 //	ditsbench -exp fig9                # one experiment
 //	ditsbench -exp all -scale 0.05     # everything, bigger workload
 //	ditsbench -exp fig13 -csv out/     # also write CSV files
+//
+// The setops experiment additionally supports a baseline/compare workflow
+// so speedups (and regressions) are machine-readable across PRs:
+//
+//	ditsbench -exp setops -baseline    # snapshot results to BENCH_setops.json
+//	ditsbench -exp setops -compare     # rerun and diff against the snapshot
 package main
 
 import (
@@ -21,9 +27,12 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	baseline := flag.Bool("baseline", false, "with -exp setops: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops: diff results against the -benchfile snapshot")
+	benchFile := flag.String("benchfile", "BENCH_setops.json", "snapshot file for -baseline/-compare")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale (fraction of Table I sizes)")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
 		"workload scale for the OJSP figures 9-12 (0 = same as -scale)")
@@ -62,7 +71,15 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		tables, err := bench.Run(id, cfg)
+		var (
+			tables []bench.Table
+			err    error
+		)
+		if id == "setops" && (*baseline || *compare) {
+			tables, err = runSetopsSnapshot(cfg, *baseline, *compare, *benchFile)
+		} else {
+			tables, err = bench.Run(id, cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -78,6 +95,29 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSetopsSnapshot runs the setops experiment with the dtail-tools-style
+// baseline/compare workflow: -baseline snapshots the fresh results into
+// file, -compare diffs the fresh results against the existing snapshot.
+// Both may be given together (compare against the old snapshot, then
+// overwrite it).
+func runSetopsSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables := bench.RunSetops(cfg)
+	if compare {
+		base, err := bench.ReadSetops(file)
+		if err != nil {
+			return nil, fmt.Errorf("load baseline (run -exp setops -baseline first): %w", err)
+		}
+		tables = append(tables, bench.CompareSetops(base, report))
+	}
+	if baseline {
+		if err := bench.WriteSetops(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
 }
 
 func writeCSV(dir string, t bench.Table) error {

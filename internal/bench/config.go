@@ -142,7 +142,8 @@ func queries(sd sourceData, q int, seed int64) []*dataset.Node {
 		nd := dataset.NewNode(sd.grid, d)
 		if nd != nil {
 			nd = &dataset.Node{
-				ID: -1, Name: "query", Rect: nd.Rect, O: nd.O, R: nd.R, Cells: nd.Cells,
+				ID: -1, Name: "query", Rect: nd.Rect, O: nd.O, R: nd.R,
+				Cells: nd.Cells, Compact: nd.Compact,
 			}
 			out = append(out, nd)
 		}

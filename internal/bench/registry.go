@@ -34,6 +34,7 @@ var experiments = []Experiment{
 	{"fig22", "Index updating time vs dataset updates", Fig22},
 	{"ablation", "Ablation of DITS design choices (extension)", Ablation},
 	{"throughput", "Federated query throughput vs concurrent clients (extension)", Throughput},
+	{"setops", "Cell-set engine: flat slices vs Roaring-style containers (extension)", Setops},
 }
 
 // All returns every experiment, sorted by ID.
@@ -50,5 +51,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops)", id)
 }

@@ -1,0 +1,308 @@
+// The setops experiment benchmarks the container-based cell-set engine
+// against the flat-slice baseline on the kernels every query bottoms out
+// in: IntersectCount (OJSP's Definition 10 measure), MarginalGain (CJSP's
+// greedy objective), Union/Diff (result merging), and the DITS-L leaf
+// verification OverlapCounts. Results snapshot to a machine-readable JSON
+// file (BENCH_setops.json by default) so the perf trajectory of future PRs
+// can be compared against a committed baseline, dtail-tools style:
+//
+//	ditsbench -exp setops -baseline   # run and snapshot
+//	ditsbench -exp setops -compare    # run and diff against the snapshot
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+)
+
+// SetopsSchema identifies the snapshot format.
+const SetopsSchema = "dits-bench-setops/1"
+
+// SetopsEntry is one measured kernel on one workload: flat vs compact.
+type SetopsEntry struct {
+	Op           string  `json:"op"`
+	Workload     string  `json:"workload"`
+	Cells        int     `json:"cells"` // |s|+|t| driven through the kernel per op
+	FlatNsPerOp  float64 `json:"flat_ns_per_op"`
+	CompNsPerOp  float64 `json:"compact_ns_per_op"`
+	Speedup      float64 `json:"speedup"`           // flat / compact
+	FlatMcellsPS float64 `json:"flat_mcells_per_s"` // throughput, millions of cells/sec
+	CompMcellsPS float64 `json:"comp_mcells_per_s"` //
+	CompactBytes int64   `json:"compact_bytes"`     // container footprint of the operand pair
+	FlatBytes    int64   `json:"flat_bytes"`        // 8 bytes per cell
+}
+
+// SetopsReport is the machine-readable result of one setops run.
+type SetopsReport struct {
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated,omitempty"` // RFC3339, stamped at write time
+	Theta     int           `json:"theta"`
+	Seed      int64         `json:"seed"`
+	Results   []SetopsEntry `json:"results"`
+}
+
+// setopsMinTime is how long each kernel is sampled; long enough to defeat
+// timer noise, short enough that the full matrix stays interactive.
+const setopsMinTime = 40 * time.Millisecond
+
+// setopsWorkload is one generated operand pair plus a leaf for the
+// OverlapCounts kernel.
+type setopsWorkload struct {
+	name string
+	s, t cellset.Set
+}
+
+// setopsWorkloads builds the two shapes that matter: z-order-clustered
+// (spatially compact data → dense chunks, the case real datasets hit) and
+// uniform-sparse over the whole grid (the adversarial case for bitmaps).
+func setopsWorkloads(cfg Config) []setopsWorkload {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := 1 << uint(cfg.Theta)
+
+	// Patch side, clamped so tiny grids (-theta 6 and below) still work
+	// instead of feeding rand.Intn a non-positive span.
+	blk := 96
+	if blk > side {
+		blk = side
+	}
+	clustered := func() cellset.Set {
+		// A handful of dense square patches: ~75% of the cells of several
+		// 96×96 blocks, which Morton encoding turns into dense chunks.
+		var ids []uint64
+		for b := 0; b < 6; b++ {
+			var bx, by int
+			if side > blk {
+				bx, by = rng.Intn(side-blk), rng.Intn(side-blk)
+			}
+			for dx := 0; dx < blk; dx++ {
+				for dy := 0; dy < blk; dy++ {
+					if rng.Intn(4) > 0 {
+						ids = append(ids, geo.ZEncode(uint32(bx+dx), uint32(by+dy)))
+					}
+				}
+			}
+		}
+		return cellset.New(ids...)
+	}
+	uniform := func(n int) cellset.Set {
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = geo.ZEncode(uint32(rng.Intn(side)), uint32(rng.Intn(side)))
+		}
+		return cellset.New(ids...)
+	}
+
+	cs, ct := clustered(), clustered()
+	// Overlap the clustered pair so the intersection is non-trivial.
+	ct = ct.Union(cs[:len(cs)/2])
+	return []setopsWorkload{
+		{name: "clustered", s: cs, t: ct},
+		{name: "uniform", s: uniform(40000), t: uniform(40000)},
+	}
+}
+
+// measure samples fn until setopsMinTime has elapsed and returns ns/op.
+func measure(fn func()) float64 {
+	fn() // warm caches before timing
+	var (
+		iters int
+		total time.Duration
+	)
+	for total < setopsMinTime {
+		batch := 1 + iters/2 // grow batches so cheap kernels amortize timer reads
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+		total += time.Since(start)
+		iters += batch
+	}
+	return float64(total.Nanoseconds()) / float64(iters)
+}
+
+// RunSetops executes the setops experiment, returning both the
+// machine-readable report and the printable tables.
+func RunSetops(cfg Config) (SetopsReport, []Table) {
+	report := SetopsReport{Schema: SetopsSchema, Theta: cfg.Theta, Seed: cfg.Seed}
+	t := Table{
+		ID:    "setops",
+		Title: "Cell-set engine: flat []uint64 vs Roaring-style containers",
+		Header: []string{
+			"op", "workload", "cells", "flat ns/op", "compact ns/op", "speedup",
+		},
+		Notes: []string{
+			"clustered = z-order-dense patches (the shape real datasets produce); uniform = adversarial sparse.",
+			"speedup = flat ns / compact ns; OverlapCounts verifies one full DITS-L leaf.",
+		},
+	}
+
+	for _, w := range setopsWorkloads(cfg) {
+		sc, tc := cellset.FromSet(w.s), cellset.FromSet(w.t)
+		cells := w.s.Len() + w.t.Len()
+		kernels := []struct {
+			op      string
+			flat    func()
+			compact func()
+		}{
+			{"IntersectCount", func() { w.s.IntersectCount(w.t) }, func() { sc.IntersectCount(tc) }},
+			{"MarginalGain", func() { w.s.MarginalGain(w.t) }, func() { sc.MarginalGain(tc) }},
+			{"Union", func() { w.s.Union(w.t) }, func() { sc.Union(tc) }},
+			{"Diff", func() { w.s.Diff(w.t) }, func() { sc.Diff(tc) }},
+		}
+		for _, k := range kernels {
+			e := setopsEntry(k.op, w.name, cells, measure(k.flat), measure(k.compact))
+			e.CompactBytes = sc.MemoryBytes() + tc.MemoryBytes()
+			e.FlatBytes = int64(cells) * 8
+			report.Results = append(report.Results, e)
+		}
+
+		// Leaf verification: one DITS-L leaf of DefaultLeafCapacity
+		// datasets carved out of the t side, probed with the s side —
+		// the exact counting step of Algorithm 2.
+		leaf := setopsLeaf(w.t)
+		qc := sc
+		e := setopsEntry("OverlapCounts", w.name, cells,
+			measure(func() { leaf.OverlapCounts(w.s) }),
+			measure(func() { leaf.OverlapCountsCompact(qc) }))
+		e.CompactBytes = sc.MemoryBytes() + tc.MemoryBytes()
+		e.FlatBytes = int64(cells) * 8
+		report.Results = append(report.Results, e)
+	}
+
+	for _, e := range report.Results {
+		t.Rows = append(t.Rows, []string{
+			e.Op, e.Workload, itoa(e.Cells),
+			fmt.Sprintf("%.0f", e.FlatNsPerOp),
+			fmt.Sprintf("%.0f", e.CompNsPerOp),
+			fmt.Sprintf("%.2fx", e.Speedup),
+		})
+	}
+	return report, []Table{t}
+}
+
+// setopsEntry fills the derived throughput fields.
+func setopsEntry(op, workload string, cells int, flatNs, compNs float64) SetopsEntry {
+	e := SetopsEntry{
+		Op: op, Workload: workload, Cells: cells,
+		FlatNsPerOp: flatNs, CompNsPerOp: compNs,
+	}
+	if compNs > 0 {
+		e.Speedup = flatNs / compNs
+		e.CompMcellsPS = float64(cells) / compNs * 1e3
+	}
+	if flatNs > 0 {
+		e.FlatMcellsPS = float64(cells) / flatNs * 1e3
+	}
+	return e
+}
+
+// setopsLeaf builds one full DITS-L leaf whose datasets partition src into
+// DefaultLeafCapacity contiguous slices (so every posting list is
+// realistic: each cell belongs to exactly one child).
+func setopsLeaf(src cellset.Set) *dits.TreeNode {
+	f := dits.DefaultLeafCapacity
+	nodes := make([]*dataset.Node, 0, f)
+	per := len(src)/f + 1
+	for i := 0; i < f && i*per < len(src); i++ {
+		end := (i + 1) * per
+		if end > len(src) {
+			end = len(src)
+		}
+		nd := dataset.NewNodeFromCells(i, fmt.Sprintf("slice-%d", i), src[i*per:end].Clone())
+		if nd != nil {
+			nodes = append(nodes, nd)
+		}
+	}
+	side := float64(uint64(1) << 32)
+	g := geo.NewGrid(1, geo.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side})
+	return dits.Build(g, nodes, f).Root
+}
+
+// WriteSetops stamps and writes the report as indented JSON.
+func WriteSetops(path string, r SetopsReport) error {
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSetops loads a snapshot written by WriteSetops.
+func ReadSetops(path string) (SetopsReport, error) {
+	var r SetopsReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != SetopsSchema {
+		return r, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, SetopsSchema)
+	}
+	return r, nil
+}
+
+// CompareSetops diffs a current run against a snapshot: for every (op,
+// workload) pair present in both, it reports the snapshot and current
+// compact timings, the drift between them, and the current flat-vs-compact
+// speedup — the regression signal future PRs gate on.
+func CompareSetops(base, cur SetopsReport) Table {
+	t := Table{
+		ID:    "setops-compare",
+		Title: "Cell-set engine vs baseline snapshot" + generatedSuffix(base),
+		Header: []string{
+			"op", "workload", "base compact ns", "now compact ns", "drift", "flat/compact now",
+		},
+		Notes: []string{
+			"drift = now/base for the compact engine: < 1.00x is faster than the snapshot.",
+			"flat/compact now is the live speedup over the flat-slice baseline measured this run.",
+		},
+	}
+	baseBy := make(map[string]SetopsEntry, len(base.Results))
+	for _, e := range base.Results {
+		baseBy[e.Op+"|"+e.Workload] = e
+	}
+	for _, e := range cur.Results {
+		b, ok := baseBy[e.Op+"|"+e.Workload]
+		if !ok {
+			t.Notes = append(t.Notes, fmt.Sprintf("no baseline entry for %s/%s", e.Op, e.Workload))
+			continue
+		}
+		drift := "-"
+		if b.CompNsPerOp > 0 {
+			drift = fmt.Sprintf("%.2fx", e.CompNsPerOp/b.CompNsPerOp)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Op, e.Workload,
+			fmt.Sprintf("%.0f", b.CompNsPerOp),
+			fmt.Sprintf("%.0f", e.CompNsPerOp),
+			drift,
+			fmt.Sprintf("%.2fx", e.Speedup),
+		})
+	}
+	return t
+}
+
+func generatedSuffix(base SetopsReport) string {
+	if base.Generated == "" {
+		return ""
+	}
+	return " (" + base.Generated + ")"
+}
+
+// Setops adapts RunSetops to the experiment registry (plain -exp setops
+// runs without snapshotting).
+func Setops(cfg Config) []Table {
+	_, tables := RunSetops(cfg)
+	return tables
+}

@@ -1,8 +1,9 @@
 package cellset
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"dits/internal/geo"
 )
@@ -63,11 +64,11 @@ func decodeSorted(s Set) []cellXY {
 		x, y := geo.ZDecode(c)
 		out[i] = cellXY{x, y}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].x != out[j].x {
-			return out[i].x < out[j].x
+	slices.SortFunc(out, func(a, b cellXY) int {
+		if a.x != b.x {
+			return cmp.Compare(a.x, b.x)
 		}
-		return out[i].y < out[j].y
+		return cmp.Compare(a.y, b.y)
 	})
 	return out
 }

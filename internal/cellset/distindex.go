@@ -19,7 +19,11 @@ type DistIndex struct {
 	buckets map[bucketKey][]cellXY
 }
 
-type bucketKey struct{ x, y int32 }
+// bucketKey uses int64 coordinates: grid coordinates span the full uint32
+// range, so with side 1 the bucket coordinate itself needs more than 31
+// bits — int32 keys silently collapsed distant cells into the same bucket
+// above 2^31.
+type bucketKey struct{ x, y int64 }
 
 // NewDistIndex builds the index over q for threshold delta. A nil index is
 // returned for an empty q or a negative delta: Connected on it is false.
@@ -37,11 +41,7 @@ func NewDistIndex(q Set, delta float64) *DistIndex {
 		side:    side,
 		buckets: make(map[bucketKey][]cellXY, len(q)),
 	}
-	for _, c := range q {
-		x, y := geo.ZDecode(c)
-		k := bucketKey{int32(int64(x) / side), int32(int64(y) / side)}
-		ix.buckets[k] = append(ix.buckets[k], cellXY{x, y})
-	}
+	ix.Add(q)
 	return ix
 }
 
@@ -52,10 +52,25 @@ func (ix *DistIndex) Add(cells Set) {
 		return
 	}
 	for _, c := range cells {
-		x, y := geo.ZDecode(c)
-		k := bucketKey{int32(int64(x) / ix.side), int32(int64(y) / ix.side)}
-		ix.buckets[k] = append(ix.buckets[k], cellXY{x, y})
+		ix.add(c)
 	}
+}
+
+// AddCompact extends the indexed set with the cells of a container set.
+func (ix *DistIndex) AddCompact(cells *Compact) {
+	if ix == nil {
+		return
+	}
+	cells.ForEach(func(c uint64) bool {
+		ix.add(c)
+		return true
+	})
+}
+
+func (ix *DistIndex) add(c uint64) {
+	x, y := geo.ZDecode(c)
+	k := bucketKey{int64(x) / ix.side, int64(y) / ix.side}
+	ix.buckets[k] = append(ix.buckets[k], cellXY{x, y})
 }
 
 // Connected reports whether any cell of s lies within delta of an indexed
@@ -65,21 +80,42 @@ func (ix *DistIndex) Connected(s Set) bool {
 		return false
 	}
 	for _, c := range s {
-		x, y := geo.ZDecode(c)
-		bx := int64(x) / ix.side
-		by := int64(y) / ix.side
-		for dy := int64(-1); dy <= 1; dy++ {
-			for dx := int64(-1); dx <= 1; dx++ {
-				pts, ok := ix.buckets[bucketKey{int32(bx + dx), int32(by + dy)}]
-				if !ok {
-					continue
-				}
-				for _, p := range pts {
-					ddx := float64(p.x) - float64(x)
-					ddy := float64(p.y) - float64(y)
-					if ddx*ddx+ddy*ddy <= ix.d2 {
-						return true
-					}
+		if ix.probe(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnectedCompact is Connected over a container set.
+func (ix *DistIndex) ConnectedCompact(s *Compact) bool {
+	if ix == nil || s.Len() == 0 {
+		return false
+	}
+	hit := false
+	s.ForEach(func(c uint64) bool {
+		hit = ix.probe(c)
+		return !hit
+	})
+	return hit
+}
+
+// probe reports whether cell c is within delta of any indexed cell.
+func (ix *DistIndex) probe(c uint64) bool {
+	x, y := geo.ZDecode(c)
+	bx := int64(x) / ix.side
+	by := int64(y) / ix.side
+	for dy := int64(-1); dy <= 1; dy++ {
+		for dx := int64(-1); dx <= 1; dx++ {
+			pts, ok := ix.buckets[bucketKey{bx + dx, by + dy}]
+			if !ok {
+				continue
+			}
+			for _, p := range pts {
+				ddx := float64(p.x) - float64(x)
+				ddy := float64(p.y) - float64(y)
+				if ddx*ddx+ddy*ddy <= ix.d2 {
+					return true
 				}
 			}
 		}

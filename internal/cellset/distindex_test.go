@@ -3,6 +3,8 @@ package cellset
 import (
 	"math/rand"
 	"testing"
+
+	"dits/internal/geo"
 )
 
 func TestDistIndexMatchesNaive(t *testing.T) {
@@ -34,6 +36,71 @@ func TestDistIndexAdd(t *testing.T) {
 		if got := ix.Connected(probe); got != want {
 			t.Fatalf("trial %d δ=%v: Connected=%v, want %v", trial, delta, got, want)
 		}
+	}
+}
+
+// TestDistIndexExtremeCoordinates is the regression test for the bucket-key
+// overflow: with side 1, grid coordinates above 2^31 used to overflow the
+// int32 bucket keys, collapsing far-apart cells into colliding buckets and
+// (worse) separating genuinely close cells into buckets that no longer
+// neighbor each other.
+func TestDistIndexExtremeCoordinates(t *testing.T) {
+	const big = uint64(1) << 33 // past int32 when divided by side=1
+	x, y := uint32(big>>2), uint32(big>>2+3)
+	q := New(geo.ZEncode(x, y))
+	near := New(geo.ZEncode(x+1, y+1))
+	far := New(geo.ZEncode(x+1000, y+1000))
+	ix := NewDistIndex(q, 2)
+	if !ix.Connected(near) {
+		t.Error("adjacent cell at extreme coordinates should be connected")
+	}
+	if ix.Connected(far) {
+		t.Error("distant cell at extreme coordinates should not be connected")
+	}
+	// Exhaustive agreement with the naive distance around the extreme
+	// corner, including coordinates on both sides of the 2^31 boundary.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		mk := func() Set {
+			ids := make([]uint64, 1+rng.Intn(20))
+			for i := range ids {
+				ids[i] = geo.ZEncode(
+					uint32(1)<<31-10+uint32(rng.Intn(20)),
+					uint32(1)<<31-10+uint32(rng.Intn(20)))
+			}
+			return New(ids...)
+		}
+		a, b := mk(), mk()
+		for _, delta := range []float64{0, 1, 3, 10} {
+			want := DistNaive(a, b) <= delta
+			if got := NewDistIndex(a, delta).Connected(b); got != want {
+				t.Fatalf("trial %d δ=%v: Connected=%v, naive=%v", trial, delta, got, want)
+			}
+		}
+	}
+}
+
+// TestDistIndexCompactParity checks the Compact-fed entry points agree with
+// the Set-fed ones.
+func TestDistIndexCompactParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 100; trial++ {
+		base := randomGridSet(rng, 1+rng.Intn(40))
+		extra := randomGridSet(rng, 1+rng.Intn(40))
+		probe := randomGridSet(rng, 1+rng.Intn(40))
+		delta := float64(rng.Intn(10))
+		a := NewDistIndex(base, delta)
+		a.Add(extra)
+		b := NewDistIndex(base, delta)
+		b.AddCompact(FromSet(extra))
+		if got, want := b.ConnectedCompact(FromSet(probe)), a.Connected(probe); got != want {
+			t.Fatalf("trial %d: compact path Connected=%v, set path %v", trial, got, want)
+		}
+	}
+	var nilIx *DistIndex
+	nilIx.AddCompact(FromSet(New(1))) // must not panic
+	if nilIx.ConnectedCompact(FromSet(New(1))) {
+		t.Error("nil index connects nothing")
 	}
 }
 

@@ -5,7 +5,7 @@
 package cellset
 
 import (
-	"sort"
+	"slices"
 
 	"dits/internal/geo"
 )
@@ -37,7 +37,7 @@ func (s Set) normalize() Set {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	w := 1
 	for i := 1; i < len(s); i++ {
 		if s[i] != s[w-1] {
@@ -56,8 +56,8 @@ func (s Set) IsEmpty() bool { return len(s) == 0 }
 
 // Contains reports whether cell c is in the set.
 func (s Set) Contains(c uint64) bool {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= c })
-	return i < len(s) && s[i] == c
+	_, ok := slices.BinarySearch(s, c)
+	return ok
 }
 
 // Clone returns an independent copy of s.
@@ -122,15 +122,17 @@ func gallopIntersectCount(s, t Set) int {
 			hi += step
 			step <<= 1
 		}
+		// The probe loop stopped either past the end or at t[hi] >= c;
+		// widen the window by one so a hit at t[hi] itself is found.
+		hi++
 		if hi > len(t) {
 			hi = len(t)
 		}
-		k := lo + sort.Search(hi-lo, func(i int) bool { return t[lo+i] >= c })
-		if k < len(t) && t[k] == c {
+		idx, found := slices.BinarySearch(t[lo:hi], c)
+		lo += idx
+		if found {
 			n++
-			lo = k + 1
-		} else {
-			lo = k
+			lo++
 		}
 		if lo >= len(t) {
 			break

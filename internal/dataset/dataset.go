@@ -45,6 +45,12 @@ type Node struct {
 	O     geo.Point   // pivot: center of Rect
 	R     float64     // radius: half of Rect's diagonal
 	Cells cellset.Set // the cell-based dataset S_D
+
+	// Compact is the container representation of Cells, the form the
+	// overlap/coverage hot paths operate on. NewNode, NewNodeFromCells,
+	// and Merge populate it; hand-built nodes may leave it nil and
+	// searchers fall back through CompactCells.
+	Compact *cellset.Compact
 }
 
 // NewNode builds the dataset node of d under grid g. It returns nil for a
@@ -68,20 +74,48 @@ func NewNodeFromCells(id int, name string, cells cellset.Set) *Node {
 		MaxX: float64(maxX), MaxY: float64(maxY),
 	}
 	return &Node{
-		ID:    id,
-		Name:  name,
-		Rect:  r,
-		O:     r.Center(),
-		R:     r.Radius(),
-		Cells: cells,
+		ID:      id,
+		Name:    name,
+		Rect:    r,
+		O:       r.Center(),
+		R:       r.Radius(),
+		Cells:   cells,
+		Compact: cellset.FromSet(cells),
 	}
 }
 
+// CompactCells returns the node's container representation, deriving it
+// from Cells when the node was built by hand. It never mutates the node,
+// so concurrent read-only searches stay safe.
+func (n *Node) CompactCells() *cellset.Compact {
+	if n.Compact != nil {
+		return n.Compact
+	}
+	return cellset.FromSet(n.Cells)
+}
+
+// EnsureCompact caches the container representation on the node and
+// returns it. Callers must hold exclusive access to the node (index build
+// and update paths do); searchers use CompactCells instead.
+func (n *Node) EnsureCompact() *cellset.Compact {
+	if n.Compact == nil {
+		n.Compact = cellset.FromSet(n.Cells)
+	}
+	return n.Compact
+}
+
 // Coverage returns |S_D|, the number of cells covered by the node.
-func (n *Node) Coverage() int { return n.Cells.Len() }
+func (n *Node) Coverage() int {
+	if n.Compact != nil {
+		return n.Compact.Len()
+	}
+	return n.Cells.Len()
+}
 
 // Overlap returns |S_D ∩ S_Q| against another node's cell set.
-func (n *Node) Overlap(q *Node) int { return n.Cells.IntersectCount(q.Cells) }
+func (n *Node) Overlap(q *Node) int {
+	return n.CompactCells().IntersectCount(q.CompactCells())
+}
 
 // DistBounds returns the Lemma 4 lower and upper bounds on the cell-based
 // dataset distance between n and q:
@@ -99,7 +133,10 @@ func (n *Node) DistBounds(q *Node) (lb, ub float64) {
 // Merge returns a new node covering n and m: union of cells, combined MBR,
 // recomputed pivot and radius. It implements the spatial merge strategy of
 // CoverageSearch (Algorithm 3, line 11). The merged node keeps n's ID and
-// an empty name; it never enters an index.
+// an empty name; it never enters an index, and it carries the cell union
+// in container form only (Cells stays nil): the greedy loops that consume
+// merged nodes read geometry and CompactCells, so materializing a flat
+// copy every round would be pure allocation waste.
 func (n *Node) Merge(m *Node) *Node {
 	if m == nil {
 		return n
@@ -109,11 +146,11 @@ func (n *Node) Merge(m *Node) *Node {
 	}
 	r := n.Rect.Union(m.Rect)
 	return &Node{
-		ID:    n.ID,
-		Rect:  r,
-		O:     r.Center(),
-		R:     r.Radius(),
-		Cells: n.Cells.Union(m.Cells),
+		ID:      n.ID,
+		Rect:    r,
+		O:       r.Center(),
+		R:       r.Radius(),
+		Compact: n.CompactCells().Union(m.CompactCells()),
 	}
 }
 

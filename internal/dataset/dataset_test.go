@@ -98,8 +98,14 @@ func TestMerge(t *testing.T) {
 	a := NewNodeFromCells(1, "", cellset.New(geo.ZEncode(0, 0), geo.ZEncode(1, 1)))
 	b := NewNodeFromCells(2, "", cellset.New(geo.ZEncode(3, 3)))
 	m := a.Merge(b)
-	if m.Cells.Len() != 3 {
-		t.Errorf("merged cells = %d, want 3", m.Cells.Len())
+	if m.Coverage() != 3 {
+		t.Errorf("merged cells = %d, want 3", m.Coverage())
+	}
+	if m.CompactCells().Len() != 3 {
+		t.Errorf("merged compact cells = %d, want 3", m.CompactCells().Len())
+	}
+	if m.Cells != nil {
+		t.Error("merged node should carry the container form only")
 	}
 	if !m.Rect.ContainsRect(a.Rect) || !m.Rect.ContainsRect(b.Rect) {
 		t.Error("merged rect should contain both inputs")

@@ -336,6 +336,10 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 			return cached, nil
 		}
 	}
+	// The merged-query state lives on the container engine: each greedy
+	// round unions the winning candidate word-parallel, and the flat form
+	// shipped to sources is rematerialized from it.
+	mergedC := cellset.FromSet(queryCells)
 	merged := queryCells
 	excluded := make(map[string][]int)
 	draw := c.deltaRaw(delta)
@@ -388,11 +392,12 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 		}
 		name := best.src
 		excluded[name] = append(excluded[name], best.cand.ID)
-		merged = merged.Union(best.cand.Cells)
+		mergedC = mergedC.Union(cellset.FromSet(best.cand.Cells))
+		merged = mergedC.Set()
 		res.Picked = append(res.Picked, SourceResult{
 			Source: name, ID: best.cand.ID, Name: best.cand.Name, Overlap: best.cand.Gain,
 		})
-		res.Coverage = merged.Len()
+		res.Coverage = mergedC.Len()
 	}
 	if rc != nil {
 		cached := res

@@ -100,13 +100,14 @@ func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 		excluded[id] = true
 	}
 	cands := coverage.FindConnectSet(s.Index.Root, merged, req.Delta)
+	mergedC := merged.CompactCells()
 	var best *dataset.Node
 	bestGain := -1
 	for _, nd := range cands {
 		if excluded[nd.ID] || nd.Cells.Len() < bestGain {
 			continue
 		}
-		g := merged.Cells.MarginalGain(nd.Cells)
+		g := mergedC.MarginalGain(nd.CompactCells())
 		if g > bestGain || (g == bestGain && best != nil && nd.ID < best.ID) {
 			best, bestGain = nd, g
 		}

@@ -41,6 +41,7 @@ func BuildBottomUp(g geo.Grid, nodes []*dataset.Node, f int) *Local {
 		if _, dup := l.byID[n.ID]; dup {
 			panic(fmt.Sprintf("dits: duplicate dataset ID %d", n.ID))
 		}
+		n.EnsureCompact()
 		l.byID[n.ID] = n
 		ds = append(ds, n)
 	}

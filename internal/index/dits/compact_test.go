@@ -1,0 +1,90 @@
+package dits
+
+import (
+	"math/rand"
+	"testing"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+)
+
+// TestLeafCompactParity differentially checks the container-engine leaf
+// kernels against the posting-list reference on random builds, and again
+// after update sequences: identical bounds and identical exact counts for
+// every leaf and query.
+func TestLeafCompactParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	checkAllLeaves := func(l *Local, label string) {
+		t.Helper()
+		for trial := 0; trial < 20; trial++ {
+			q := randomNodes(rng, 1, 8)[0]
+			qc := q.CompactCells()
+			l.Root.visitLeaves(func(leaf *TreeNode) {
+				flb, fub := leaf.OverlapBounds(q.Cells)
+				clb, cub := leaf.OverlapBoundsCompact(qc)
+				if flb != clb || fub != cub {
+					t.Fatalf("%s: OverlapBounds flat (%d,%d) != compact (%d,%d)",
+						label, flb, fub, clb, cub)
+				}
+				fc := leaf.OverlapCounts(q.Cells)
+				cc := leaf.OverlapCountsCompact(qc)
+				for i := range fc {
+					if fc[i] != cc[i] {
+						t.Fatalf("%s: OverlapCounts[%d] flat %d != compact %d",
+							label, i, fc[i], cc[i])
+					}
+				}
+			})
+		}
+	}
+
+	l := Build(testGrid(8), randomNodes(rng, 200, 8), 10)
+	checkAllLeaves(l, "after build")
+
+	// Mutate: inserts (including leaf splits), deletes, updates.
+	extra := randomNodes(rng, 60, 8)
+	for i, nd := range extra {
+		nd.ID = 1000 + i
+		if err := l.Insert(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < 40; id++ {
+		if err := l.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, nd := range randomNodes(rng, 20, 8) {
+		nd.ID = 1000 + i
+		if err := l.Update(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkAllLeaves(l, "after updates")
+}
+
+// TestLeafCompactParityHandBuiltQuery covers the CompactCells fallback for
+// query nodes built without going through NewNodeFromCells.
+func TestLeafCompactParityHandBuiltQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	l := Build(testGrid(8), randomNodes(rng, 50, 8), 5)
+	cells := cellset.New(geo.ZEncode(3, 4), geo.ZEncode(5, 6), geo.ZEncode(200, 200))
+	q := &dataset.Node{ID: -1, Cells: cells} // no Compact field
+	qc := q.CompactCells()
+	if qc == nil || qc.Len() != cells.Len() {
+		t.Fatalf("CompactCells fallback = %v", qc)
+	}
+	l.Root.visitLeaves(func(leaf *TreeNode) {
+		fc := leaf.OverlapCounts(cells)
+		cc := leaf.OverlapCountsCompact(qc)
+		for i := range fc {
+			if fc[i] != cc[i] {
+				t.Fatalf("counts diverge: flat %v compact %v", fc, cc)
+			}
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package dits
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
+	"dits/internal/cellset"
 	"dits/internal/dataset"
 	"dits/internal/geo"
 )
@@ -46,6 +48,7 @@ func Build(g geo.Grid, nodes []*dataset.Node, f int) *Local {
 		if _, dup := l.byID[n.ID]; dup {
 			panic(fmt.Sprintf("dits: duplicate dataset ID %d", n.ID))
 		}
+		n.EnsureCompact()
 		l.byID[n.ID] = n
 		ds = append(ds, n)
 	}
@@ -94,7 +97,7 @@ func (l *Local) build(nds []*dataset.Node, parent *TreeNode) *TreeNode {
 		return n.O.Y
 	}
 	sorted := append([]*dataset.Node(nil), nds...)
-	sort.SliceStable(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
+	slices.SortStableFunc(sorted, func(a, b *dataset.Node) int { return cmp.Compare(key(a), key(b)) })
 	mid := len(sorted) / 2
 
 	root.Left = l.build(sorted[:mid], root)
@@ -176,7 +179,12 @@ func (l *Local) MemoryBytes() int64 {
 		}
 		for _, c := range leaf.Children {
 			bytes += int64(c.Cells.Len())*8 + 64 // cell set + node header
+			bytes += c.Compact.MemoryBytes()     // container representation
 		}
+		// The unionC/allC leaf summaries are not counted: their containers
+		// largely alias the children's (Union/Intersect share containers
+		// for chunks present on one side, and a single-child leaf aliases
+		// the child outright), so adding them would double-count.
 	})
 	bytes += int64(l.Root.countNodes()) * nodeSize
 	return bytes
@@ -210,6 +218,9 @@ func (l *Local) CheckInvariants() error {
 				if l.leafOf[c.ID] != n {
 					return fmt.Errorf("dits: leafOf[%d] stale", c.ID)
 				}
+				if !c.CompactCells().Equal(cellset.FromSet(c.Cells)) {
+					return fmt.Errorf("dits: dataset %d compact cells out of sync with flat cells", c.ID)
+				}
 				for _, cell := range c.Cells {
 					found := false
 					for _, idx := range n.Inv[cell] {
@@ -222,6 +233,22 @@ func (l *Local) CheckInvariants() error {
 						return fmt.Errorf("dits: cell %d of dataset %d missing from inverted index", cell, c.ID)
 					}
 				}
+			}
+			// The compact leaf summaries must agree with the inverted
+			// index they summarize: unionC covers exactly Inv's keys, allC
+			// exactly the cells whose posting list spans every child.
+			var union, all cellset.Set
+			for cell, pl := range n.Inv {
+				union = append(union, cell)
+				if len(pl) == len(n.Children) {
+					all = append(all, cell)
+				}
+			}
+			if !n.unionC.Equal(cellset.FromSet(cellset.New(union...))) {
+				return fmt.Errorf("dits: leaf union summary out of sync at %v", n.Rect)
+			}
+			if !n.allC.Equal(cellset.FromSet(cellset.New(all...))) {
+				return fmt.Errorf("dits: leaf all-children summary out of sync at %v", n.Rect)
 			}
 			return nil
 		}

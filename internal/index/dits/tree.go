@@ -32,6 +32,14 @@ type TreeNode struct {
 	// MaxCells) is a free upper bound on any intersection in the leaf,
 	// checked before the O(|S_Q|) Lemma 2/3 bounds.
 	MaxCells int
+
+	// unionC and allC summarize the leaf for the container-based cell-set
+	// engine: the union of the children's cells (a query cell outside it
+	// cannot contribute — Lemma 2) and the cells present in every child
+	// (a query cell inside it is guaranteed in all of them — Lemma 3).
+	// They turn OverlapBoundsCompact into two word-parallel intersection
+	// counts. Maintained by refreshGeometry and the Insert fast path.
+	unionC, allC *cellset.Compact
 }
 
 // IsLeaf reports whether n is a leaf node.
@@ -49,6 +57,7 @@ func (n *TreeNode) refreshGeometry() {
 				n.MaxCells = c.Cells.Len()
 			}
 		}
+		n.refreshSummaries()
 	} else {
 		if n.Left != nil {
 			r = r.Union(n.Left.Rect)
@@ -65,6 +74,36 @@ func (n *TreeNode) refreshGeometry() {
 	}
 	n.O = r.Center()
 	n.R = r.Radius()
+}
+
+// refreshSummaries recomputes the leaf's compact summaries from its
+// children. It runs in mutation contexts only (build, delete, update);
+// the Insert fast path updates the summaries incrementally instead.
+func (n *TreeNode) refreshSummaries() {
+	if len(n.Children) == 0 {
+		n.unionC, n.allC = nil, nil
+		return
+	}
+	u := n.Children[0].CompactCells()
+	a := u
+	for _, c := range n.Children[1:] {
+		cc := c.CompactCells()
+		u = u.Union(cc)
+		a = a.Intersect(cc)
+	}
+	n.unionC, n.allC = u, a
+}
+
+// addToSummaries folds one more child's cells into the leaf summaries
+// (the Insert fast path: no full recomputation).
+func (n *TreeNode) addToSummaries(nd *dataset.Node) {
+	cc := nd.CompactCells()
+	if len(n.Children) == 1 {
+		n.unionC, n.allC = cc, cc
+		return
+	}
+	n.unionC = n.unionC.Union(cc)
+	n.allC = n.allC.Intersect(cc)
 }
 
 // rebuildInv reconstructs the leaf's inverted index from its children; it
@@ -192,6 +231,34 @@ func (n *TreeNode) OverlapCounts(q cellset.Set) []int {
 		for _, idx := range n.Inv[c] {
 			counts[idx]++
 		}
+	}
+	return counts
+}
+
+// OverlapBoundsCompact is OverlapBounds on the container engine: the
+// Lemma 2 upper bound is |q ∩ ∪children| against the cached union summary
+// and the Lemma 3 lower bound |q ∩ ∩children| against the cached
+// all-children summary — two word-parallel intersection counts instead of
+// a per-cell posting-list walk. Results are identical to OverlapBounds.
+func (n *TreeNode) OverlapBoundsCompact(q *cellset.Compact) (lb, ub int) {
+	return q.IntersectCount(n.allC), q.IntersectCount(n.unionC)
+}
+
+// OverlapUBCompact returns only the Lemma 2 upper bound. The top-k
+// searcher prunes on ub alone (the lower bound is subsumed by the exact
+// counting that follows), so it skips the allC intersection that
+// OverlapBoundsCompact would waste on the hot path.
+func (n *TreeNode) OverlapUBCompact(q *cellset.Compact) int {
+	return q.IntersectCount(n.unionC)
+}
+
+// OverlapCountsCompact is OverlapCounts on the container engine: the exact
+// |S_Q ∩ S_D| for every dataset node in the leaf, one chunk-wise
+// intersection count per child. Results are identical to OverlapCounts.
+func (n *TreeNode) OverlapCountsCompact(q *cellset.Compact) []int {
+	counts := make([]int, len(n.Children))
+	for i, d := range n.Children {
+		counts[i] = q.IntersectCount(d.CompactCells())
 	}
 	return counts
 }

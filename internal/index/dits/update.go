@@ -21,6 +21,7 @@ func (l *Local) Insert(nd *dataset.Node) error {
 	if _, dup := l.byID[nd.ID]; dup {
 		return fmt.Errorf("dits: dataset %d already indexed", nd.ID)
 	}
+	nd.EnsureCompact()
 	leaf := l.descend(nd)
 	leaf.Children = append(leaf.Children, nd)
 	l.byID[nd.ID] = nd
@@ -30,6 +31,7 @@ func (l *Local) Insert(nd *dataset.Node) error {
 		l.splitLeaf(leaf)
 	} else {
 		leaf.addInv(nd, len(leaf.Children)-1)
+		leaf.addToSummaries(nd)
 		leaf.Rect = leaf.Rect.Union(nd.Rect)
 		leaf.O = leaf.Rect.Center()
 		leaf.R = leaf.Rect.Radius()
@@ -62,11 +64,13 @@ func (l *Local) splitLeaf(leaf *TreeNode) {
 	children := leaf.Children
 	leaf.Children = nil
 	leaf.Inv = nil
+	leaf.unionC, leaf.allC = nil, nil
 	sub := l.build(children, leaf.Parent)
 	// Graft sub's structure onto the existing leaf node so the parent's
 	// child pointer stays valid.
 	leaf.Left, leaf.Right = sub.Left, sub.Right
 	leaf.Children, leaf.Inv = sub.Children, sub.Inv
+	leaf.unionC, leaf.allC = sub.unionC, sub.allC
 	leaf.Rect, leaf.O, leaf.R = sub.Rect, sub.O, sub.R
 	if leaf.Left != nil {
 		leaf.Left.Parent = leaf
@@ -128,6 +132,7 @@ func (l *Local) hoistSibling(empty *TreeNode) {
 	// Copy the sibling's content into the parent slot.
 	parent.Left, parent.Right = sibling.Left, sibling.Right
 	parent.Children, parent.Inv = sibling.Children, sibling.Inv
+	parent.unionC, parent.allC = sibling.unionC, sibling.allC
 	parent.Rect, parent.O, parent.R = sibling.Rect, sibling.O, sibling.R
 	if parent.Left != nil {
 		parent.Left.Parent = parent
@@ -152,6 +157,7 @@ func (l *Local) Update(nd *dataset.Node) error {
 	if !ok {
 		return fmt.Errorf("dits: dataset %d not indexed", nd.ID)
 	}
+	nd.EnsureCompact()
 	for i, c := range leaf.Children {
 		if c.ID == nd.ID {
 			leaf.removeInv(c, i)

@@ -23,7 +23,7 @@ func (s *SG) Search(q *dataset.Node, delta float64, k int) Result {
 	if q == nil || k <= 0 {
 		return resultFor(q, nil)
 	}
-	covered := q.Cells
+	covered := q.CompactCells()
 	picked := map[int]bool{}
 	members := []*dataset.Node{q}
 	var chosen []*dataset.Node
@@ -52,7 +52,7 @@ func (s *SG) Search(q *dataset.Node, delta float64, k int) Result {
 		picked[best.ID] = true
 		chosen = append(chosen, best)
 		members = append(members, best)
-		covered = covered.Union(best.Cells)
+		covered = covered.Union(best.CompactCells())
 	}
 	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
 }
@@ -73,7 +73,7 @@ func (s *SGDITS) Search(q *dataset.Node, delta float64, k int) Result {
 	if q == nil || k <= 0 || s.Index.Root == nil {
 		return resultFor(q, nil)
 	}
-	covered := q.Cells
+	covered := q.CompactCells()
 	picked := map[int]bool{}
 	members := []*dataset.Node{q}
 	var chosen []*dataset.Node
@@ -96,7 +96,7 @@ func (s *SGDITS) Search(q *dataset.Node, delta float64, k int) Result {
 		picked[best.ID] = true
 		chosen = append(chosen, best)
 		members = append(members, best)
-		covered = covered.Union(best.Cells)
+		covered = covered.Union(best.CompactCells())
 	}
 	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
 }

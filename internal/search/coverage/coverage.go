@@ -57,7 +57,7 @@ type Searcher interface {
 // paper filters |S_D| > τ strictly; ties are admitted here so that the
 // ID tie-break is independent of candidate order and all three algorithms
 // return identical results.) Ties break toward smaller IDs.
-func pickBest(cands []*dataset.Node, picked map[int]bool, covered cellset.Set) *dataset.Node {
+func pickBest(cands []*dataset.Node, picked map[int]bool, covered *cellset.Compact) *dataset.Node {
 	tau := -1
 	var best *dataset.Node
 	for _, nd := range cands {
@@ -67,7 +67,7 @@ func pickBest(cands []*dataset.Node, picked map[int]bool, covered cellset.Set) *
 		if nd.Cells.Len() < tau {
 			continue // size filter: gain <= |S_D| < τ
 		}
-		g := covered.MarginalGain(nd.Cells)
+		g := covered.MarginalGain(nd.CompactCells())
 		if g > tau || (g == tau && best != nil && nd.ID < best.ID) {
 			best = nd
 			tau = g
@@ -93,7 +93,7 @@ func (s *DITSSearcher) Search(q *dataset.Node, delta float64, k int) Result {
 		return resultFor(q, nil)
 	}
 	merged := q
-	covered := q.Cells
+	covered := q.CompactCells()
 	picked := map[int]bool{}
 	qIdx := cellset.NewDistIndex(q.Cells, delta)
 	var chosen []*dataset.Node
@@ -106,9 +106,9 @@ func (s *DITSSearcher) Search(q *dataset.Node, delta float64, k int) Result {
 		}
 		picked[best.ID] = true
 		chosen = append(chosen, best)
-		covered = covered.Union(best.Cells)
+		covered = covered.Union(best.CompactCells())
 		merged = merged.Merge(best)
-		qIdx.Add(best.Cells)
+		qIdx.AddCompact(best.CompactCells())
 	}
 	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
 }

@@ -68,7 +68,7 @@ func PricedSearch(idx *dits.Local, q *dataset.Node, delta float64, budget float6
 	}
 
 	merged := q
-	covered := q.Cells
+	covered := q.CompactCells()
 	picked := map[int]bool{}
 	qIdx := cellset.NewDistIndex(q.Cells, delta)
 
@@ -85,7 +85,7 @@ func PricedSearch(idx *dits.Local, q *dataset.Node, delta float64, budget float6
 			if price > budget-res.Spent {
 				continue // unaffordable
 			}
-			g := covered.MarginalGain(nd.Cells)
+			g := covered.MarginalGain(nd.CompactCells())
 			if g <= 0 {
 				continue // buying it adds nothing
 			}
@@ -100,10 +100,10 @@ func PricedSearch(idx *dits.Local, q *dataset.Node, delta float64, budget float6
 		picked[best.ID] = true
 		res.Picked = append(res.Picked, best)
 		res.Spent += pricing.PriceOf(best.ID)
-		covered = covered.Union(best.Cells)
+		covered = covered.Union(best.CompactCells())
 		res.Coverage = covered.Len()
 		merged = merged.Merge(best)
-		qIdx.Add(best.Cells)
+		qIdx.AddCompact(best.CompactCells())
 		_ = bestGain
 	}
 	return res

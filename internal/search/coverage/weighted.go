@@ -54,7 +54,7 @@ func WeightedSearch(idx *dits.Local, q *dataset.Node, delta float64, k int, weig
 	res.Coverage = res.QueryCoverage
 
 	merged := q
-	covered := q.Cells
+	covered := q.CompactCells()
 	picked := map[int]bool{}
 	qIdx := cellset.NewDistIndex(q.Cells, delta)
 
@@ -66,7 +66,7 @@ func WeightedSearch(idx *dits.Local, q *dataset.Node, delta float64, k int, weig
 			if picked[nd.ID] {
 				continue
 			}
-			g := setWeight(nd.Cells.Diff(covered), weight)
+			g := compactWeight(nd.CompactCells().Diff(covered), weight)
 			if g > bestGain || (g == bestGain && best != nil && nd.ID < best.ID) {
 				best, bestGain = nd, g
 			}
@@ -77,10 +77,10 @@ func WeightedSearch(idx *dits.Local, q *dataset.Node, delta float64, k int, weig
 		picked[best.ID] = true
 		res.Picked = append(res.Picked, best)
 		res.Weight += bestGain
-		covered = covered.Union(best.Cells)
+		covered = covered.Union(best.CompactCells())
 		res.Coverage = covered.Len()
 		merged = merged.Merge(best)
-		qIdx.Add(best.Cells)
+		qIdx.AddCompact(best.CompactCells())
 	}
 	return res
 }
@@ -91,5 +91,15 @@ func setWeight(s cellset.Set, weight CellWeight) float64 {
 	for _, c := range s {
 		total += weight(c)
 	}
+	return total
+}
+
+// compactWeight sums the weights of a container cell set.
+func compactWeight(s *cellset.Compact, weight CellWeight) float64 {
+	var total float64
+	s.ForEach(func(c uint64) bool {
+		total += weight(c)
+		return true
+	})
 	return total
 }

@@ -42,6 +42,7 @@ func (s *RtreeSearcher) TopK(q *dataset.Node, k int) []Result {
 	if q == nil || k <= 0 {
 		return nil
 	}
+	qc := q.CompactCells()
 	res := newTopK(k)
 	for _, d := range s.Index.SearchIntersect(q.Rect) {
 		// Cheap size bound first: |S_Q ∩ S_D| <= min(|S_Q|, |S_D|).
@@ -54,7 +55,7 @@ func (s *RtreeSearcher) TopK(q *dataset.Node, k int) []Result {
 				continue
 			}
 		}
-		if c := d.Cells.IntersectCount(q.Cells); c > 0 {
+		if c := d.CompactCells().IntersectCount(qc); c > 0 {
 			res.offer(Result{ID: d.ID, Name: d.Name, Overlap: c})
 		}
 	}
@@ -114,12 +115,13 @@ func (s *BruteForce) TopK(q *dataset.Node, k int) []Result {
 	if q == nil || k <= 0 {
 		return nil
 	}
+	qc := q.CompactCells()
 	res := newTopK(k)
 	for _, d := range s.Nodes {
 		if d == nil {
 			continue
 		}
-		if c := d.Cells.IntersectCount(q.Cells); c > 0 {
+		if c := d.CompactCells().IntersectCount(qc); c > 0 {
 			res.offer(Result{ID: d.ID, Name: d.Name, Overlap: c})
 		}
 	}

@@ -1,7 +1,8 @@
 package overlap
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"dits/internal/dataset"
 	"dits/internal/index/dits"
@@ -44,6 +45,10 @@ func (s *DITSSearcher) TopK(q *dataset.Node, k int) []Result {
 	if q == nil || k <= 0 || s.Index.Root == nil {
 		return nil
 	}
+	// All bound and verification arithmetic runs on the container engine;
+	// CompactCells falls back to a one-off conversion for hand-built
+	// query nodes.
+	qc := q.CompactCells()
 	// Filter step: collect the leaves whose MBR intersects the query MBR
 	// (internal-node pruning of Algorithm 2, lines 24-26). Each carries
 	// the free upper bound min(|S_Q|, MaxCells).
@@ -59,7 +64,7 @@ func (s *DITSSearcher) TopK(q *dataset.Node, k int) []Result {
 			return
 		}
 		ub := n.MaxCells
-		if qn := q.Cells.Len(); qn < ub {
+		if qn := q.Coverage(); qn < ub {
 			ub = qn
 		}
 		if ub > 0 {
@@ -73,7 +78,7 @@ func (s *DITSSearcher) TopK(q *dataset.Node, k int) []Result {
 	// the leaves are sorted, every later leaf — can be pruned in batch.
 	// For surviving leaves the Lemma 2/3 bounds give a second, tighter
 	// chance to skip before the exact per-dataset counting.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ub > cands[j].ub })
+	slices.SortFunc(cands, func(a, b candidateLeaf) int { return cmp.Compare(b.ub, a.ub) })
 	res := newTopK(k)
 	for _, c := range cands {
 		if res.full() && c.ub < res.kthOverlap() {
@@ -83,12 +88,12 @@ func (s *DITSSearcher) TopK(q *dataset.Node, k int) []Result {
 			// Lemma 2's ub skips the exact counting when nothing in the
 			// leaf can improve the top-k; Lemma 3's lb is subsumed by the
 			// counting that follows for surviving leaves.
-			if _, ub := c.leaf.OverlapBounds(q.Cells); ub == 0 ||
+			if ub := c.leaf.OverlapUBCompact(qc); ub == 0 ||
 				(res.full() && ub < res.kthOverlap()) {
 				continue
 			}
 		}
-		counts := c.leaf.OverlapCounts(q.Cells)
+		counts := c.leaf.OverlapCountsCompact(qc)
 		for i, d := range c.leaf.Children {
 			if counts[i] > 0 {
 				res.offer(Result{ID: d.ID, Name: d.Name, Overlap: counts[i]})

@@ -12,7 +12,7 @@ package overlap
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 
 	"dits/internal/dataset"
 )
@@ -95,7 +95,16 @@ func (t *topK) full() bool { return t.h.Len() >= t.k }
 // sorted extracts the results ranked best-first.
 func (t *topK) sorted() []Result {
 	out := append([]Result(nil), t.h...)
-	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	slices.SortFunc(out, func(a, b Result) int {
+		switch {
+		case less(b, a):
+			return -1
+		case less(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 
