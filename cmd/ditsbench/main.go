@@ -7,11 +7,14 @@
 //	ditsbench -exp all -scale 0.05     # everything, bigger workload
 //	ditsbench -exp fig13 -csv out/     # also write CSV files
 //
-// The setops experiment additionally supports a baseline/compare workflow
-// so speedups (and regressions) are machine-readable across PRs:
+// The setops and fedcomm experiments additionally support a
+// baseline/compare workflow so speedups (and regressions) are
+// machine-readable across PRs:
 //
 //	ditsbench -exp setops -baseline    # snapshot results to BENCH_setops.json
 //	ditsbench -exp setops -compare     # rerun and diff against the snapshot
+//	ditsbench -exp fedcomm -baseline   # snapshot to BENCH_fedcomm.json
+//	ditsbench -exp fedcomm -compare    # diff protocol bytes per query
 package main
 
 import (
@@ -27,12 +30,12 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	baseline := flag.Bool("baseline", false, "with -exp setops: snapshot results to -benchfile")
-	compare := flag.Bool("compare", false, "with -exp setops: diff results against the -benchfile snapshot")
-	benchFile := flag.String("benchfile", "BENCH_setops.json", "snapshot file for -baseline/-compare")
+	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops/fedcomm: diff results against the -benchfile snapshot")
+	benchFile := flag.String("benchfile", "", "snapshot file for -baseline/-compare (default BENCH_<exp>.json)")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale (fraction of Table I sizes)")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
 		"workload scale for the OJSP figures 9-12 (0 = same as -scale)")
@@ -75,9 +78,16 @@ func main() {
 			tables []bench.Table
 			err    error
 		)
-		if id == "setops" && (*baseline || *compare) {
-			tables, err = runSetopsSnapshot(cfg, *baseline, *compare, *benchFile)
-		} else {
+		file := *benchFile
+		if file == "" {
+			file = "BENCH_" + id + ".json"
+		}
+		switch {
+		case id == "setops" && (*baseline || *compare):
+			tables, err = runSetopsSnapshot(cfg, *baseline, *compare, file)
+		case id == "fedcomm" && (*baseline || *compare):
+			tables, err = runFedcommSnapshot(cfg, *baseline, *compare, file)
+		default:
 			tables, err = bench.Run(id, cfg)
 		}
 		if err != nil {
@@ -113,6 +123,31 @@ func runSetopsSnapshot(cfg bench.Config, baseline, compare bool, file string) ([
 	}
 	if baseline {
 		if err := bench.WriteSetops(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
+}
+
+// runFedcommSnapshot is the same workflow for the federation-protocol
+// experiment: -baseline snapshots bytes/round-trips per query, -compare
+// diffs a fresh run against the snapshot. The run itself enforces
+// stateless/session result parity and errors out on any divergence.
+func runFedcommSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables, err := bench.RunFedcomm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if compare {
+		base, err := bench.ReadFedcomm(file)
+		if err != nil {
+			return nil, fmt.Errorf("load baseline (run -exp fedcomm -baseline first): %w", err)
+		}
+		tables = append(tables, bench.CompareFedcomm(base, report))
+	}
+	if baseline {
+		if err := bench.WriteFedcomm(file, report); err != nil {
 			return nil, err
 		}
 		fmt.Printf("baseline snapshot written to %s\n\n", file)

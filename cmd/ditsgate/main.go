@@ -47,6 +47,8 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 	noFilter := flag.Bool("no-filter", false, "disable DITS-G candidate filtering")
 	noClip := flag.Bool("no-clip", false, "disable per-source query clipping")
+	stateless := flag.Bool("stateless", false, "disable the CJSP session protocol (ship full state every round)")
+	tolerant := flag.Bool("tolerant", false, "skip failed sources mid-query instead of failing the query")
 	flag.Parse()
 
 	if *remote == "" {
@@ -60,7 +62,10 @@ func main() {
 		fail(err)
 	}
 
-	opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip}
+	opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip, Sessions: !*stateless}
+	if *tolerant {
+		opts.OnSourceError = federation.SkipFailed
+	}
 	center := federation.NewCenter(geo.NewGrid(*theta, bounds), opts)
 	center.SetCache(cache.New(*cacheSize))
 

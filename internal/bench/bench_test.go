@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,40 @@ func TestRunDispatch(t *testing.T) {
 	tables, err := Run("table2", tinyConfig())
 	if err != nil || len(tables) != 1 {
 		t.Fatalf("table2 run: %v, %d tables", err, len(tables))
+	}
+}
+
+// TestFedcommSnapshotRoundTrip runs the protocol experiment at tiny scale
+// (which itself enforces stateless/session result parity) and checks the
+// snapshot file round-trips and diffs cleanly.
+func TestFedcommSnapshotRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fedcomm builds a five-source federation; not short")
+	}
+	report, tables, err := RunFedcomm(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(report.Results) != 4 {
+		t.Fatalf("unexpected shape: %d tables, %d results", len(tables), len(report.Results))
+	}
+	path := filepath.Join(t.TempDir(), "fedcomm.json")
+	if err := WriteFedcomm(path, report); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFedcomm(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != FedcommSchema || len(back.Results) != len(report.Results) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	cmp := CompareFedcomm(back, report)
+	if len(cmp.Rows) != len(report.Results) {
+		t.Fatalf("compare table has %d rows, want %d", len(cmp.Rows), len(report.Results))
+	}
+	if _, err := ReadFedcomm(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("reading a missing snapshot should error")
 	}
 }
 

@@ -25,9 +25,10 @@ var commVariants = []struct {
 	{"baselines (broadcast)", federation.Options{GlobalFilter: false, ClipQuery: false}},
 }
 
-// buildFederations creates one federation of all five sources per variant,
-// sharing the per-source DITS-L indexes.
-func buildFederations(cfg Config) ([]*federation.Center, geo.Grid, []sourceData) {
+// buildSourceServers indexes the five workload sources under one shared
+// world grid — the raw material every federation experiment wires into its
+// own centers.
+func buildSourceServers(cfg Config) ([]*federation.SourceServer, geo.Grid, []sourceData) {
 	// Shared world grid covering all sources.
 	world := geo.EmptyRect
 	var sds []sourceData
@@ -44,15 +45,28 @@ func buildFederations(cfg Config) ([]*federation.Center, geo.Grid, []sourceData)
 		idx := dits.Build(g, sds[i].nodes, cfg.F)
 		servers = append(servers, federation.NewSourceServerWithGrid(sds[i].spec.Name, idx))
 	}
+	return servers, g, sds
+}
+
+// newFederation wires the servers into a fresh center with the given
+// options over in-process peers.
+func newFederation(g geo.Grid, servers []*federation.SourceServer, opts federation.Options) *federation.Center {
+	c := federation.NewCenter(g, opts)
+	for _, srv := range servers {
+		c.Register(srv.Summary(), &transport.InProc{
+			Name: srv.Name, Handler: srv.Handler(), Metrics: c.Metrics,
+		})
+	}
+	return c
+}
+
+// buildFederations creates one federation of all five sources per variant,
+// sharing the per-source DITS-L indexes.
+func buildFederations(cfg Config) ([]*federation.Center, geo.Grid, []sourceData) {
+	servers, g, sds := buildSourceServers(cfg)
 	var centers []*federation.Center
 	for _, v := range commVariants {
-		c := federation.NewCenter(g, v.opts)
-		for _, srv := range servers {
-			c.Register(srv.Summary(), &transport.InProc{
-				Name: srv.Name, Handler: srv.Handler(), Metrics: c.Metrics,
-			})
-		}
-		centers = append(centers, c)
+		centers = append(centers, newFederation(g, servers, v.opts))
 	}
 	return centers, g, sds
 }

@@ -1,8 +1,9 @@
 package bench
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Experiment is one reproducible table/figure of the paper.
@@ -35,12 +36,13 @@ var experiments = []Experiment{
 	{"ablation", "Ablation of DITS design choices (extension)", Ablation},
 	{"throughput", "Federated query throughput vs concurrent clients (extension)", Throughput},
 	{"setops", "Cell-set engine: flat slices vs Roaring-style containers (extension)", Setops},
+	{"fedcomm", "Federation protocol: stateless vs session, bytes and round-trips per query (extension)", Fedcomm},
 }
 
 // All returns every experiment, sorted by ID.
 func All() []Experiment {
 	out := append([]Experiment(nil), experiments...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Experiment) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 
@@ -51,5 +53,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm)", id)
 }

@@ -1,11 +1,14 @@
 package federation
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"math/rand"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"dits/internal/cache"
 	"dits/internal/cellset"
@@ -14,9 +17,9 @@ import (
 	"dits/internal/transport"
 )
 
-// Options tune the data center's query distribution strategies (§VI-A).
-// Both default to on; benchmarks switch them off to model the baselines,
-// which broadcast the full query to every source.
+// Options tune the data center's query distribution strategies (§VI-A)
+// and its failure semantics. Benchmarks switch the strategies off to model
+// the baselines, which broadcast the full query to every source.
 type Options struct {
 	// GlobalFilter prunes non-candidate sources through DITS-G (first
 	// strategy: fewer communications).
@@ -24,10 +27,24 @@ type Options struct {
 	// ClipQuery ships only the query cells intersecting each candidate
 	// source's root MBR (second strategy: fewer bytes per communication).
 	ClipQuery bool
+	// Sessions runs CJSP over the session protocol: per-query sessions at
+	// each source, delta-shipped rounds, and two-phase candidate offers
+	// where only the round's winner ships its cells. Off, every round
+	// ships the whole merged state to every candidate and every candidate
+	// ships its cells back (the stateless protocol, kept as fallback and
+	// baseline).
+	Sessions bool
+	// OnSourceError picks the failure policy for mid-query peer errors:
+	// FailFast (zero value) aborts the query, SkipFailed answers from the
+	// surviving sources and records the failure in Metrics.
+	OnSourceError FailurePolicy
 }
 
-// DefaultOptions enables both distribution strategies.
-func DefaultOptions() Options { return Options{GlobalFilter: true, ClipQuery: true} }
+// DefaultOptions enables both distribution strategies and the session
+// protocol, with fail-fast error semantics.
+func DefaultOptions() Options {
+	return Options{GlobalFilter: true, ClipQuery: true, Sessions: true}
+}
 
 // member is one registered source: its summary and its connection.
 type member struct {
@@ -35,43 +52,76 @@ type member struct {
 	peer    transport.Peer
 }
 
+// epochSnap is one immutable membership epoch: the member set, the DITS-G
+// built over it, and the generation number that versions both. A query
+// loads the pointer once and works against that snapshot for its whole
+// lifetime — rounds of one CJSP see one consistent federation even while
+// sources register and unregister concurrently.
+type epochSnap struct {
+	gen     uint64
+	members map[string]*member
+	ordered []*member // name-sorted, for deterministic broadcast order
+	global  *dits.Global
+}
+
+// rebuildEvery bounds how far the incrementally maintained DITS-G may
+// drift from a fresh build: after this many single-source joins/leaves the
+// next membership change rebuilds from scratch, restoring balance.
+const rebuildEvery = 64
+
 // Center is the data center: it maintains DITS-G over the source summaries
 // and coordinates multi-source OJSP and CJSP.
 //
 // A Center is safe for concurrent use: any number of goroutines — one per
 // gateway request, say — may run OverlapSearch and CoverageSearch while
-// others register or unregister sources. Query state is per-call; the
-// membership map and the global index are guarded by mu. Peers themselves
-// must tolerate the resulting concurrent Calls: wrap TCP connections in a
-// transport.Pool (transport.InProc is already safe when its handler is).
+// others register or unregister sources. Membership lives in an immutable
+// epoch snapshot swapped atomically under mu; queries pin the snapshot
+// once and never touch the lock again. Peers themselves must tolerate the
+// resulting concurrent Calls: wrap TCP connections in a transport.Pool
+// (transport.InProc is already safe when its handler is).
 type Center struct {
 	Grid    geo.Grid // the federation's shared grid
 	Options Options
 	Metrics *transport.Metrics
 
-	mu      sync.RWMutex
-	members map[string]*member
-	global  *dits.Global
-	gf      int // leaf capacity for DITS-G
+	epoch atomic.Pointer[epochSnap]
 
-	cache *cache.Cache // optional whole-query result cache
-	// cacheGen increments on every membership change and is folded into
-	// every cache key. Clear() frees the old entries, but an in-flight
-	// query can still Put a result computed under the old membership
-	// after the Clear; the generation in the key guarantees such an
-	// entry can never be returned to a query started after the change.
-	cacheGen uint64
+	mu      sync.Mutex // serializes membership changes and guards cache/gf
+	gf      int        // leaf capacity for DITS-G
+	incrOps int        // membership ops since the last full rebuild
+	cache   *cache.Cache
+}
+
+// sessionIDs issues center-process-unique session identifiers. The base is
+// random so sessions from independent centers sharing a source collide
+// with negligible probability.
+var sessionIDs atomic.Uint64
+
+func init() { sessionIDs.Store(rand.Uint64()) }
+
+// nextSessionID returns a fresh non-zero session ID (zero means "no
+// session" on the wire).
+func nextSessionID() uint64 {
+	for {
+		if id := sessionIDs.Add(1); id != 0 {
+			return id
+		}
+	}
 }
 
 // NewCenter creates a data center over the shared grid.
 func NewCenter(g geo.Grid, opts Options) *Center {
-	return &Center{
+	c := &Center{
 		Grid:    g,
 		Options: opts,
 		Metrics: &transport.Metrics{},
-		members: make(map[string]*member),
 		gf:      dits.DefaultLeafCapacity,
 	}
+	c.epoch.Store(&epochSnap{
+		members: map[string]*member{},
+		global:  dits.BuildGlobal(nil, c.gf),
+	})
+	return c
 }
 
 // SetCache installs a result cache memoizing whole-query answers keyed by
@@ -84,30 +134,39 @@ func (c *Center) SetCache(rc *cache.Cache) {
 	c.mu.Unlock()
 }
 
-// Cache returns the installed result cache (nil when disabled).
+// Cache returns the installed result cache (nil when disabled). Query
+// results are keyed by the pinned epoch's generation, so an entry computed
+// under an old epoch can never be returned to a query started after a
+// membership change even if it is Put after the change's Clear.
 func (c *Center) Cache() *cache.Cache {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.cache
 }
 
-// cacheState returns the cache together with the current membership
-// generation, read atomically with respect to membership changes.
-func (c *Center) cacheState() (*cache.Cache, uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.cache, c.cacheGen
-}
+// Generation returns the current membership epoch's generation number. It
+// increments on every Register/Unregister.
+func (c *Center) Generation() uint64 { return c.epoch.Load().gen }
 
 // Register adds a source: the source uploads its root summary and the
-// center rebuilds DITS-G (§V-B).
+// center swaps in a new membership epoch whose DITS-G is updated
+// incrementally (copy-on-write) rather than rebuilt (§V-B).
 func (c *Center) Register(summary dits.SourceSummary, peer transport.Peer) {
 	c.mu.Lock()
-	c.members[summary.Name] = &member{summary: summary, peer: peer}
-	c.rebuildGlobal()
-	c.cacheGen++
-	c.cache.Clear()
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	old := c.epoch.Load()
+	members := make(map[string]*member, len(old.members)+1)
+	for k, v := range old.members {
+		members[k] = v
+	}
+	_, existed := members[summary.Name]
+	members[summary.Name] = &member{summary: summary, peer: peer}
+	g := old.global
+	if existed {
+		g = g.WithoutSource(summary.Name)
+	}
+	g = g.WithSource(summary)
+	c.swapEpochLocked(old, members, g)
 }
 
 // RegisterRemote fetches the source's summary over the peer connection
@@ -126,33 +185,59 @@ func (c *Center) RegisterRemote(peer transport.Peer) (dits.SourceSummary, error)
 	return summary, nil
 }
 
-// Unregister removes a source (its peer is not closed).
+// Unregister removes a source (its peer is not closed). In-flight queries
+// pinned to the old epoch keep their consistent member set; new queries
+// see the source gone.
 func (c *Center) Unregister(name string) {
 	c.mu.Lock()
-	delete(c.members, name)
-	c.rebuildGlobal()
-	c.cacheGen++
-	c.cache.Clear()
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	old := c.epoch.Load()
+	if _, ok := old.members[name]; !ok {
+		return
+	}
+	members := make(map[string]*member, len(old.members))
+	for k, v := range old.members {
+		if k != name {
+			members[k] = v
+		}
+	}
+	c.swapEpochLocked(old, members, old.global.WithoutSource(name))
 }
 
-// rebuildGlobal rebuilds DITS-G; the caller holds c.mu.
-func (c *Center) rebuildGlobal() {
-	summaries := make([]dits.SourceSummary, 0, len(c.members))
-	for _, m := range c.members {
-		summaries = append(summaries, m.summary)
+// swapEpochLocked publishes a new membership epoch; the caller holds c.mu.
+// Every rebuildEvery incremental updates the global index is rebuilt from
+// scratch so incremental drift cannot accumulate unboundedly.
+func (c *Center) swapEpochLocked(old *epochSnap, members map[string]*member, g *dits.Global) {
+	c.incrOps++
+	if c.incrOps >= rebuildEvery {
+		c.incrOps = 0
+		summaries := make([]dits.SourceSummary, 0, len(members))
+		for _, m := range members {
+			summaries = append(summaries, m.summary)
+		}
+		slices.SortFunc(summaries, func(a, b dits.SourceSummary) int {
+			return cmp.Compare(a.Name, b.Name)
+		})
+		g = dits.BuildGlobal(summaries, c.gf)
 	}
-	// Deterministic global tree regardless of registration order.
-	sort.Slice(summaries, func(i, j int) bool { return summaries[i].Name < summaries[j].Name })
-	c.global = dits.BuildGlobal(summaries, c.gf)
+	ordered := make([]*member, 0, len(members))
+	for _, m := range members {
+		ordered = append(ordered, m)
+	}
+	slices.SortFunc(ordered, func(a, b *member) int {
+		return cmp.Compare(a.summary.Name, b.summary.Name)
+	})
+	c.epoch.Store(&epochSnap{
+		gen:     old.gen + 1,
+		members: members,
+		ordered: ordered,
+		global:  g,
+	})
+	c.cache.Clear()
 }
 
 // NumSources returns the number of registered sources.
-func (c *Center) NumSources() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.members)
-}
+func (c *Center) NumSources() int { return len(c.epoch.Load().members) }
 
 // SourceResult is a federated OJSP result: a dataset within one source.
 type SourceResult struct {
@@ -162,13 +247,9 @@ type SourceResult struct {
 	Overlap int
 }
 
-// queryNode converts query cells into the raw-coordinate query summary used
-// against DITS-G.
-func (c *Center) queryNode(cells cellset.Set) (dits.QueryNode, bool) {
-	minX, minY, maxX, maxY, ok := cells.Bounds()
-	if !ok {
-		return dits.QueryNode{}, false
-	}
+// boundsQueryNode converts cell-coordinate bounds into the raw-coordinate
+// query summary used against DITS-G.
+func (c *Center) boundsQueryNode(minX, minY, maxX, maxY uint32) dits.QueryNode {
 	g := c.Grid
 	raw := geo.Rect{
 		MinX: g.Origin.X + float64(minX)*g.CellW,
@@ -176,29 +257,33 @@ func (c *Center) queryNode(cells cellset.Set) (dits.QueryNode, bool) {
 		MaxX: g.Origin.X + float64(maxX+1)*g.CellW,
 		MaxY: g.Origin.Y + float64(maxY+1)*g.CellH,
 	}
-	return dits.QueryNode{Rect: raw, O: raw.Center(), R: raw.Radius()}, true
+	return dits.QueryNode{Rect: raw, O: raw.Center(), R: raw.Radius()}
 }
 
-// candidates returns the sources the query must be sent to, in
-// deterministic name order. It snapshots the membership under the read
-// lock, so an in-flight query keeps a consistent member set even while
-// sources register or unregister concurrently.
-func (c *Center) candidates(qn dits.QueryNode, deltaRaw float64) []*member {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+// queryNode converts query cells into the raw-coordinate query summary.
+func (c *Center) queryNode(cells cellset.Set) (dits.QueryNode, bool) {
+	minX, minY, maxX, maxY, ok := cells.Bounds()
+	if !ok {
+		return dits.QueryNode{}, false
+	}
+	return c.boundsQueryNode(minX, minY, maxX, maxY), true
+}
+
+// candidates returns the sources of the pinned epoch the query must be
+// sent to, in deterministic name order.
+func (c *Center) candidates(ep *epochSnap, qn dits.QueryNode, deltaRaw float64) []*member {
+	if !c.Options.GlobalFilter {
+		return ep.ordered
+	}
 	var out []*member
-	if c.Options.GlobalFilter {
-		for _, s := range c.global.CandidateSources(qn, deltaRaw) {
-			if m, ok := c.members[s.Name]; ok {
-				out = append(out, m)
-			}
-		}
-	} else {
-		for _, m := range c.members {
+	for _, s := range ep.global.CandidateSources(qn, deltaRaw) {
+		if m, ok := ep.members[s.Name]; ok {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].summary.Name < out[j].summary.Name })
+	slices.SortFunc(out, func(a, b *member) int {
+		return cmp.Compare(a.summary.Name, b.summary.Name)
+	})
 	return out
 }
 
@@ -240,13 +325,17 @@ func queryKey(gen uint64, kind byte, a, b uint64, cells cellset.Set) string {
 // OverlapSearch answers the multi-source OJSP: the k datasets with the
 // largest overlap with the query across all registered sources.
 func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, error) {
-	if k <= 0 || queryCells.IsEmpty() || c.NumSources() == 0 {
+	if k <= 0 || queryCells.IsEmpty() {
 		return nil, nil
 	}
-	rc, gen := c.cacheState()
+	ep := c.epoch.Load()
+	if len(ep.members) == 0 {
+		return nil, nil
+	}
+	rc := c.Cache()
 	key := ""
 	if rc != nil {
-		key = queryKey(gen, 'O', uint64(k), 0, queryCells)
+		key = queryKey(ep.gen, 'O', uint64(k), 0, queryCells)
 		if v, ok := rc.Get(key); ok {
 			// Hand out a copy: callers may sort or truncate the slice.
 			cached := v.([]SourceResult)
@@ -260,7 +349,8 @@ func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, e
 	// Fan out to candidate sources in parallel: sources are independent
 	// machines, so their local searches overlap in time. Each peer is
 	// driven by exactly one goroutine.
-	outs, err := fanOut(c.candidates(qn, 0), func(m *member) ([]SourceResult, error) {
+	members := c.candidates(ep, qn, 0)
+	outs, errs := fanOut(members, func(m *member) ([]SourceResult, error) {
 		cells := c.clipFor(m, queryCells, 0)
 		if cells.IsEmpty() {
 			return nil, nil
@@ -283,28 +373,35 @@ func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, e
 		}
 		return rs, nil
 	})
-	if err != nil {
+	if err := c.resolve(members, errs, nil); err != nil {
 		return nil, err
 	}
+	degraded := false
 	var all []SourceResult
-	for _, rs := range outs {
+	for i, rs := range outs {
+		if errs[i] != nil {
+			degraded = true
+			continue
+		}
 		all = append(all, rs...)
 	}
 	// Aggregate: global top-k, deterministic tie-break.
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Overlap != all[j].Overlap {
-			return all[i].Overlap > all[j].Overlap
+	slices.SortFunc(all, func(a, b SourceResult) int {
+		if a.Overlap != b.Overlap {
+			return cmp.Compare(b.Overlap, a.Overlap)
 		}
-		if all[i].Source != all[j].Source {
-			return all[i].Source < all[j].Source
+		if a.Source != b.Source {
+			return cmp.Compare(a.Source, b.Source)
 		}
-		return all[i].ID < all[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if len(all) > k {
 		all = all[:k]
 	}
-	if rc != nil {
-		// Cache a private copy so later caller mutations cannot corrupt it.
+	if rc != nil && !degraded {
+		// Cache a private copy so later caller mutations cannot corrupt
+		// it. Degraded answers (a skipped source under SkipFailed) are
+		// never cached: the source may recover on the next query.
 		rc.Put(key, append([]SourceResult(nil), all...))
 	}
 	return all, nil
@@ -321,27 +418,61 @@ type CoverageResult struct {
 // asks every candidate source for its best connected dataset given the
 // merged result so far, picks the global maximum marginal gain, merges it,
 // and repeats up to k times (§VI-A + Algorithm 3 lifted to the federation).
+// With Options.Sessions it runs the session protocol — delta-shipped
+// rounds, two-phase winner fetch — which produces identical results to the
+// stateless protocol at a fraction of the bytes.
 func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (CoverageResult, error) {
 	res := CoverageResult{QueryCoverage: queryCells.Len(), Coverage: queryCells.Len()}
-	if k <= 0 || queryCells.IsEmpty() || c.NumSources() == 0 {
+	if k <= 0 || queryCells.IsEmpty() {
 		return res, nil
 	}
-	rc, gen := c.cacheState()
+	ep := c.epoch.Load()
+	if len(ep.members) == 0 {
+		return res, nil
+	}
+	rc := c.Cache()
 	key := ""
 	if rc != nil {
-		key = queryKey(gen, 'C', uint64(k), math.Float64bits(delta), queryCells)
+		key = queryKey(ep.gen, 'C', uint64(k), math.Float64bits(delta), queryCells)
 		if v, ok := rc.Get(key); ok {
 			cached := v.(CoverageResult)
 			cached.Picked = append([]SourceResult(nil), cached.Picked...)
 			return cached, nil
 		}
 	}
+	var degraded bool
+	var err error
+	if c.Options.Sessions {
+		res, degraded, err = c.coverageSession(ep, queryCells, delta, k, res)
+	} else {
+		res, degraded, err = c.coverageStateless(ep, queryCells, delta, k, res)
+	}
+	if err != nil {
+		return res, err
+	}
+	if rc != nil && !degraded {
+		// Degraded answers (a skipped source under SkipFailed) are never
+		// cached: the source may recover on the next query.
+		cached := res
+		cached.Picked = append([]SourceResult(nil), res.Picked...)
+		rc.Put(key, cached)
+	}
+	return res, nil
+}
+
+// coverageStateless is the original per-round-broadcast protocol: every
+// round ships the full clipped merged state to every candidate, and every
+// candidate answers with its best pick's full cell set.
+// It also reports whether the answer is degraded (a source was skipped
+// under the tolerant policy).
+func (c *Center) coverageStateless(ep *epochSnap, queryCells cellset.Set, delta float64, k int, res CoverageResult) (CoverageResult, bool, error) {
 	// The merged-query state lives on the container engine: each greedy
 	// round unions the winning candidate word-parallel, and the flat form
 	// shipped to sources is rematerialized from it.
 	mergedC := cellset.FromSet(queryCells)
 	merged := queryCells
 	excluded := make(map[string][]int)
+	failed := make(map[string]bool)
 	draw := c.deltaRaw(delta)
 
 	for len(res.Picked) < k {
@@ -349,7 +480,11 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 		if !ok {
 			break
 		}
-		offers, err := fanOut(c.candidates(qn, draw), func(m *member) (*offer, error) {
+		members := c.candidates(ep, qn, draw)
+		members = slices.DeleteFunc(slices.Clone(members), func(m *member) bool {
+			return failed[m.summary.Name]
+		})
+		offers, errs := fanOut(members, func(m *member) (*offer, error) {
 			cells := c.clipFor(m, merged, delta+1)
 			if cells.IsEmpty() {
 				return nil, nil
@@ -375,12 +510,14 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 			}
 			return &offer{src: m.summary.Name, cand: cand}, nil
 		})
-		if err != nil {
-			return res, err
+		if err := c.resolve(members, errs, func(i int) {
+			failed[members[i].summary.Name] = true
+		}); err != nil {
+			return res, len(failed) > 0, err
 		}
 		var best *offer
-		for _, o := range offers {
-			if o == nil {
+		for i, o := range offers {
+			if o == nil || errs[i] != nil {
 				continue
 			}
 			if best == nil || betterOffer(*o, *best) {
@@ -399,12 +536,249 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 		})
 		res.Coverage = mergedC.Len()
 	}
-	if rc != nil {
-		cached := res
-		cached.Picked = append([]SourceResult(nil), res.Picked...)
-		rc.Put(key, cached)
+	return res, len(failed) > 0, nil
+}
+
+// srcState is the center's per-source view of one coverage session.
+type srcState struct {
+	m       *member
+	open    bool             // session established at the source
+	pending *cellset.Compact // clipped winner cells not yet shipped
+	last    *offer           // cached offer, valid while nothing shipped changed
+	lastOK  bool             // last/nil is a valid answer for the current state
+	failed  bool             // degraded: dropped for the rest of the query
+}
+
+// coverageSession runs CJSP over the session protocol. Invariants per
+// round: a source with an open session holds exactly the clip of the
+// center's merged state minus its pending delta; a source whose pending is
+// empty and whose exclusion list did not change would answer exactly what
+// it answered last round, so the center reuses the cached offer without a
+// network call. It also reports whether the answer is degraded (a source
+// was skipped under the tolerant policy).
+func (c *Center) coverageSession(ep *epochSnap, queryCells cellset.Set, delta float64, k int, res CoverageResult) (CoverageResult, bool, error) {
+	sessID := nextSessionID()
+	draw := c.deltaRaw(delta)
+	states := make(map[string]*srcState)
+	mergedC := cellset.FromSet(queryCells)
+	minX, minY, maxX, maxY, ok := queryCells.Bounds()
+	if !ok {
+		return res, false, nil
 	}
-	return res, nil
+	anyFailed := func() bool {
+		for _, st := range states {
+			if st.failed {
+				return true
+			}
+		}
+		return false
+	}
+	mergedFlat := queryCells // valid while mergedFlatOK
+	mergedFlatOK := true
+	excluded := make(map[string][]int)
+	defer c.closeSessions(states, sessID)
+
+rounds:
+	for len(res.Picked) < k {
+		qn := c.boundsQueryNode(minX, minY, maxX, maxY)
+		cands := c.candidates(ep, qn, draw)
+
+		// Phase one: collect offers — cached where nothing changed for
+		// the source, over the wire (delta-shipped) where it did.
+		offers := make([]*offer, 0, len(cands))
+		var contact []*member
+		reqs := make(map[string]CoverageRoundRequest)
+		for _, m := range cands {
+			name := m.summary.Name
+			st := states[name]
+			if st == nil {
+				st = &srcState{m: m}
+				states[name] = st
+			}
+			if st.failed {
+				continue
+			}
+			if st.open && st.lastOK && st.pending.IsEmpty() {
+				// Nothing shipped changed and the exclusion list is
+				// untouched: the source would recompute the same offer.
+				if st.last != nil {
+					offers = append(offers, st.last)
+				}
+				continue
+			}
+			req := CoverageRoundRequest{Session: sessID, Delta: delta, Exclude: excluded[name]}
+			if st.open {
+				req.Added = st.pending.Set()
+			} else {
+				if !mergedFlatOK {
+					mergedFlat = mergedC.Set()
+					mergedFlatOK = true
+				}
+				req.Base = c.clipFor(m, mergedFlat, delta+1)
+				if req.Base.IsEmpty() {
+					continue // nothing of the merged state near this source yet
+				}
+			}
+			contact = append(contact, m)
+			reqs[name] = req
+		}
+		outs, errs := fanOut(contact, func(m *member) (CoverageRoundResponse, error) {
+			resp, err := c.callRound(m, reqs[m.summary.Name])
+			if err == nil && resp.SessionMiss {
+				// Stateless fallback: the source evicted the session;
+				// re-open it with the full clipped state. mergedC is
+				// immutable, so materializing here is goroutine-safe.
+				full := reqs[m.summary.Name]
+				full.Added = nil
+				full.Base = c.clipFor(m, mergedC.Set(), delta+1)
+				if full.Base.IsEmpty() {
+					return CoverageRoundResponse{}, nil
+				}
+				resp, err = c.callRound(m, full)
+			}
+			return resp, err
+		})
+		if err := c.resolve(contact, errs, func(i int) {
+			st := states[contact[i].summary.Name]
+			st.failed, st.open = true, false
+		}); err != nil {
+			return res, anyFailed(), err
+		}
+		for i, m := range contact {
+			if errs[i] != nil {
+				continue
+			}
+			st := states[m.summary.Name]
+			// A source whose table was full answered without storing the
+			// session; keep shipping it full state until it has room.
+			st.open, st.pending, st.lastOK = !outs[i].Stateless, nil, true
+			st.last = nil
+			if outs[i].Found {
+				st.last = &offer{src: m.summary.Name, cand: CoverageCandidate{
+					Found: true, ID: outs[i].ID, Name: outs[i].Name, Gain: outs[i].Gain,
+				}}
+				offers = append(offers, st.last)
+			}
+		}
+
+		// Phase two: pick the global winner and fetch its cells — the
+		// only cell set shipped back this round.
+		var winner *offer
+		var winnerCells cellset.Set
+		for {
+			var best *offer
+			for _, o := range offers {
+				if o == nil || states[o.src].failed {
+					continue
+				}
+				if best == nil || betterOffer(*o, *best) {
+					best = o
+				}
+			}
+			if best == nil {
+				break rounds // no source has a connected dataset left
+			}
+			st := states[best.src]
+			fetch, err := c.fetchCells(st.m, sessID, best.cand.ID)
+			if err == nil && !fetch.Found {
+				err = fmt.Errorf("federation: source %s lost dataset %d mid-session", best.src, best.cand.ID)
+			}
+			if err != nil {
+				if c.Options.OnSourceError == FailFast {
+					return res, anyFailed(), err
+				}
+				c.Metrics.RecordFailure(best.src)
+				st.failed, st.open = true, false
+				continue // re-pick among the surviving offers
+			}
+			if !fetch.Committed {
+				// Session evicted between round and fetch: re-open with
+				// the full state next round.
+				st.open, st.lastOK = false, false
+			}
+			winner, winnerCells = best, fetch.Cells
+			break
+		}
+
+		// Merge and compute next round's deltas.
+		winnerC := cellset.FromSet(winnerCells)
+		mergedC = mergedC.Union(winnerC)
+		mergedFlatOK = false
+		if wMinX, wMinY, wMaxX, wMaxY, ok := winnerCells.Bounds(); ok {
+			minX, minY = min(minX, wMinX), min(minY, wMinY)
+			maxX, maxY = max(maxX, wMaxX), max(maxY, wMaxY)
+		}
+		excluded[winner.src] = append(excluded[winner.src], winner.cand.ID)
+		for name, st := range states {
+			if !st.open {
+				continue
+			}
+			if name == winner.src {
+				// The winning source folded its own cells at fetch time;
+				// only its exclusion list changed, which forces a
+				// (delta-free) re-ask next round.
+				st.lastOK = false
+				continue
+			}
+			clipped := c.clipFor(st.m, winnerCells, delta+1)
+			if clipped.IsEmpty() {
+				continue // winner is far from this source; its state and offer stand
+			}
+			st.pending = st.pending.Union(cellset.FromSet(clipped))
+		}
+		res.Picked = append(res.Picked, SourceResult{
+			Source: winner.src, ID: winner.cand.ID, Name: winner.cand.Name, Overlap: winner.cand.Gain,
+		})
+		res.Coverage = mergedC.Len()
+	}
+	return res, anyFailed(), nil
+}
+
+// callRound performs one coverage.round exchange.
+func (c *Center) callRound(m *member, req CoverageRoundRequest) (CoverageRoundResponse, error) {
+	var resp CoverageRoundResponse
+	body, err := transport.Encode(req)
+	if err != nil {
+		return resp, err
+	}
+	respBody, err := m.peer.Call(MethodCoverageRound, body)
+	if err != nil {
+		return resp, fmt.Errorf("federation: coverage round at %s: %w", m.summary.Name, err)
+	}
+	return resp, transport.Decode(respBody, &resp)
+}
+
+// fetchCells performs the second-phase coverage.fetch exchange.
+func (c *Center) fetchCells(m *member, sess uint64, id int) (FetchCellsResponse, error) {
+	var resp FetchCellsResponse
+	body, err := transport.Encode(FetchCellsRequest{Session: sess, ID: id})
+	if err != nil {
+		return resp, err
+	}
+	respBody, err := m.peer.Call(MethodFetchCells, body)
+	if err != nil {
+		return resp, fmt.Errorf("federation: fetch cells at %s: %w", m.summary.Name, err)
+	}
+	return resp, transport.Decode(respBody, &resp)
+}
+
+// closeSessions releases every open session at the end of a coverage
+// query, best-effort: sources reclaim lost sessions on their own.
+func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
+	body, err := transport.Encode(SessionCloseRequest{Session: sessID})
+	if err != nil {
+		return
+	}
+	var open []*member
+	for _, st := range states {
+		if st.open && !st.failed {
+			open = append(open, st.m)
+		}
+	}
+	fanOut(open, func(m *member) (struct{}, error) {
+		m.peer.Call(MethodSessionClose, body)
+		return struct{}{}, nil
+	})
 }
 
 // offer is one source's candidate in a coverage iteration.

@@ -2,22 +2,35 @@ package federation
 
 import "sync"
 
-// fanOut runs fn against every member concurrently and collects the
-// results in member order. Each member (and thus each peer connection) is
-// driven by exactly one goroutine, so peers only need to be safe for
-// sequential use. The first error wins; the remaining calls still run to
-// completion before fanOut returns, keeping connection state consistent.
-func fanOut[T any](members []*member, fn func(*member) (T, error)) ([]T, error) {
-	if len(members) == 1 {
-		// Common single-candidate case: skip the goroutine machinery.
-		out, err := fn(members[0])
-		if err != nil {
-			return nil, err
-		}
-		return []T{out}, nil
-	}
+// FailurePolicy decides what a federated query does when one source's peer
+// fails mid-query.
+type FailurePolicy int
+
+const (
+	// FailFast aborts the query on the first source error — the strict
+	// mode matching the paper's all-sources-answer model.
+	FailFast FailurePolicy = iota
+	// SkipFailed drops the failing source from the rest of the query,
+	// records the failure in the center's Metrics, and answers from the
+	// surviving sources — one dead peer no longer kills a federated
+	// query.
+	SkipFailed
+)
+
+// fanOut runs fn against every member concurrently and collects results
+// and errors in member order. Each member (and thus each peer connection)
+// is driven by exactly one goroutine, so peers only need to be safe for
+// sequential use. All calls run to completion before fanOut returns,
+// keeping connection state consistent; the caller applies its failure
+// policy to the aligned error slice.
+func fanOut[T any](members []*member, fn func(*member) (T, error)) ([]T, []error) {
 	outs := make([]T, len(members))
 	errs := make([]error, len(members))
+	if len(members) == 1 {
+		// Common single-candidate case: skip the goroutine machinery.
+		outs[0], errs[0] = fn(members[0])
+		return outs, errs
+	}
 	var wg sync.WaitGroup
 	for i, m := range members {
 		wg.Add(1)
@@ -27,10 +40,26 @@ func fanOut[T any](members []*member, fn func(*member) (T, error)) ([]T, error) 
 		}(i, m)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return outs, errs
+}
+
+// resolve applies the center's failure policy to a fan-out's aligned error
+// slice: under FailFast the first error (in member order) is returned;
+// under SkipFailed each failure is recorded against its source in Metrics
+// and reported through onSkip (which may be nil), and the query proceeds
+// on the survivors. The caller must ignore outs[i] whenever errs[i] != nil.
+func (c *Center) resolve(members []*member, errs []error, onSkip func(i int)) error {
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if c.Options.OnSourceError == FailFast {
+			return err
+		}
+		c.Metrics.RecordFailure(members[i].summary.Name)
+		if onSkip != nil {
+			onSkip(i)
 		}
 	}
-	return outs, nil
+	return nil
 }

@@ -75,13 +75,6 @@ func clamp(v, lo, hi int) int {
 	return v
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func randomQuery(rng *rand.Rand) cellset.Set {
 	side := 1 << theta
 	cx, cy := rng.Intn(side), rng.Intn(side)

@@ -13,6 +13,13 @@ const (
 	MethodCoverage = "coverage.best"
 	MethodStats    = "source.stats"
 	MethodSummary  = "source.summary"
+
+	// Session protocol (CJSP). One coverage query opens one session per
+	// contacted source; rounds ship only the delta since the previous
+	// round, and only the winning source ships cells back (two-phase).
+	MethodCoverageRound = "coverage.round"
+	MethodFetchCells    = "coverage.fetch"
+	MethodSessionClose  = "coverage.close"
 )
 
 // OverlapRequest asks a source for its local top-k overlap results. Cells
@@ -58,10 +65,78 @@ type CoverageCandidate struct {
 	Cells cellset.Set // full cell set, needed by the center to merge
 }
 
+// CoverageRoundRequest is one greedy CJSP round against a per-query
+// session. The first contact (or a stateless fallback after the source
+// evicted the session) carries Base — the full merged state clipped to the
+// source's δ-expanded region. Subsequent rounds ship only Added, the
+// previous winner's cells clipped the same way; the source unions them
+// into its session state. The union of the clipped pieces equals the clip
+// of the union (clipping is a fixed per-cell predicate), so every round
+// the source sees exactly the state the stateless protocol would have
+// shipped whole.
+type CoverageRoundRequest struct {
+	Session uint64      // center-chosen session ID, shared by all rounds of one query
+	Base    cellset.Set // full clipped merged state; nil on delta rounds
+	Added   cellset.Set // clipped winner cells since the previous round; may be nil
+	Delta   float64     // connectivity threshold δ (cell units)
+	Exclude []int       // dataset IDs already picked from this source
+}
+
+// CoverageRoundResponse is a source's offer for one round: only (ID, Gain)
+// — the cells stay at the source until the center declares this offer the
+// round's winner and fetches them (losers never ship cell sets).
+// SessionMiss reports that the source no longer holds the session and the
+// request carried no Base; the center retries with the full state.
+// Stateless reports that the source answered from the request's Base
+// without storing a session (its table is full of live sessions); the
+// center then ships the full state again next round instead of a delta —
+// graceful degradation to the stateless protocol, never eviction of
+// another in-flight query's session.
+type CoverageRoundResponse struct {
+	SessionMiss bool
+	Stateless   bool
+	Found       bool
+	ID          int
+	Name        string
+	Gain        int
+}
+
+// FetchCellsRequest is the second phase of a round: fetch the winning
+// dataset's full cell set. When Session is non-zero and still live at the
+// source, the source also folds the cells into its session state, so the
+// next round's request to the winner carries no delta at all.
+type FetchCellsRequest struct {
+	Session uint64
+	ID      int
+}
+
+// FetchCellsResponse carries the winner's full cell set. Committed reports
+// whether the source folded the cells into the session; when false (the
+// session was evicted between round and fetch) the center re-opens the
+// session with the full state on the next round.
+type FetchCellsResponse struct {
+	Found     bool
+	Committed bool
+	Cells     cellset.Set
+}
+
+// SessionCloseRequest releases a source's session state at the end of a
+// coverage query. Sources also evict sessions on their own (idle TTL and a
+// session cap), so a lost close costs memory only until the sweep.
+type SessionCloseRequest struct {
+	Session uint64
+}
+
+// SessionCloseResponse acknowledges the close.
+type SessionCloseResponse struct {
+	Closed bool
+}
+
 // StatsResponse reports a source's basic statistics for monitoring.
 type StatsResponse struct {
 	Name        string
 	NumDatasets int
 	TreeNodes   int
 	Height      int
+	Sessions    int // live coverage sessions held by the source
 }

@@ -1,0 +1,497 @@
+package federation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dits/internal/cache"
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/transport"
+)
+
+// registerAll wires the given servers into a fresh center over InProc
+// peers recording into the center's Metrics.
+func registerAll(c *Center, servers []*SourceServer) {
+	for _, srv := range servers {
+		c.Register(srv.Summary(), &transport.InProc{
+			Name: srv.Name, Handler: srv.Handler(), Metrics: c.Metrics,
+		})
+	}
+}
+
+// TestSessionStatelessParity is the protocol-parity gate: the session
+// protocol (delta rounds + two-phase fetch) must produce byte-identical
+// Picked and Coverage to the stateless protocol on the same federation,
+// across query shapes, k, and δ.
+func TestSessionStatelessParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	_, _, servers := buildFederation(rand.New(rand.NewSource(22)), 4, 120, DefaultOptions())
+
+	stateless := NewCenter(worldGrid(), Options{GlobalFilter: true, ClipQuery: true})
+	session := NewCenter(worldGrid(), DefaultOptions())
+	registerAll(stateless, servers)
+	registerAll(session, servers)
+
+	for trial := 0; trial < 30; trial++ {
+		q := randomQuery(rng)
+		for _, delta := range []float64{0, 2, 6} {
+			for _, k := range []int{1, 3, 7} {
+				want, err := stateless.CoverageSearch(q, delta, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := session.CoverageSearch(q, delta, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d δ=%v k=%d: session %+v, stateless %+v",
+						trial, delta, k, got, want)
+				}
+			}
+		}
+	}
+	// Sessions must be torn down once queries complete.
+	for _, srv := range servers {
+		if n := srv.NumSessions(); n != 0 {
+			t.Errorf("source %s still holds %d sessions", srv.Name, n)
+		}
+	}
+}
+
+// TestSessionCutsCoverageBytes asserts the point of the refactor: the
+// session protocol ships fewer bytes per CJSP query than the stateless
+// one, and losers never ship cell sets back (exactly one coverage.fetch
+// per greedy pick).
+func TestSessionCutsCoverageBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	_, _, servers := buildFederation(rand.New(rand.NewSource(24)), 4, 120, DefaultOptions())
+
+	stateless := NewCenter(worldGrid(), Options{GlobalFilter: true, ClipQuery: true})
+	session := NewCenter(worldGrid(), DefaultOptions())
+	registerAll(stateless, servers)
+	registerAll(session, servers)
+
+	picks := 0
+	for trial := 0; trial < 15; trial++ {
+		q := randomQuery(rng)
+		a, err := stateless.CoverageSearch(q, 4, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := session.CoverageSearch(q, 4, 6); err != nil {
+			t.Fatal(err)
+		}
+		picks += len(a.Picked)
+	}
+	sb, tb := session.Metrics.Bytes(), stateless.Metrics.Bytes()
+	if sb >= tb {
+		t.Errorf("session protocol shipped %d bytes >= stateless %d", sb, tb)
+	}
+	pm := session.Metrics.PerMethod()
+	if got := pm[MethodFetchCells].Calls; got != int64(picks) {
+		t.Errorf("coverage.fetch calls = %d, want one per pick (%d)", got, picks)
+	}
+	if pm[MethodCoverage].Calls != 0 {
+		t.Errorf("session center used the stateless method %d times", pm[MethodCoverage].Calls)
+	}
+	// Round responses carry (ID, Gain) only — on average they must be
+	// smaller than the stateless responses that ship each candidate's
+	// full cell set.
+	rounds := pm[MethodCoverageRound]
+	stRounds := stateless.Metrics.PerMethod()[MethodCoverage]
+	if rounds.Calls > 0 && stRounds.Calls > 0 &&
+		rounds.BytesReceived/rounds.Calls >= stRounds.BytesReceived/stRounds.Calls {
+		t.Errorf("round responses average %d bytes >= stateless %d — losers are shipping cells?",
+			rounds.BytesReceived/rounds.Calls, stRounds.BytesReceived/stRounds.Calls)
+	}
+}
+
+// droppingPeer simulates a source that loses its session state between
+// center calls: before forwarding a round (or fetch, per mode), it closes
+// the session at the server, forcing the center onto the stateless
+// fallback (SessionMiss) or the Committed=false re-open path.
+type droppingPeer struct {
+	inner transport.Peer
+	srv   *SourceServer
+	mode  string // method whose sessions get dropped first
+}
+
+func (p *droppingPeer) Call(method string, body []byte) ([]byte, error) {
+	if method == p.mode {
+		var sess uint64
+		switch method {
+		case MethodCoverageRound:
+			var req CoverageRoundRequest
+			if err := transport.Decode(body, &req); err == nil {
+				sess = req.Session
+			}
+		case MethodFetchCells:
+			var req FetchCellsRequest
+			if err := transport.Decode(body, &req); err == nil {
+				sess = req.Session
+			}
+		}
+		p.srv.handleSessionClose(SessionCloseRequest{Session: sess})
+	}
+	return p.inner.Call(method, body)
+}
+
+func (p *droppingPeer) Close() error { return p.inner.Close() }
+
+// TestSessionMissFallback drops the session before every round and before
+// every fetch (two separate federations) and requires results identical to
+// the stateless protocol: losing session state may cost bytes, never
+// correctness.
+func TestSessionMissFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	_, _, servers := buildFederation(rand.New(rand.NewSource(26)), 3, 90, DefaultOptions())
+	stateless := NewCenter(worldGrid(), Options{GlobalFilter: true, ClipQuery: true})
+	registerAll(stateless, servers)
+
+	for _, mode := range []string{MethodCoverageRound, MethodFetchCells} {
+		center := NewCenter(worldGrid(), DefaultOptions())
+		for _, srv := range servers {
+			center.Register(srv.Summary(), &droppingPeer{
+				inner: &transport.InProc{Name: srv.Name, Handler: srv.Handler(), Metrics: center.Metrics},
+				srv:   srv,
+				mode:  mode,
+			})
+		}
+		for trial := 0; trial < 12; trial++ {
+			q := randomQuery(rng)
+			want, err := stateless.CoverageSearch(q, 3, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := center.CoverageSearch(q, 3, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("mode %s trial %d: dropped-session result %+v, want %+v",
+					mode, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestSourceSessionEviction drives the session table directly: the cap
+// holds, idle sessions are reclaimed by TTL, and close removes state.
+func TestSourceSessionEviction(t *testing.T) {
+	g := worldGrid()
+	nd := dataset.NewNodeFromCells(1, "d", cellset.New(geo.ZEncode(3, 3)))
+	srv := NewSourceServerWithGrid("s", dits.Build(g, []*dataset.Node{nd}, 4))
+	srv.MaxSessions = 4
+	srv.SessionTTL = time.Minute
+	now := time.Unix(1000, 0)
+	srv.now = func() time.Time { return now }
+
+	base := cellset.New(geo.ZEncode(3, 3), geo.ZEncode(4, 4))
+	for id := uint64(1); id <= 10; id++ {
+		resp := srv.handleCoverageRound(CoverageRoundRequest{Session: id, Base: base, Delta: 2})
+		if wantStateless := id > 4; resp.Stateless != wantStateless {
+			t.Errorf("session %d: Stateless = %v, want %v", id, resp.Stateless, wantStateless)
+		}
+		if !resp.Found {
+			t.Errorf("session %d: overflow round lost the answer", id)
+		}
+	}
+	if n := srv.NumSessions(); n != 4 {
+		t.Errorf("session table holds %d, want the 4 stored before the cap", n)
+	}
+
+	// All sessions idle past the TTL are reclaimed on the next insert.
+	now = now.Add(2 * time.Minute)
+	srv.handleCoverageRound(CoverageRoundRequest{Session: 99, Base: base, Delta: 2})
+	if n := srv.NumSessions(); n != 1 {
+		t.Errorf("TTL sweep left %d sessions, want 1", n)
+	}
+
+	// A round against an evicted session reports the miss instead of
+	// silently answering from stale state.
+	resp := srv.handleCoverageRound(CoverageRoundRequest{Session: 1, Added: base, Delta: 2})
+	if !resp.SessionMiss {
+		t.Error("round against evicted session should report SessionMiss")
+	}
+
+	if got := srv.handleSessionClose(SessionCloseRequest{Session: 99}); !got.Closed {
+		t.Error("close of live session should report Closed")
+	}
+	if n := srv.NumSessions(); n != 0 {
+		t.Errorf("close left %d sessions", n)
+	}
+}
+
+// flakyPeer works until failAfter calls, then errors forever — a source
+// that dies mid-session.
+type flakyPeer struct {
+	inner     transport.Peer
+	calls     int
+	failAfter int
+}
+
+func (p *flakyPeer) Call(method string, body []byte) ([]byte, error) {
+	p.calls++
+	if p.calls > p.failAfter {
+		return nil, &transport.RemoteError{Source: "flaky", Msg: "link down"}
+	}
+	return p.inner.Call(method, body)
+}
+
+func (p *flakyPeer) Close() error { return p.inner.Close() }
+
+// TestDegradedSkipFailed: under the tolerant policy a dead source is
+// skipped, its failure is visible in Metrics, and the query answers from
+// the survivors; under fail-fast (the default) the same federation errors.
+func TestDegradedSkipFailed(t *testing.T) {
+	g := worldGrid()
+	nd := dataset.NewNodeFromCells(1, "only", cellset.New(geo.ZEncode(7, 7)))
+	idx := dits.Build(g, []*dataset.Node{nd}, 4)
+
+	build := func(policy FailurePolicy, sessions bool) *Center {
+		c := NewCenter(g, Options{Sessions: sessions, OnSourceError: policy})
+		srv := NewSourceServerWithGrid("ok", idx)
+		c.Register(srv.Summary(), &transport.InProc{Name: "ok", Handler: srv.Handler(), Metrics: c.Metrics})
+		c.Register(dits.SourceSummary{Name: "zz-bad", Rect: geo.Rect{MaxX: 1, MaxY: 1}}, failingPeer{})
+		return c
+	}
+	q := cellset.New(geo.ZEncode(7, 7), geo.ZEncode(8, 8))
+
+	for _, sessions := range []bool{true, false} {
+		c := build(SkipFailed, sessions)
+		rs, err := c.OverlapSearch(q, 3)
+		if err != nil {
+			t.Fatalf("sessions=%v: tolerant overlap errored: %v", sessions, err)
+		}
+		if len(rs) != 1 || rs[0].Source != "ok" {
+			t.Fatalf("sessions=%v: overlap results = %v", sessions, rs)
+		}
+		cov, err := c.CoverageSearch(q, 2, 3)
+		if err != nil {
+			t.Fatalf("sessions=%v: tolerant coverage errored: %v", sessions, err)
+		}
+		if len(cov.Picked) != 1 || cov.Picked[0].Source != "ok" {
+			t.Fatalf("sessions=%v: coverage picked %v", sessions, cov.Picked)
+		}
+		if c.Metrics.Failures()["zz-bad"] == 0 {
+			t.Errorf("sessions=%v: failure not recorded: %v", sessions, c.Metrics.Failures())
+		}
+
+		strict := build(FailFast, sessions)
+		if _, err := strict.OverlapSearch(q, 3); err == nil {
+			t.Errorf("sessions=%v: fail-fast overlap should error", sessions)
+		}
+		if _, err := strict.CoverageSearch(q, 2, 3); err == nil {
+			t.Errorf("sessions=%v: fail-fast coverage should error", sessions)
+		}
+	}
+}
+
+// TestDegradedMidSession kills a source after it has already answered
+// rounds: the tolerant center finishes on the survivors and records the
+// failure.
+func TestDegradedMidSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	_, _, servers := buildFederation(rng, 3, 80, DefaultOptions())
+	center := NewCenter(worldGrid(), Options{
+		GlobalFilter: true, ClipQuery: true, Sessions: true, OnSourceError: SkipFailed,
+	})
+	for i, srv := range servers {
+		peer := transport.Peer(&transport.InProc{Name: srv.Name, Handler: srv.Handler(), Metrics: center.Metrics})
+		if i == 0 {
+			peer = &flakyPeer{inner: peer, failAfter: 2}
+		}
+		center.Register(srv.Summary(), peer)
+	}
+	sawFailure := false
+	for trial := 0; trial < 8; trial++ {
+		q := randomQuery(rng)
+		if _, err := center.CoverageSearch(q, 3, 5); err != nil {
+			t.Fatalf("trial %d: tolerant search errored: %v", trial, err)
+		}
+		if center.Metrics.Failures()[servers[0].Name] > 0 {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Error("flaky source never recorded a failure")
+	}
+}
+
+// recoveringPeer fails its first failFirst calls, then works — a source
+// with one transient outage.
+type recoveringPeer struct {
+	inner     transport.Peer
+	calls     int
+	failFirst int
+}
+
+func (p *recoveringPeer) Call(method string, body []byte) ([]byte, error) {
+	p.calls++
+	if p.calls <= p.failFirst {
+		return nil, &transport.RemoteError{Source: "recovering", Msg: "transient outage"}
+	}
+	return p.inner.Call(method, body)
+}
+
+func (p *recoveringPeer) Close() error { return p.inner.Close() }
+
+// TestDegradedResultsAreNotCached: a tolerant answer computed while a
+// source was down must not poison the result cache — once the source
+// recovers, the same query must see its data again.
+func TestDegradedResultsAreNotCached(t *testing.T) {
+	g := worldGrid()
+	mk := func(name string, id int, x, y uint32) *SourceServer {
+		nd := dataset.NewNodeFromCells(id, name+"-d", cellset.New(geo.ZEncode(x, y)))
+		return NewSourceServerWithGrid(name, dits.Build(g, []*dataset.Node{nd}, 4))
+	}
+	ok, flaky := mk("aa-ok", 1, 7, 7), mk("bb-flaky", 2, 9, 9)
+	center := NewCenter(g, Options{Sessions: true, OnSourceError: SkipFailed})
+	center.SetCache(cache.New(64))
+	center.Register(ok.Summary(), &transport.InProc{Name: ok.Name, Handler: ok.Handler(), Metrics: center.Metrics})
+	center.Register(flaky.Summary(), &recoveringPeer{
+		inner:     &transport.InProc{Name: flaky.Name, Handler: flaky.Handler(), Metrics: center.Metrics},
+		failFirst: 1,
+	})
+
+	q := cellset.New(geo.ZEncode(7, 7), geo.ZEncode(9, 9))
+	first, err := center.OverlapSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || first[0].Source != "aa-ok" {
+		t.Fatalf("degraded query = %v, want aa-ok only", first)
+	}
+	second, err := center.OverlapSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 2 {
+		t.Fatalf("post-recovery query = %v — the degraded answer was cached", second)
+	}
+	// The healthy answer is cached from here on.
+	third, err := center.OverlapSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != 2 {
+		t.Fatalf("cached healthy query = %v", third)
+	}
+}
+
+// churningPeer unregisters another source from the center the first time
+// it is called — membership churn landing in the middle of a query's
+// fan-out.
+type churningPeer struct {
+	inner  transport.Peer
+	center *Center
+	victim string
+	done   bool
+}
+
+func (p *churningPeer) Call(method string, body []byte) ([]byte, error) {
+	if !p.done {
+		p.done = true
+		p.center.Unregister(p.victim)
+	}
+	return p.inner.Call(method, body)
+}
+
+func (p *churningPeer) Close() error { return p.inner.Close() }
+
+// TestEpochPinningMidQuery: a query that already started must keep the
+// member set it pinned, even when a source unregisters while the query is
+// in flight; the next query sees the new epoch.
+func TestEpochPinningMidQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	center, pooled, servers := buildFederation(rng, 3, 80, Options{Sessions: true})
+	victim := servers[len(servers)-1].Name
+
+	// Re-register the first source behind a churning peer that drops the
+	// victim mid-query.
+	first := servers[0]
+	gen := center.Generation()
+	center.Register(first.Summary(), &churningPeer{
+		inner:  &transport.InProc{Name: first.Name, Handler: first.Handler(), Metrics: center.Metrics},
+		center: center,
+		victim: victim,
+	})
+	if center.Generation() != gen+1 {
+		t.Fatalf("re-register did not advance the epoch: %d -> %d", gen, center.Generation())
+	}
+
+	// A query containing one whole dataset from every source, so every
+	// source — the victim included — must contribute a result.
+	perSource := len(pooled) / len(servers)
+	var q cellset.Set
+	for s := range servers {
+		q = q.Union(pooled[s*perSource].Cells)
+	}
+	during, err := center.OverlapSearch(q, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := center.OverlapSearch(q, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromVictim := func(rs []SourceResult) bool {
+		for _, r := range rs {
+			if r.Source == victim {
+				return true
+			}
+		}
+		return false
+	}
+	// The victim answered the in-flight query (pinned epoch includes it)…
+	if !fromVictim(during) {
+		t.Fatal("pinned-epoch query returned nothing from the victim source")
+	}
+	// …and is gone from queries started after the churn.
+	if fromVictim(after) {
+		t.Error("post-churn query still returned results from the unregistered source")
+	}
+	if center.NumSources() != len(servers)-1 {
+		t.Errorf("NumSources = %d, want %d", center.NumSources(), len(servers)-1)
+	}
+}
+
+// TestCoverageEpochPinningMidQuery is the CJSP variant: churn lands
+// between greedy rounds and the pinned epoch must keep the result
+// identical to a churn-free federation of the original members.
+func TestCoverageEpochPinningMidQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	_, _, servers := buildFederation(rand.New(rand.NewSource(30)), 3, 80, DefaultOptions())
+
+	baseline := NewCenter(worldGrid(), DefaultOptions())
+	registerAll(baseline, servers)
+
+	center := NewCenter(worldGrid(), DefaultOptions())
+	victim := servers[len(servers)-1].Name
+	for i, srv := range servers {
+		peer := transport.Peer(&transport.InProc{Name: srv.Name, Handler: srv.Handler(), Metrics: center.Metrics})
+		if i == 0 {
+			peer = &churningPeer{inner: peer, center: center, victim: victim}
+		}
+		center.Register(srv.Summary(), peer)
+	}
+
+	q := randomQuery(rng)
+	want, err := baseline.CoverageSearch(q, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := center.CoverageSearch(q, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("churn-during-query changed the result: %+v, want %+v", got, want)
+	}
+}

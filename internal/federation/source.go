@@ -2,20 +2,109 @@ package federation
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
+	"dits/internal/cellset"
 	"dits/internal/dataset"
+	"dits/internal/geo"
 	"dits/internal/index/dits"
 	"dits/internal/search/coverage"
 	"dits/internal/search/overlap"
 	"dits/internal/transport"
 )
 
+// Session housekeeping defaults: a source never holds more than
+// DefaultMaxSessions coverage sessions and reclaims any session idle
+// longer than DefaultSessionTTL. Both bound the memory a center crash (or
+// a lost close) can strand at a source.
+const (
+	DefaultMaxSessions = 128
+	DefaultSessionTTL  = 2 * time.Minute
+)
+
 // SourceServer is one autonomous data source: it owns its datasets, builds
 // its own DITS-L index, and answers the data center's requests. The same
 // handler serves both the in-process and the TCP transports.
+//
+// A SourceServer is safe for concurrent use: the index is immutable after
+// construction and the coverage-session table is guarded by a mutex. Any
+// one session is only ever driven by one center query at a time (rounds
+// are sequential), but different sessions proceed concurrently.
 type SourceServer struct {
 	Name  string
 	Index *dits.Local
+
+	// MaxSessions and SessionTTL override the eviction defaults when >0.
+	MaxSessions int
+	SessionTTL  time.Duration
+
+	mu       sync.Mutex
+	sessions map[uint64]*covSession
+	now      func() time.Time // test hook; time.Now when nil
+}
+
+// covSession is the per-query state of the session-based CJSP: the merged
+// result set accumulated from the center's deltas, kept in Compact form,
+// its bounds, and the distance index grown with every delta so connectivity
+// checks never rebuild from scratch.
+type covSession struct {
+	merged                 *cellset.Compact
+	distIdx                *cellset.DistIndex
+	delta                  float64
+	minX, minY, maxX, maxY uint32
+	lastUsed               time.Time
+}
+
+// newCovSession opens session state over the full clipped base set.
+func newCovSession(base cellset.Set, delta float64) *covSession {
+	cs := &covSession{
+		merged:  cellset.FromSet(base),
+		distIdx: cellset.NewDistIndex(base, delta),
+		delta:   delta,
+	}
+	cs.minX, cs.minY, cs.maxX, cs.maxY, _ = base.Bounds()
+	return cs
+}
+
+// absorb unions one round's delta cells into the session.
+func (cs *covSession) absorb(added cellset.Set) {
+	if added.IsEmpty() {
+		return
+	}
+	cs.merged = cs.merged.Union(cellset.FromSet(added))
+	cs.distIdx.Add(added)
+	minX, minY, maxX, maxY, ok := added.Bounds()
+	if !ok {
+		return
+	}
+	if minX < cs.minX {
+		cs.minX = minX
+	}
+	if minY < cs.minY {
+		cs.minY = minY
+	}
+	if maxX > cs.maxX {
+		cs.maxX = maxX
+	}
+	if maxY > cs.maxY {
+		cs.maxY = maxY
+	}
+}
+
+// node materializes the query node of the merged state without flattening
+// the cell set: the geometry comes from the tracked bounds (identical to
+// what dataset.NewNodeFromCells would compute from the flat set) and the
+// cells ride along in Compact form only.
+func (cs *covSession) node() *dataset.Node {
+	r := geo.Rect{
+		MinX: float64(cs.minX), MinY: float64(cs.minY),
+		MaxX: float64(cs.maxX), MaxY: float64(cs.maxY),
+	}
+	return &dataset.Node{
+		ID: -1, Name: "merged", Rect: r, O: r.Center(), R: r.Radius(),
+		Compact: cs.merged,
+	}
 }
 
 // NewSourceServer indexes a source with the given resolution and leaf
@@ -38,6 +127,15 @@ func (s *SourceServer) Summary() dits.SourceSummary {
 	return s.Index.Summary(s.Name)
 }
 
+// NumSessions returns the number of live coverage sessions, sweeping any
+// whose TTL lapsed first.
+func (s *SourceServer) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(s.clock())
+	return len(s.sessions)
+}
+
 // Handler returns the transport.Handler serving this source.
 func (s *SourceServer) Handler() transport.Handler {
 	return func(method string, body []byte) ([]byte, error) {
@@ -54,12 +152,31 @@ func (s *SourceServer) Handler() transport.Handler {
 				return nil, err
 			}
 			return transport.Encode(s.handleCoverage(req))
+		case MethodCoverageRound:
+			var req CoverageRoundRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(s.handleCoverageRound(req))
+		case MethodFetchCells:
+			var req FetchCellsRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(s.handleFetchCells(req))
+		case MethodSessionClose:
+			var req SessionCloseRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(s.handleSessionClose(req))
 		case MethodStats:
 			return transport.Encode(StatsResponse{
 				Name:        s.Name,
 				NumDatasets: s.Index.Len(),
 				TreeNodes:   s.Index.NumTreeNodes(),
 				Height:      s.Index.Height(),
+				Sessions:    s.NumSessions(),
 			})
 		case MethodSummary:
 			// Lets a data center bootstrap registration over the wire
@@ -87,20 +204,38 @@ func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
 	return resp
 }
 
-// handleCoverage runs one greedy iteration locally: FindConnectSet from the
-// merged node, then the maximum-marginal-gain pick among non-excluded
-// datasets (Algorithm 3's per-iteration body).
+// handleCoverage runs one stateless greedy iteration: FindConnectSet from
+// the merged node, then the maximum-marginal-gain pick among non-excluded
+// datasets (Algorithm 3's per-iteration body). Kept as the fallback and
+// comparison protocol; the session path below answers the same question
+// from accumulated per-session state.
 func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 	merged := dataset.NewNodeFromCells(-1, "merged", req.Merged)
 	if merged == nil {
 		return CoverageCandidate{}
 	}
-	excluded := make(map[int]bool, len(req.Exclude))
-	for _, id := range req.Exclude {
+	cands := coverage.FindConnectSet(s.Index.Root, merged, req.Delta)
+	best, bestGain := s.pickBest(cands, merged.CompactCells(), req.Exclude)
+	if best == nil {
+		return CoverageCandidate{}
+	}
+	return CoverageCandidate{
+		Found: true,
+		ID:    best.ID,
+		Name:  best.Name,
+		Gain:  bestGain,
+		Cells: best.Cells,
+	}
+}
+
+// pickBest selects the maximum-marginal-gain dataset among cands against
+// the merged state, skipping excluded IDs, with the deterministic
+// smallest-ID tie-break shared by both protocol variants.
+func (s *SourceServer) pickBest(cands []*dataset.Node, mergedC *cellset.Compact, exclude []int) (*dataset.Node, int) {
+	excluded := make(map[int]bool, len(exclude))
+	for _, id := range exclude {
 		excluded[id] = true
 	}
-	cands := coverage.FindConnectSet(s.Index.Root, merged, req.Delta)
-	mergedC := merged.CompactCells()
 	var best *dataset.Node
 	bestGain := -1
 	for _, nd := range cands {
@@ -112,14 +247,120 @@ func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 			best, bestGain = nd, g
 		}
 	}
-	if best == nil {
-		return CoverageCandidate{}
+	return best, bestGain
+}
+
+// handleCoverageRound answers one session round: update the session state
+// from Base/Added, then offer the best candidate as (ID, Gain) only.
+func (s *SourceServer) handleCoverageRound(req CoverageRoundRequest) CoverageRoundResponse {
+	s.mu.Lock()
+	now := s.clock()
+	s.sweepLocked(now)
+	sess := s.sessions[req.Session]
+	stateless := false
+	switch {
+	case sess == nil && len(req.Base) == 0:
+		s.mu.Unlock()
+		return CoverageRoundResponse{SessionMiss: true}
+	case sess == nil:
+		sess = newCovSession(req.Base, req.Delta)
+		if len(s.sessions) >= s.maxSessions() {
+			// Table full of live sessions: answer from the request's
+			// Base without storing — never evict another in-flight
+			// query's state. The center falls back to full-state rounds
+			// for this source until capacity frees up.
+			stateless = true
+		} else {
+			if s.sessions == nil {
+				s.sessions = make(map[uint64]*covSession)
+			}
+			s.sessions[req.Session] = sess
+		}
+	case len(req.Base) > 0:
+		// Center re-opened after a miss: replace with the full state.
+		*sess = *newCovSession(req.Base, req.Delta)
+	default:
+		sess.absorb(req.Added)
 	}
-	return CoverageCandidate{
-		Found: true,
-		ID:    best.ID,
-		Name:  best.Name,
-		Gain:  bestGain,
-		Cells: best.Cells,
+	sess.lastUsed = now
+	merged, qn, qIdx, delta := sess.merged, sess.node(), sess.distIdx, sess.delta
+	s.mu.Unlock()
+
+	if merged.IsEmpty() {
+		return CoverageRoundResponse{Stateless: stateless}
+	}
+	cands := coverage.FindConnectSetWithIndex(s.Index.Root, qn, delta, qIdx)
+	best, bestGain := s.pickBest(cands, merged, req.Exclude)
+	if best == nil {
+		return CoverageRoundResponse{Stateless: stateless}
+	}
+	return CoverageRoundResponse{Stateless: stateless, Found: true, ID: best.ID, Name: best.Name, Gain: bestGain}
+}
+
+// handleFetchCells ships the winning dataset's full cell set and folds it
+// into the session so the next round carries no delta for this source. A
+// dataset's cells lie inside the source's root MBR, which is inside every
+// clip region the center uses for this source, so the unclipped union is
+// exactly what clipping would produce.
+func (s *SourceServer) handleFetchCells(req FetchCellsRequest) FetchCellsResponse {
+	nd := s.Index.Get(req.ID)
+	if nd == nil {
+		return FetchCellsResponse{}
+	}
+	resp := FetchCellsResponse{Found: true, Cells: nd.Cells}
+	if req.Session == 0 {
+		return resp
+	}
+	s.mu.Lock()
+	s.sweepLocked(s.clock())
+	if sess := s.sessions[req.Session]; sess != nil {
+		sess.absorb(nd.Cells)
+		sess.lastUsed = s.clock()
+		resp.Committed = true
+	}
+	s.mu.Unlock()
+	return resp
+}
+
+// handleSessionClose drops the session, if still present, and sweeps any
+// sessions whose TTL lapsed.
+func (s *SourceServer) handleSessionClose(req SessionCloseRequest) SessionCloseResponse {
+	s.mu.Lock()
+	s.sweepLocked(s.clock())
+	_, ok := s.sessions[req.Session]
+	delete(s.sessions, req.Session)
+	s.mu.Unlock()
+	return SessionCloseResponse{Closed: ok}
+}
+
+// clock returns the current time; the caller holds s.mu.
+func (s *SourceServer) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
+// maxSessions returns the session-table capacity.
+func (s *SourceServer) maxSessions() int {
+	if s.MaxSessions > 0 {
+		return s.MaxSessions
+	}
+	return DefaultMaxSessions
+}
+
+// sweepLocked reclaims sessions idle past the TTL. It runs on every
+// session-table access (rounds, closes, stats), so a crashed center's
+// stranded sessions are reclaimed by whatever traffic arrives next. The
+// caller holds s.mu.
+func (s *SourceServer) sweepLocked(now time.Time) {
+	ttl := s.SessionTTL
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	for id, sess := range s.sessions {
+		if now.Sub(sess.lastUsed) > ttl {
+			delete(s.sessions, id)
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"dits/internal/cellset"
 	"dits/internal/federation"
 	"dits/internal/geo"
+	"dits/internal/transport"
 )
 
 // maxBodyBytes caps a request body; a query of a million points is ~16 MB.
@@ -124,6 +125,16 @@ type StatsResponse struct {
 	PeerMessages   int64   `json:"peerMessages"`
 	PeerBytesSent  int64   `json:"peerBytesSent"`
 	PeerBytesRecvd int64   `json:"peerBytesReceived"`
+
+	// MembershipEpoch identifies the current membership generation; it
+	// increments whenever a source registers or unregisters.
+	MembershipEpoch uint64 `json:"membershipEpoch"`
+	// PeerMethodStats breaks the transport counters down per federation
+	// protocol method (request/response bytes and call counts).
+	PeerMethodStats map[string]transport.MethodStats `json:"peerMethodStats,omitempty"`
+	// SourceFailures counts failed exchanges per source, populated when
+	// the center runs the skip-and-record failure policy.
+	SourceFailures map[string]int64 `json:"sourceFailures,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -257,6 +268,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		PeerMessages:    g.center.Metrics.Messages(),
 		PeerBytesSent:   g.center.Metrics.BytesSent(),
 		PeerBytesRecvd:  g.center.Metrics.BytesReceived(),
+		MembershipEpoch: g.center.Generation(),
+		PeerMethodStats: g.center.Metrics.PerMethod(),
+		SourceFailures:  g.center.Metrics.Failures(),
 	}
 	g.writeJSON(w, http.StatusOK, resp)
 }

@@ -210,6 +210,15 @@ func TestStatsAndHealthz(t *testing.T) {
 	if st.PeerMessages == 0 {
 		t.Error("no peer traffic recorded")
 	}
+	if st.MembershipEpoch == 0 {
+		t.Error("membership epoch not reported")
+	}
+	if ms, ok := st.PeerMethodStats[federation.MethodOverlap]; !ok || ms.Calls == 0 {
+		t.Errorf("per-method stats missing overlap traffic: %+v", st.PeerMethodStats)
+	}
+	if ms, ok := st.PeerMethodStats[federation.MethodCoverageRound]; !ok || ms.Calls == 0 {
+		t.Errorf("per-method stats missing session rounds: %+v", st.PeerMethodStats)
+	}
 
 	hresp, err := http.Get(hs.URL + "/healthz")
 	if err != nil {

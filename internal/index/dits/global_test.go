@@ -1,6 +1,7 @@
 package dits
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -88,6 +89,113 @@ func TestCandidateSourcesNeverMissesOracle(t *testing.T) {
 					trial, s.Name, lb, delta, s.Rect.Intersects(q))
 			}
 		}
+	}
+}
+
+// uniqueSummaries is summaries with collision-free names, so removal by
+// name is unambiguous.
+func uniqueSummaries(n int, rng *rand.Rand) []SourceSummary {
+	out := summaries(n, rng)
+	for i := range out {
+		out[i].Name = fmt.Sprintf("src-%03d", i)
+	}
+	return out
+}
+
+// checkCovering asserts the structural invariant CandidateSources' pruning
+// depends on (and buildGlobal documents): every node's rect contains the
+// rects, and every node's ball the balls, of all sources in its subtree.
+// It returns the sources under n.
+func checkCovering(t *testing.T, n *GNode) []SourceSummary {
+	t.Helper()
+	if n == nil {
+		return nil
+	}
+	var ss []SourceSummary
+	if n.IsLeaf() {
+		ss = n.Sources
+	} else {
+		ss = append(ss, checkCovering(t, n.Left)...)
+		ss = append(ss, checkCovering(t, n.Right)...)
+	}
+	for _, s := range ss {
+		if n.Rect.Union(s.Rect) != n.Rect {
+			t.Fatalf("node rect %v does not contain source %s rect %v", n.Rect, s.Name, s.Rect)
+		}
+		if n.O.Dist(s.O)+s.R > n.R+1e-9 {
+			t.Fatalf("node ball (R=%v) does not cover source %s ball", n.R, s.Name)
+		}
+	}
+	return ss
+}
+
+// TestIncrementalGlobalMatchesRebuild drives a random join/leave churn
+// through WithSource/WithoutSource and checks, after every step, that the
+// incremental tree holds exactly the live membership, keeps the covering
+// invariant, and never prunes a source a fresh rebuild would return.
+func TestIncrementalGlobalMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pool := uniqueSummaries(40, rng)
+	live := map[string]SourceSummary{}
+	g := BuildGlobal(nil, 3)
+
+	for step := 0; step < 200; step++ {
+		s := pool[rng.Intn(len(pool))]
+		if _, ok := live[s.Name]; ok && rng.Intn(2) == 0 {
+			g = g.WithoutSource(s.Name)
+			delete(live, s.Name)
+		} else {
+			if _, ok := live[s.Name]; ok {
+				g = g.WithoutSource(s.Name)
+			}
+			g = g.WithSource(s)
+			live[s.Name] = s
+		}
+		if got := len(g.Sources()); got != len(live) {
+			t.Fatalf("step %d: tree holds %d sources, want %d", step, got, len(live))
+		}
+		checkCovering(t, g.Root)
+
+		// Safety vs the rebuild oracle: anything the fresh tree must
+		// return, the incremental tree must return too.
+		x, y := rng.Float64()*120-10, rng.Float64()*120-10
+		q := geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*20, MaxY: y + rng.Float64()*20}
+		qn := QueryNode{Rect: q, O: q.Center(), R: q.Radius()}
+		delta := rng.Float64() * 20
+		got := make(map[string]bool)
+		for _, s := range g.CandidateSources(qn, delta) {
+			got[s.Name] = true
+		}
+		for _, s := range live {
+			lb := s.O.Dist(qn.O) - s.R - qn.R
+			if (s.Rect.Intersects(q) || lb <= delta) && !got[s.Name] {
+				t.Fatalf("step %d: incremental tree pruned %s wrongly", step, s.Name)
+			}
+		}
+	}
+}
+
+// TestIncrementalGlobalIsCopyOnWrite: updating must not disturb a snapshot
+// taken before the update — the property epoch-pinned queries rely on.
+func TestIncrementalGlobalIsCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ss := uniqueSummaries(20, rng)
+	g := BuildGlobal(ss[:10], 3)
+	snapshot := g
+	world := QueryNode{Rect: geo.Rect{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}}
+	world.O, world.R = world.Rect.Center(), world.Rect.Radius()
+
+	for _, s := range ss[10:] {
+		g = g.WithSource(s)
+	}
+	for _, s := range ss[:5] {
+		g = g.WithoutSource(s.Name)
+	}
+	if got := len(snapshot.CandidateSources(world, 0)); got != 10 {
+		t.Errorf("snapshot drifted: world query found %d sources, want 10", got)
+	}
+	if got := len(g.CandidateSources(world, 0)); got != 15 {
+		t.Errorf("updated tree: world query found %d sources, want 15", got)
 	}
 }
 

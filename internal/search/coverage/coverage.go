@@ -122,6 +122,14 @@ func FindConnectSet(root *dits.TreeNode, q *dataset.Node, delta float64) []*data
 	return findConnectSet(root, q, delta, cellset.NewDistIndex(q.Cells, delta))
 }
 
+// FindConnectSetWithIndex is FindConnectSet with a caller-maintained
+// distance index over q's cells. Session-based federated searches keep the
+// index alive across greedy rounds and grow it with each round's delta
+// instead of rebuilding it from the full merged set every time.
+func FindConnectSetWithIndex(root *dits.TreeNode, q *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+	return findConnectSet(root, q, delta, qIdx)
+}
+
 // findConnectSet is FindConnectSet with the query's distance index supplied
 // by the caller, so iterative searches can reuse (and grow) it.
 func findConnectSet(root *dits.TreeNode, q *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {

@@ -207,7 +207,7 @@ func (p *TCPPeer) Call(method string, body []byte) ([]byte, error) {
 	if status != 0 {
 		return nil, &RemoteError{Source: p.Name, Msg: string(payload)}
 	}
-	p.Metrics.Record(len(body)+len(method), len(payload))
+	p.Metrics.Record(method, len(body)+len(method), len(payload))
 	return payload, nil
 }
 

@@ -60,17 +60,27 @@ func Decode(body []byte, v any) error {
 }
 
 // Metrics accumulates the communication cost of a search: messages
-// exchanged and payload bytes in both directions. It is safe for
-// concurrent use.
+// exchanged and payload bytes in both directions, broken down per protocol
+// method, plus per-source failure counts. It is safe for concurrent use.
 type Metrics struct {
 	mu            sync.Mutex
 	messages      int64
 	bytesSent     int64
 	bytesReceived int64
+	perMethod     map[string]MethodStats
+	failures      map[string]int64
 }
 
-// Record adds one request/response exchange.
-func (m *Metrics) Record(sent, received int) {
+// MethodStats is the per-method slice of the counters: how many exchanges
+// used the method and how many payload bytes they carried each way.
+type MethodStats struct {
+	Calls         int64 `json:"calls"`
+	BytesSent     int64 `json:"bytesSent"`
+	BytesReceived int64 `json:"bytesReceived"`
+}
+
+// Record adds one request/response exchange of the given method.
+func (m *Metrics) Record(method string, sent, received int) {
 	if m == nil {
 		return
 	}
@@ -78,7 +88,62 @@ func (m *Metrics) Record(sent, received int) {
 	m.messages++
 	m.bytesSent += int64(sent)
 	m.bytesReceived += int64(received)
+	if m.perMethod == nil {
+		m.perMethod = make(map[string]MethodStats)
+	}
+	ms := m.perMethod[method]
+	ms.Calls++
+	ms.BytesSent += int64(sent)
+	ms.BytesReceived += int64(received)
+	m.perMethod[method] = ms
 	m.mu.Unlock()
+}
+
+// RecordFailure counts one failed exchange against the named source — how
+// a center's skip-and-record policy makes degraded sources observable.
+func (m *Metrics) RecordFailure(source string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.failures == nil {
+		m.failures = make(map[string]int64)
+	}
+	m.failures[source]++
+	m.mu.Unlock()
+}
+
+// PerMethod returns a copy of the per-method counters.
+func (m *Metrics) PerMethod() map[string]MethodStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]MethodStats, len(m.perMethod))
+	for k, v := range m.perMethod {
+		out[k] = v
+	}
+	return out
+}
+
+// Failures returns a copy of the per-source failure counts.
+func (m *Metrics) Failures() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.failures))
+	for k, v := range m.failures {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalFailures returns the number of failed exchanges recorded.
+func (m *Metrics) TotalFailures() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, v := range m.failures {
+		n += v
+	}
+	return n
 }
 
 // Messages returns the number of exchanges recorded.
@@ -113,6 +178,7 @@ func (m *Metrics) BytesReceived() int64 {
 func (m *Metrics) Reset() {
 	m.mu.Lock()
 	m.messages, m.bytesSent, m.bytesReceived = 0, 0, 0
+	m.perMethod, m.failures = nil, nil
 	m.mu.Unlock()
 }
 
@@ -141,7 +207,7 @@ func (p *InProc) Call(method string, body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, &RemoteError{Source: p.Name, Msg: err.Error()}
 	}
-	p.Metrics.Record(len(body)+len(method), len(resp))
+	p.Metrics.Record(method, len(body)+len(method), len(resp))
 	return resp, nil
 }
 

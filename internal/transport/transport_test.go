@@ -70,19 +70,29 @@ func TestInProcCountsBytes(t *testing.T) {
 
 func TestMetricsTransmissionTime(t *testing.T) {
 	m := &Metrics{}
-	m.Record(600, 400) // 1000 bytes total
+	m.Record("test.method", 600, 400) // 1000 bytes total
 	if got := m.TransmissionTime(1000); got != time.Second {
 		t.Errorf("TransmissionTime = %v, want 1s", got)
 	}
 	if got := m.TransmissionTime(0); got != 0 {
 		t.Errorf("zero bandwidth should yield 0, got %v", got)
 	}
+	pm := m.PerMethod()
+	if ms := pm["test.method"]; ms.Calls != 1 || ms.BytesSent != 600 || ms.BytesReceived != 400 {
+		t.Errorf("per-method stats = %+v", ms)
+	}
+	m.RecordFailure("src-a")
+	m.RecordFailure("src-a")
+	if m.TotalFailures() != 2 || m.Failures()["src-a"] != 2 {
+		t.Errorf("failures = %d %v", m.TotalFailures(), m.Failures())
+	}
 	m.Reset()
-	if m.Bytes() != 0 || m.Messages() != 0 {
+	if m.Bytes() != 0 || m.Messages() != 0 || len(m.PerMethod()) != 0 || m.TotalFailures() != 0 {
 		t.Error("Reset did not zero counters")
 	}
 	var nilM *Metrics
-	nilM.Record(1, 1) // must not panic
+	nilM.Record("x", 1, 1)  // must not panic
+	nilM.RecordFailure("x") // must not panic
 }
 
 func TestTCPRoundTrip(t *testing.T) {
