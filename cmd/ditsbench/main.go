@@ -7,7 +7,7 @@
 //	ditsbench -exp all -scale 0.05     # everything, bigger workload
 //	ditsbench -exp fig13 -csv out/     # also write CSV files
 //
-// The setops and fedcomm experiments additionally support a
+// The setops, fedcomm, and exec experiments additionally support a
 // baseline/compare workflow so speedups (and regressions) are
 // machine-readable across PRs:
 //
@@ -15,6 +15,8 @@
 //	ditsbench -exp setops -compare     # rerun and diff against the snapshot
 //	ditsbench -exp fedcomm -baseline   # snapshot to BENCH_fedcomm.json
 //	ditsbench -exp fedcomm -compare    # diff protocol bytes per query
+//	ditsbench -exp exec -baseline      # snapshot to BENCH_exec.json
+//	ditsbench -exp exec -compare       # diff executor timings/speedups
 package main
 
 import (
@@ -30,11 +32,11 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm: snapshot results to -benchfile")
-	compare := flag.Bool("compare", false, "with -exp setops/fedcomm: diff results against the -benchfile snapshot")
+	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec: diff results against the -benchfile snapshot")
 	benchFile := flag.String("benchfile", "", "snapshot file for -baseline/-compare (default BENCH_<exp>.json)")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale (fraction of Table I sizes)")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
@@ -45,6 +47,7 @@ func main() {
 	flag.IntVar(&cfg.Q, "q", cfg.Q, "default number of queries q")
 	flag.Float64Var(&cfg.Delta, "delta", cfg.Delta, "default connectivity threshold δ")
 	flag.IntVar(&cfg.F, "f", cfg.F, "default leaf capacity f")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "max worker-pool size for the exec experiment")
 	covSrc := flag.String("coverage-sources", strings.Join(cfg.CoverageSources, ","),
 		"comma-separated sources for the CJSP figures ('' = all five)")
 	flag.Parse()
@@ -87,6 +90,8 @@ func main() {
 			tables, err = runSetopsSnapshot(cfg, *baseline, *compare, file)
 		case id == "fedcomm" && (*baseline || *compare):
 			tables, err = runFedcommSnapshot(cfg, *baseline, *compare, file)
+		case id == "exec" && (*baseline || *compare):
+			tables, err = runExecSnapshot(cfg, *baseline, *compare, file)
 		default:
 			tables, err = bench.Run(id, cfg)
 		}
@@ -148,6 +153,31 @@ func runFedcommSnapshot(cfg bench.Config, baseline, compare bool, file string) (
 	}
 	if baseline {
 		if err := bench.WriteFedcomm(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
+}
+
+// runExecSnapshot is the same workflow for the query-executor experiment:
+// -baseline snapshots sequential/parallel/batched timings, -compare diffs
+// a fresh run against the snapshot. The run itself enforces result parity
+// between every executor configuration and the sequential searcher.
+func runExecSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables, err := bench.RunExec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if compare {
+		base, err := bench.ReadExec(file)
+		if err != nil {
+			return nil, fmt.Errorf("load baseline (run -exp exec -baseline first): %w", err)
+		}
+		tables = append(tables, bench.CompareExec(base, report))
+	}
+	if baseline {
+		if err := bench.WriteExec(file, report); err != nil {
 			return nil, err
 		}
 		fmt.Printf("baseline snapshot written to %s\n\n", file)

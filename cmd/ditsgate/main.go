@@ -49,6 +49,7 @@ func main() {
 	noClip := flag.Bool("no-clip", false, "disable per-source query clipping")
 	stateless := flag.Bool("stateless", false, "disable the CJSP session protocol (ship full state every round)")
 	tolerant := flag.Bool("tolerant", false, "skip failed sources mid-query instead of failing the query")
+	workers := flag.Int("workers", 0, "center-side worker pool for POST /search/batch prep and merge (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *remote == "" {
@@ -62,7 +63,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip, Sessions: !*stateless}
+	opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip, Sessions: !*stateless, Workers: *workers}
 	if *tolerant {
 		opts.OnSourceError = federation.SkipFailed
 	}

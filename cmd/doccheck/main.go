@@ -1,0 +1,219 @@
+// Command doccheck is the docs-consistency gate run in CI: it fails when
+// the code's public surface drifts out of the documentation.
+//
+//	go run ./cmd/doccheck            # check, exit 1 on drift
+//	go run ./cmd/doccheck -v         # also list everything checked
+//
+// Two surfaces are checked:
+//
+//   - every exported Method* constant in internal/federation (the
+//     federation RPC methods) must have its wire name documented in
+//     docs/PROTOCOL.md;
+//   - every flag registered by a command under cmd/ must appear, as
+//     "-name", in README.md or one of the docs/*.md files.
+//
+// The checker parses the Go source (go/ast), so new methods and flags are
+// picked up without maintaining a list here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every checked method and flag")
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	protocol := readFile(filepath.Join(*root, "docs", "PROTOCOL.md"))
+	docs := protocol + readFile(filepath.Join(*root, "README.md"))
+	for _, extra := range globMust(filepath.Join(*root, "docs", "*.md")) {
+		docs += readFile(extra)
+	}
+
+	var missing []string
+
+	methods := methodConstants(filepath.Join(*root, "internal", "federation"))
+	for _, m := range methods {
+		if *verbose {
+			fmt.Printf("method %-18s = %q\n", m.name, m.value)
+		}
+		if !strings.Contains(protocol, m.value) {
+			missing = append(missing,
+				fmt.Sprintf("federation method %s (%q) is not documented in docs/PROTOCOL.md", m.name, m.value))
+		}
+	}
+	if len(methods) == 0 {
+		missing = append(missing, "found no Method* constants in internal/federation (checker broken?)")
+	}
+
+	flags := cmdFlags(filepath.Join(*root, "cmd"))
+	for _, f := range flags {
+		if *verbose {
+			fmt.Printf("flag   %-10s -%s\n", f.cmd, f.name)
+		}
+		if !strings.Contains(docs, "-"+f.name) {
+			missing = append(missing,
+				fmt.Sprintf("flag -%s of cmd/%s is not documented in README.md or docs/", f.name, f.cmd))
+		}
+	}
+	if len(flags) == 0 {
+		missing = append(missing, "found no flags under cmd/ (checker broken?)")
+	}
+
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "doccheck:", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d federation methods and %d command flags documented\n", len(methods), len(flags))
+}
+
+type method struct{ name, value string }
+
+// methodConstants returns every exported Method* string constant declared
+// in the package directory.
+func methodConstants(dir string) []method {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		fatal(err)
+	}
+	var out []method
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for i, id := range vs.Names {
+					if !strings.HasPrefix(id.Name, "Method") || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						v, err := strconv.Unquote(lit.Value)
+						if err == nil {
+							out = append(out, method{name: id.Name, value: v})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+type cmdFlag struct{ cmd, name string }
+
+// cmdFlags returns every flag name registered via the flag package by the
+// commands under cmdDir (flag.String, flag.IntVar, ... — the name is the
+// first string-literal argument).
+func cmdFlags(cmdDir string) []cmdFlag {
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		fatal(err)
+	}
+	var out []cmdFlag
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.Join(cmdDir, e.Name()), nil, 0)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+						return true
+					}
+					if !flagRegisterFuncs[sel.Sel.Name] {
+						return true
+					}
+					// Registration funcs take the name as the first string
+					// literal argument (Xxx: arg 0, XxxVar: arg 1).
+					for _, arg := range call.Args {
+						lit, ok := arg.(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						name, err := strconv.Unquote(lit.Value)
+						if err == nil && name != "" {
+							key := e.Name() + "|" + name
+							if !seen[key] {
+								seen[key] = true
+								out = append(out, cmdFlag{cmd: e.Name(), name: name})
+							}
+						}
+						break
+					}
+					return true
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cmd != out[j].cmd {
+			return out[i].cmd < out[j].cmd
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// flagRegisterFuncs are the flag-package functions that register a flag.
+var flagRegisterFuncs = map[string]bool{
+	"Bool": true, "BoolVar": true,
+	"Int": true, "IntVar": true,
+	"Int64": true, "Int64Var": true,
+	"Uint": true, "UintVar": true,
+	"Uint64": true, "Uint64Var": true,
+	"Float64": true, "Float64Var": true,
+	"String": true, "StringVar": true,
+	"Duration": true, "DurationVar": true,
+}
+
+func readFile(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return string(data)
+}
+
+func globMust(pattern string) []string {
+	out, err := filepath.Glob(pattern)
+	if err != nil {
+		fatal(err)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"dits/internal/cellset"
 	"dits/internal/dataset"
@@ -45,7 +46,9 @@ func main() {
 		}
 		defer srv.Close()
 		s.addr = srv.Addr()
-		fmt.Printf("source %-8s serving %4d datasets at %s\n", s.name, idx.Len(), s.addr)
+		// The ephemeral port changes per run; keep the printed output
+		// stable (and quotable in docs) by not echoing it.
+		fmt.Printf("source %-8s serving %4d datasets on a loopback TCP socket\n", s.name, idx.Len())
 	}
 
 	// The data center dials each source and registers its summary.
@@ -86,6 +89,20 @@ func main() {
 	fmt.Printf("coverage: %d cells (query alone %d)\n", cov.Coverage, cov.QueryCoverage)
 	fmt.Printf("communication: %d messages, %d bytes\n",
 		center.Metrics.Messages(), center.Metrics.Bytes())
+
+	// Per-method breakdown. PerMethod returns a map, whose iteration
+	// order varies run to run — print it sorted so the output is stable.
+	per := center.Metrics.PerMethod()
+	methods := make([]string, 0, len(per))
+	for m := range per {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		st := per[m]
+		fmt.Printf("  %-15s %2d calls, %5d B sent, %5d B received\n",
+			m, st.Calls, st.BytesSent, st.BytesReceived)
+	}
 
 	// Show what the distribution strategies buy: the same overlap search
 	// with broadcast-everything shipping.

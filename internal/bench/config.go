@@ -32,6 +32,10 @@ type Config struct {
 	// paper's slowest baseline, is quadratic; Transit is the paper's
 	// motivating source and the cheapest). Empty means all five.
 	CoverageSources []string
+
+	// Workers is the largest worker-pool size the exec experiment drives
+	// the query executor with (ditsbench -workers).
+	Workers int
 }
 
 // DefaultConfig returns the scaled-down defaults used by ditsbench and the
@@ -48,6 +52,7 @@ func DefaultConfig() Config {
 		Bandwidth:       125_000, // 1 Mbit/s, as a transmission-time model
 		OverlapScale:    0.5,
 		CoverageSources: []string{"Transit", "Baidu"},
+		Workers:         8,
 	}
 }
 

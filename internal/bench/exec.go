@@ -1,0 +1,373 @@
+// The exec experiment measures the query-execution engine of
+// internal/search/exec along the two axes the engine adds: sequential vs
+// parallel verification of one traversal, and one-query-at-a-time vs
+// batched execution of many queries. Every executor result is checked
+// byte-identical against the sequential searcher — the experiment errors
+// out on any divergence, so the snapshot can only ever show a speedup that
+// preserves answers. Results snapshot to BENCH_exec.json:
+//
+//	ditsbench -exp exec -baseline   # run and snapshot
+//	ditsbench -exp exec -compare    # run and diff against the snapshot
+//
+// Parallel entries report both the measured wall clock and the work-span
+// model computed from a per-task trace of the real schedule
+// (exec.TraceOverlap + exec.ModelMakespan). The headline speedup uses the
+// wall clock when the host has at least as many CPUs as workers and the
+// model otherwise (basis column) — a single-core CI box cannot spend
+// 8 workers of parallelism, but the schedule it would hand them is
+// measured either way. Batched entries are always wall clock: the batch
+// win is algorithmic (one shared tree pass), not hardware parallelism.
+package bench
+
+import (
+	"cmp"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"slices"
+	"time"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/search/exec"
+	"dits/internal/search/overlap"
+	"dits/internal/workload"
+)
+
+// ExecSchema identifies the snapshot format.
+const ExecSchema = "dits-bench-exec/1"
+
+// ExecEntry is one measured executor configuration.
+type ExecEntry struct {
+	Op                string  `json:"op"`       // "parallel" or "batch"
+	Workload          string  `json:"workload"` // always "clustered" (real source shapes)
+	Workers           int     `json:"workers"`
+	Batch             int     `json:"batch,omitempty"` // batch size (batch op)
+	Queries           int     `json:"queries"`
+	K                 int     `json:"k"`
+	SeqNsPerQuery     float64 `json:"seq_ns_per_query"`
+	ExecNsPerQuery    float64 `json:"exec_ns_per_query"`              // measured wall clock
+	ModeledNsPerQuery float64 `json:"modeled_ns_per_query,omitempty"` // work-span model (parallel op)
+	WallSpeedup       float64 `json:"wall_speedup"`                   // seq / wall
+	ModeledSpeedup    float64 `json:"modeled_speedup,omitempty"`      // seq / modeled
+	Speedup           float64 `json:"speedup"`                        // per Basis
+	Basis             string  `json:"basis"`                          // "wall" or "modeled"
+}
+
+// ExecReport is the machine-readable result of one exec run.
+type ExecReport struct {
+	Schema    string      `json:"schema"`
+	Generated string      `json:"generated,omitempty"`
+	Theta     int         `json:"theta"`
+	Seed      int64       `json:"seed"`
+	Scale     float64     `json:"scale"`
+	NumCPU    int         `json:"num_cpu"`
+	Results   []ExecEntry `json:"results"`
+	// ParallelSpeedupMaxW is the headline single-query speedup at the
+	// largest measured worker count (8 by default).
+	ParallelSpeedupMaxW float64 `json:"parallel_speedup_max_workers"`
+	// BatchPerQuerySpeedup is the headline per-query gain of batched over
+	// one-at-a-time execution, wall clock.
+	BatchPerQuerySpeedup float64 `json:"batch_per_query_speedup"`
+}
+
+// execWorkerSweep is the worker counts the parallel op measures; the last
+// entry is the headline configuration.
+var execWorkerSweep = []int{1, 2, 4, 8}
+
+// execWorkload builds the exec experiment's world: one big clustered
+// source index, heavy multi-region queries for the parallel op (enough
+// leaves per query that scheduling matters), and ordinary sampled queries
+// for the batch op.
+func execWorkload(cfg Config) (*dits.Local, []*dataset.Node, []*dataset.Node) {
+	ocfg := overlapCfg(cfg)
+	spec, _ := workload.SpecByName("Baidu")
+	sd := cache.gridded(spec, ocfg, cfg.Theta)
+	idx := dits.Build(sd.grid, sd.nodes, cfg.F)
+
+	// Heavy queries: each merges several sampled datasets, so its MBR and
+	// cells span many leaves and verification dominates.
+	heavyDs := workload.SampleQueries(sd.src, 4*cfg.Q, cfg.Seed+1)
+	var heavy []*dataset.Node
+	for i := 0; i+3 < len(heavyDs) && len(heavy) < cfg.Q; i += 4 {
+		cells := cellset.FromPoints(sd.grid, heavyDs[i].Points)
+		for j := 1; j < 4; j++ {
+			cells = cells.Union(cellset.FromPoints(sd.grid, heavyDs[i+j].Points))
+		}
+		if nd := dataset.NewNodeFromCells(-1, "heavy", cells); nd != nil {
+			heavy = append(heavy, nd)
+		}
+	}
+
+	// Batch queries model hot-region traffic — the scenario batching is
+	// built for ("queries whose cells land in the same tree regions"):
+	// many users querying the same part of the city. Sampled queries are
+	// ordered by the z-order of their MBR center and a contiguous run is
+	// taken, so the batch shares tree regions without sharing cells.
+	all := queries(sd, 16*cfg.Q, cfg.Seed+2)
+	slices.SortFunc(all, func(a, b *dataset.Node) int {
+		return cmp.Compare(geo.ZEncode(uint32(a.O.X), uint32(a.O.Y)),
+			geo.ZEncode(uint32(b.O.X), uint32(b.O.Y)))
+	})
+	n := min(4*cfg.Q, len(all))
+	start := min(len(all)/3, len(all)-n)
+	batchQs := all[start : start+n]
+	return idx, heavy, batchQs
+}
+
+// execMeasure times fn over enough repetitions to defeat timer noise and
+// returns ns per call.
+func execMeasure(fn func()) float64 { return measure(fn) }
+
+// RunExec executes the exec experiment, returning the machine-readable
+// report and printable tables. It fails on any divergence between an
+// executor configuration and the sequential searcher.
+func RunExec(cfg Config) (ExecReport, []Table, error) {
+	report := ExecReport{
+		Schema: ExecSchema, Theta: cfg.Theta, Seed: cfg.Seed,
+		Scale: overlapCfg(cfg).Scale, NumCPU: runtime.NumCPU(),
+	}
+	idx, heavy, batchQs := execWorkload(cfg)
+	if len(heavy) == 0 || len(batchQs) == 0 {
+		return report, nil, fmt.Errorf("bench: exec workload came up empty")
+	}
+	seq := &overlap.DITSSearcher{Index: idx}
+	ctx := context.Background()
+	maxW := execWorkerSweep[len(execWorkerSweep)-1]
+
+	// ---- Parallel op: one heavy query at a time, W workers. ----
+	want := make([][]overlap.Result, len(heavy))
+	for i, q := range heavy {
+		want[i] = seq.TopK(q, cfg.K)
+	}
+	seqNs := execMeasure(func() {
+		for _, q := range heavy {
+			seq.TopK(q, cfg.K)
+		}
+	}) / float64(len(heavy))
+
+	// Work-span model from the real sequential schedule, averaged over
+	// queries and repetitions.
+	const traceReps = 5
+	modeled := make(map[int]float64, len(execWorkerSweep))
+	for r := 0; r < traceReps; r++ {
+		for i, q := range heavy {
+			tr := exec.TraceOverlap(idx, q, cfg.K)
+			if !reflect.DeepEqual(tr.Results, want[i]) {
+				return report, nil, fmt.Errorf("bench: exec trace parity violation on query %d", i)
+			}
+			for _, w := range execWorkerSweep {
+				modeled[w] += exec.ModelMakespan(tr, w)
+			}
+		}
+	}
+	for _, w := range execWorkerSweep {
+		modeled[w] /= float64(traceReps * len(heavy))
+	}
+
+	for _, w := range execWorkerSweep {
+		ex := &exec.Executor{Workers: w}
+		for i, q := range heavy {
+			got, err := ex.OverlapTopK(ctx, idx, q, cfg.K)
+			if err != nil {
+				return report, nil, err
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				return report, nil, fmt.Errorf(
+					"bench: exec parity violation: workers=%d query %d", w, i)
+			}
+		}
+		wallNs := execMeasure(func() {
+			for _, q := range heavy {
+				ex.OverlapTopK(ctx, idx, q, cfg.K)
+			}
+		}) / float64(len(heavy))
+		e := ExecEntry{
+			Op: "parallel", Workload: "clustered", Workers: w,
+			Queries: len(heavy), K: cfg.K,
+			SeqNsPerQuery: seqNs, ExecNsPerQuery: wallNs, ModeledNsPerQuery: modeled[w],
+		}
+		if wallNs > 0 {
+			e.WallSpeedup = seqNs / wallNs
+		}
+		if modeled[w] > 0 {
+			e.ModeledSpeedup = seqNs / modeled[w]
+		}
+		e.Speedup, e.Basis = e.WallSpeedup, "wall"
+		if runtime.NumCPU() < w {
+			e.Speedup, e.Basis = e.ModeledSpeedup, "modeled"
+		}
+		report.Results = append(report.Results, e)
+		if w == maxW {
+			report.ParallelSpeedupMaxW = e.Speedup
+		}
+	}
+
+	// ---- Batch op: all sampled queries in one shared pass. ----
+	batch := make([]exec.BatchQuery, len(batchQs))
+	wantBatch := make([][]overlap.Result, len(batchQs))
+	for i, q := range batchQs {
+		batch[i] = exec.BatchQuery{Q: q, K: cfg.K}
+		wantBatch[i] = seq.TopK(q, cfg.K)
+	}
+	batchSeqNs := execMeasure(func() {
+		for _, q := range batchQs {
+			seq.TopK(q, cfg.K)
+		}
+	}) / float64(len(batchQs))
+
+	batchWorkers := []int{1, min(maxW, cfg.Workers)}
+	if batchWorkers[1] <= 1 {
+		batchWorkers = batchWorkers[:1]
+	}
+	for _, w := range batchWorkers {
+		ex := &exec.Executor{Workers: w}
+		got, err := ex.OverlapTopKBatch(ctx, idx, batch)
+		if err != nil {
+			return report, nil, err
+		}
+		if !reflect.DeepEqual(got, wantBatch) {
+			return report, nil, fmt.Errorf("bench: exec batch parity violation at workers=%d", w)
+		}
+		wallNs := execMeasure(func() {
+			ex.OverlapTopKBatch(ctx, idx, batch)
+		}) / float64(len(batchQs))
+		e := ExecEntry{
+			Op: "batch", Workload: "clustered", Workers: w, Batch: len(batchQs),
+			Queries: len(batchQs), K: cfg.K,
+			SeqNsPerQuery: batchSeqNs, ExecNsPerQuery: wallNs,
+			Basis: "wall",
+		}
+		if wallNs > 0 {
+			e.WallSpeedup = batchSeqNs / wallNs
+			e.Speedup = e.WallSpeedup
+		}
+		report.Results = append(report.Results, e)
+		// Headline: the best configuration the host can actually spend.
+		if e.Speedup > report.BatchPerQuerySpeedup && (w == 1 || runtime.NumCPU() >= w) {
+			report.BatchPerQuerySpeedup = e.Speedup
+		}
+	}
+
+	t := Table{
+		ID:    "exec",
+		Title: "Query executor: sequential vs parallel traversal, single vs batched execution",
+		Header: []string{
+			"op", "workers", "q", "seq ns/query", "exec ns/query", "modeled ns/q", "speedup", "basis",
+		},
+		Notes: []string{
+			fmt.Sprintf("host CPUs: %d; parity with the sequential searcher enforced on every configuration.", runtime.NumCPU()),
+			"basis=modeled: work-span model of the real schedule (exec.TraceOverlap), used when workers exceed host CPUs.",
+			fmt.Sprintf("headline: parallel %0.2fx at %d workers, batched %0.2fx per query.",
+				report.ParallelSpeedupMaxW, maxW, report.BatchPerQuerySpeedup),
+		},
+	}
+	for _, e := range report.Results {
+		mod := "-"
+		if e.ModeledNsPerQuery > 0 {
+			mod = fmt.Sprintf("%.0f", e.ModeledNsPerQuery)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Op, itoa(e.Workers), itoa(e.Queries),
+			fmt.Sprintf("%.0f", e.SeqNsPerQuery),
+			fmt.Sprintf("%.0f", e.ExecNsPerQuery),
+			mod,
+			fmt.Sprintf("%.2fx", e.Speedup),
+			e.Basis,
+		})
+	}
+	return report, []Table{t}, nil
+}
+
+// WriteExec stamps and writes the report as indented JSON.
+func WriteExec(path string, r ExecReport) error {
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadExec loads a snapshot written by WriteExec.
+func ReadExec(path string) (ExecReport, error) {
+	var r ExecReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != ExecSchema {
+		return r, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, ExecSchema)
+	}
+	return r, nil
+}
+
+// CompareExec diffs a current run against a snapshot per (op, workers)
+// pair — the regression signal for executor changes. Wall-clock drift
+// against a snapshot from different hardware is informational; the
+// speedup columns, measured live, are the hardware-independent signal.
+func CompareExec(base, cur ExecReport) Table {
+	t := Table{
+		ID:    "exec-compare",
+		Title: "Query executor vs baseline snapshot" + execGeneratedSuffix(base),
+		Header: []string{
+			"op", "workers", "base ns/q", "now ns/q", "drift", "base speedup", "now speedup",
+		},
+		Notes: []string{
+			"drift = now/base exec ns per query: < 1.00x is faster than the snapshot.",
+			fmt.Sprintf("headline now: parallel %.2fx, batch %.2fx (snapshot %.2fx / %.2fx).",
+				cur.ParallelSpeedupMaxW, cur.BatchPerQuerySpeedup,
+				base.ParallelSpeedupMaxW, base.BatchPerQuerySpeedup),
+		},
+	}
+	key := func(e ExecEntry) string { return fmt.Sprintf("%s|%d", e.Op, e.Workers) }
+	baseBy := make(map[string]ExecEntry, len(base.Results))
+	for _, e := range base.Results {
+		baseBy[key(e)] = e
+	}
+	for _, e := range cur.Results {
+		b, ok := baseBy[key(e)]
+		if !ok {
+			t.Notes = append(t.Notes, fmt.Sprintf("no baseline entry for %s/%d workers", e.Op, e.Workers))
+			continue
+		}
+		drift := "-"
+		if b.ExecNsPerQuery > 0 {
+			drift = fmt.Sprintf("%.2fx", e.ExecNsPerQuery/b.ExecNsPerQuery)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Op, itoa(e.Workers),
+			fmt.Sprintf("%.0f", b.ExecNsPerQuery),
+			fmt.Sprintf("%.0f", e.ExecNsPerQuery),
+			drift,
+			fmt.Sprintf("%.2fx", b.Speedup),
+			fmt.Sprintf("%.2fx", e.Speedup),
+		})
+	}
+	return t
+}
+
+func execGeneratedSuffix(base ExecReport) string {
+	if base.Generated == "" {
+		return ""
+	}
+	return " (" + base.Generated + ")"
+}
+
+// Exec adapts RunExec to the experiment registry (plain -exp exec runs
+// without snapshotting).
+func Exec(cfg Config) []Table {
+	_, tables, err := RunExec(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tables
+}

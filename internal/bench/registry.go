@@ -37,6 +37,7 @@ var experiments = []Experiment{
 	{"throughput", "Federated query throughput vs concurrent clients (extension)", Throughput},
 	{"setops", "Cell-set engine: flat slices vs Roaring-style containers (extension)", Setops},
 	{"fedcomm", "Federation protocol: stateless vs session, bytes and round-trips per query (extension)", Fedcomm},
+	{"exec", "Query executor: parallel traversal and batched execution vs sequential (extension)", Exec},
 }
 
 // All returns every experiment, sorted by ID.
@@ -53,5 +54,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec)", id)
 }

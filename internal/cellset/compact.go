@@ -99,6 +99,17 @@ func (c *Compact) Len() int {
 // IsEmpty reports whether the set has no cells.
 func (c *Compact) IsEmpty() bool { return c.Len() == 0 }
 
+// NumChunks returns the number of chunks the cells occupy. Len/NumChunks
+// is the set's density — the signal the query executor uses to pick
+// between the word-parallel chunk kernel (dense sets) and the
+// posting-list kernel (sparse sets).
+func (c *Compact) NumChunks() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.keys)
+}
+
 // Set materializes the flat sorted Set.
 func (c *Compact) Set() Set {
 	if c.Len() == 0 {

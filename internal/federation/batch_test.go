@@ -1,0 +1,305 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dits/internal/cache"
+	"dits/internal/transport"
+)
+
+// testFederation bundles the pieces the batch tests drive.
+type testFederation struct {
+	center  *Center
+	servers []*SourceServer
+}
+
+// newTestFederation builds a three-source in-process federation.
+func newTestFederation(t *testing.T, opts Options) *testFederation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	center, _, servers := buildFederation(rng, 3, 40, opts)
+	return &testFederation{center: center, servers: servers}
+}
+
+// batchTestQueries samples queries across the test federation's sources.
+func batchTestQueries(t *testing.T, f *testFederation, n int) []BatchQuery {
+	t.Helper()
+	var qs []BatchQuery
+	for i := 0; i < n; i++ {
+		src := f.servers[i%len(f.servers)]
+		nd := src.Index.All()[i%src.Index.Len()]
+		cells := nd.Cells
+		if i%3 == 1 { // widen some queries across source boundaries
+			other := f.servers[(i+1)%len(f.servers)]
+			cells = cells.Union(other.Index.All()[i%other.Index.Len()].Cells)
+		}
+		qs = append(qs, BatchQuery{Cells: cells, K: 1 + i%7})
+	}
+	return qs
+}
+
+// TestOverlapSearchBatchParity: every entry of a batched search must be
+// identical to the same query asked alone, across option combinations and
+// worker counts.
+func TestOverlapSearchBatchParity(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{GlobalFilter: true, ClipQuery: true},
+		{GlobalFilter: true, ClipQuery: true, Workers: 4},
+	} {
+		opts := opts
+		t.Run(fmt.Sprintf("filter=%v_workers=%d", opts.GlobalFilter, opts.Workers), func(t *testing.T) {
+			f := newTestFederation(t, opts)
+			qs := batchTestQueries(t, f, 9)
+			got, err := f.center.OverlapSearchBatch(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(qs) {
+				t.Fatalf("got %d results for %d queries", len(got), len(qs))
+			}
+			for i, q := range qs {
+				want, err := f.center.OverlapSearch(q.Cells, q.K)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[i], want) {
+					t.Fatalf("query %d: batch %v != single %v", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestOverlapSearchBatchOfOne: the smallest batch is exactly the single
+// path, and parallel source servers answer identically to sequential ones.
+func TestOverlapSearchBatchOfOne(t *testing.T) {
+	f := newTestFederation(t, DefaultOptions())
+	for _, srv := range f.servers {
+		srv.Workers = 8
+	}
+	q := batchTestQueries(t, f, 1)[0]
+	got, err := f.center.OverlapSearchBatch([]BatchQuery{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.center.OverlapSearch(q.Cells, q.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("batch of one %v != single %v", got[0], want)
+	}
+}
+
+// TestOverlapSearchBatchCacheSharing: a batch fills the result cache with
+// per-query entries that single queries hit, and vice versa.
+func TestOverlapSearchBatchCacheSharing(t *testing.T) {
+	f := newTestFederation(t, DefaultOptions())
+	f.center.SetCache(cache.New(64))
+	qs := batchTestQueries(t, f, 4)
+	if _, err := f.center.OverlapSearchBatch(qs); err != nil {
+		t.Fatal(err)
+	}
+	st := f.center.Cache().Stats()
+	if st.Len == 0 {
+		t.Fatal("batch filled no cache entries")
+	}
+	msgs := f.center.Metrics.Messages()
+	for _, q := range qs {
+		if _, err := f.center.OverlapSearch(q.Cells, q.K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.center.Metrics.Messages(); got != msgs {
+		t.Fatalf("single queries after a batch hit the network: %d -> %d messages", msgs, got)
+	}
+	// And the reverse: a fresh batch over now-cached queries is silent.
+	if _, err := f.center.OverlapSearchBatch(qs); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.center.Metrics.Messages(); got != msgs {
+		t.Fatalf("batch over cached queries hit the network: %d -> %d messages", msgs, got)
+	}
+}
+
+// TestOverlapSearchBatchRoundTrips: a batch of B queries costs one
+// search.batch call per involved source, not B overlap.search calls.
+func TestOverlapSearchBatchRoundTrips(t *testing.T) {
+	f := newTestFederation(t, Options{}) // no filtering: every source contacted
+	qs := batchTestQueries(t, f, 8)
+	f.center.Metrics.Reset()
+	if _, err := f.center.OverlapSearchBatch(qs); err != nil {
+		t.Fatal(err)
+	}
+	per := f.center.Metrics.PerMethod()
+	if per[MethodOverlap].Calls != 0 {
+		t.Fatalf("batch used %d single overlap calls", per[MethodOverlap].Calls)
+	}
+	if got, want := per[MethodSearchBatch].Calls, int64(len(f.servers)); got != want {
+		t.Fatalf("batch made %d search.batch calls, want %d (one per source)", got, want)
+	}
+}
+
+// legacyPeer wraps a peer and rejects MethodSearchBatch the way a source
+// predating the method would, so the center's fallback path is exercised
+// over a realistic error.
+type legacyPeer struct {
+	transport.Peer
+}
+
+func (p *legacyPeer) Call(method string, body []byte) ([]byte, error) {
+	if method == MethodSearchBatch {
+		return nil, &transport.RemoteError{Source: "legacy", Msg: `federation: unknown method "search.batch"`}
+	}
+	return p.Peer.Call(method, body)
+}
+
+// TestOverlapSearchBatchLegacyFallback: a source rejecting search.batch is
+// transparently served query-by-query, with identical results.
+func TestOverlapSearchBatchLegacyFallback(t *testing.T) {
+	f := newTestFederation(t, Options{GlobalFilter: true, ClipQuery: true})
+	// Re-register the first source behind a method-rejecting peer.
+	legacy := f.servers[0]
+	f.center.Register(legacy.Summary(), &legacyPeer{Peer: &transport.InProc{
+		Name: legacy.Name, Handler: legacy.Handler(), Metrics: f.center.Metrics,
+	}})
+	qs := batchTestQueries(t, f, 6)
+	got, err := f.center.OverlapSearchBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := f.center.OverlapSearch(q.Cells, q.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("query %d diverged under legacy fallback", i)
+		}
+	}
+	if calls := f.center.Metrics.PerMethod()[MethodOverlap].Calls; calls == 0 {
+		t.Fatal("legacy source was never served over overlap.search")
+	}
+}
+
+// failingBatchPeer fails every call once armed.
+type failingBatchPeer struct {
+	transport.Peer
+	fail bool
+}
+
+func (p *failingBatchPeer) Call(method string, body []byte) ([]byte, error) {
+	if p.fail {
+		return nil, fmt.Errorf("peer down")
+	}
+	return p.Peer.Call(method, body)
+}
+
+// TestOverlapSearchBatchFailurePolicies: FailFast aborts the whole batch;
+// SkipFailed answers from the survivors and never caches the degraded
+// queries.
+func TestOverlapSearchBatchFailurePolicies(t *testing.T) {
+	build := func(policy FailurePolicy) (*testFederation, *failingBatchPeer) {
+		f := newTestFederation(t, Options{OnSourceError: policy})
+		srv := f.servers[0]
+		fp := &failingBatchPeer{Peer: &transport.InProc{
+			Name: srv.Name, Handler: srv.Handler(), Metrics: f.center.Metrics,
+		}}
+		f.center.Register(srv.Summary(), fp)
+		return f, fp
+	}
+
+	f, fp := build(FailFast)
+	qs := batchTestQueries(t, f, 5)
+	fp.fail = true
+	if _, err := f.center.OverlapSearchBatch(qs); err == nil {
+		t.Fatal("FailFast batch with a dead source succeeded")
+	}
+
+	f, fp = build(SkipFailed)
+	f.center.SetCache(cache.New(64))
+	qs = batchTestQueries(t, f, 5)
+	fp.fail = true
+	got, err := f.center.OverlapSearchBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("SkipFailed answered %d of %d queries", len(got), len(qs))
+	}
+	if f.center.Metrics.Failures()[f.servers[0].Name] == 0 {
+		t.Fatal("failure not recorded in metrics")
+	}
+	// Recover the source: the degraded answers must not have been cached,
+	// so the same batch now includes the recovered source's datasets.
+	fp.fail = false
+	full, err := f.center.OverlapSearchBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		want, err := f.center.OverlapSearch(qs[i].Cells, qs[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full[i], want) {
+			t.Fatalf("query %d: post-recovery batch %v != single %v", i, full[i], want)
+		}
+	}
+}
+
+// TestSearchBatchSourceHandler drives MethodSearchBatch at the wire level:
+// alignment, empty entries, and parity with MethodOverlap.
+func TestSearchBatchSourceHandler(t *testing.T) {
+	f := newTestFederation(t, Options{})
+	srv := f.servers[0]
+	srv.Workers = 4
+	h := srv.Handler()
+	q1 := srv.Index.All()[0].Cells
+	q2 := srv.Index.All()[1].Cells
+	req := SearchBatchRequest{Queries: []OverlapRequest{
+		{Cells: q1, K: 3},
+		{Cells: nil, K: 3}, // empty query: empty aligned answer
+		{Cells: q2, K: 0},  // k=0: empty aligned answer
+		{Cells: q2, K: 5},
+	}}
+	body, err := transport.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, err := h(MethodSearchBatch, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp SearchBatchResponse
+	if err := transport.Decode(respBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	if len(resp.Results[1].Results) != 0 || len(resp.Results[2].Results) != 0 {
+		t.Fatal("degenerate entries must answer empty")
+	}
+	for _, i := range []int{0, 3} {
+		single, err := transport.Encode(OverlapRequest{Cells: req.Queries[i].Cells, K: req.Queries[i].K})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBody, err := h(MethodOverlap, single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want OverlapResponse
+		if err := transport.Decode(wantBody, &want); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resp.Results[i], want) {
+			t.Fatalf("entry %d: batch %v != single %v", i, resp.Results[i], want)
+		}
+	}
+}

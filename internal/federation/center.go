@@ -38,6 +38,11 @@ type Options struct {
 	// FailFast (zero value) aborts the query, SkipFailed answers from the
 	// surviving sources and records the failure in Metrics.
 	OnSourceError FailurePolicy
+	// Workers bounds the center-side pool that prepares and merges the
+	// queries of one OverlapSearchBatch (candidate filtering, per-source
+	// clipping, cache probes). Zero means GOMAXPROCS. It does not affect
+	// single-query searches, whose fan-out is one goroutine per source.
+	Workers int
 }
 
 // DefaultOptions enables both distribution strategies and the session
@@ -386,15 +391,7 @@ func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, e
 		all = append(all, rs...)
 	}
 	// Aggregate: global top-k, deterministic tie-break.
-	slices.SortFunc(all, func(a, b SourceResult) int {
-		if a.Overlap != b.Overlap {
-			return cmp.Compare(b.Overlap, a.Overlap)
-		}
-		if a.Source != b.Source {
-			return cmp.Compare(a.Source, b.Source)
-		}
-		return cmp.Compare(a.ID, b.ID)
-	})
+	sortSourceResults(all)
 	if len(all) > k {
 		all = all[:k]
 	}

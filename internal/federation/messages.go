@@ -3,6 +3,27 @@
 // and a data center holding the DITS-G global index, distributing queries
 // to candidate sources only and shipping only the clipped portion of the
 // query each source can possibly match.
+//
+// # Concurrency and ownership
+//
+// A Center is safe for unrestricted concurrent use. Membership lives in
+// an immutable epoch snapshot behind an atomic pointer: a query loads it
+// once and owns that consistent view — member set, DITS-G, generation —
+// for its whole lifetime, while Register/Unregister build and publish the
+// next snapshot under the center's mutex. Nothing a query reads from a
+// snapshot may be mutated, ever; membership changes copy.
+//
+// A SourceServer is safe for concurrent use: its index is immutable
+// after construction (the DITS-L read contract), its handler may run on
+// any number of transport connections at once, and with Workers > 1 a
+// single request additionally fans its traversal out to a worker pool
+// (search/exec) that owns no state beyond the request. The only mutable
+// source state is the coverage-session table, guarded by the server's
+// mutex; one session is driven by one center query at a time (rounds are
+// sequential by protocol), while distinct sessions proceed concurrently.
+// Peers registered with a center must tolerate concurrent Call — wrap
+// TCP connections in a transport.Pool; each fan-out goroutine drives one
+// peer exchange at a time.
 package federation
 
 import "dits/internal/cellset"
@@ -20,6 +41,13 @@ const (
 	MethodCoverageRound = "coverage.round"
 	MethodFetchCells    = "coverage.fetch"
 	MethodSessionClose  = "coverage.close"
+
+	// MethodSearchBatch ships a whole batch of OJSP queries in ONE
+	// request/response exchange: the source answers every query of the
+	// batch in a single pass over its DITS-L tree (search/exec), and the
+	// center pays one round trip per source per batch instead of one per
+	// query per source.
+	MethodSearchBatch = "search.batch"
 )
 
 // OverlapRequest asks a source for its local top-k overlap results. Cells
@@ -40,6 +68,22 @@ type OverlapItem struct {
 // OverlapResponse carries a source's local top-k.
 type OverlapResponse struct {
 	Results []OverlapItem
+}
+
+// SearchBatchRequest asks a source for the local top-k of every query in
+// a batch. Each entry is a complete OverlapRequest — its own (possibly
+// clipped) cell set and its own k — so one source's batch may cover only
+// the subset of the center's batch for which this source is a candidate.
+// An entry with empty Cells or k <= 0 is answered with an empty result,
+// keeping request and response aligned index-for-index.
+type SearchBatchRequest struct {
+	Queries []OverlapRequest
+}
+
+// SearchBatchResponse carries one OverlapResponse per request entry, in
+// request order. len(Results) always equals len(Queries) of the request.
+type SearchBatchResponse struct {
+	Results []OverlapResponse
 }
 
 // CoverageRequest asks a source for its best next dataset in one greedy

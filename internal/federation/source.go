@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"dits/internal/geo"
 	"dits/internal/index/dits"
 	"dits/internal/search/coverage"
+	"dits/internal/search/exec"
 	"dits/internal/search/overlap"
 	"dits/internal/transport"
 )
@@ -34,6 +36,13 @@ const (
 type SourceServer struct {
 	Name  string
 	Index *dits.Local
+
+	// Workers sizes the per-query execution pool (search/exec): a single
+	// traversal is verified by up to Workers goroutines, and batched
+	// requests (MethodSearchBatch) share one tree pass across the pool.
+	// Zero or one keeps every query on the sequential path. Results are
+	// identical either way.
+	Workers int
 
 	// MaxSessions and SessionTTL override the eviction defaults when >0.
 	MaxSessions int
@@ -146,6 +155,12 @@ func (s *SourceServer) Handler() transport.Handler {
 				return nil, err
 			}
 			return transport.Encode(s.handleOverlap(req))
+		case MethodSearchBatch:
+			var req SearchBatchRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(s.handleSearchBatch(req))
 		case MethodCoverage:
 			var req CoverageRequest
 			if err := transport.Decode(body, &req); err != nil {
@@ -189,17 +204,53 @@ func (s *SourceServer) Handler() transport.Handler {
 	}
 }
 
-// handleOverlap runs the local OverlapSearch (Algorithm 2).
+// executor returns the source's query executor: sequential unless the
+// server was configured with Workers > 1.
+func (s *SourceServer) executor() *exec.Executor {
+	w := s.Workers
+	if w < 1 {
+		w = 1
+	}
+	return &exec.Executor{Workers: w}
+}
+
+// handleOverlap runs the local OverlapSearch (Algorithm 2), parallelizing
+// the traversal across the configured worker pool.
 func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
 	q := dataset.NewNodeFromCells(-1, "query", req.Cells)
 	if q == nil || req.K <= 0 {
 		return OverlapResponse{}
 	}
-	searcher := &overlap.DITSSearcher{Index: s.Index}
-	rs := searcher.TopK(q, req.K)
+	var rs []overlap.Result
+	if s.Workers > 1 {
+		rs, _ = s.executor().OverlapTopK(context.Background(), s.Index, q, req.K)
+	} else {
+		rs = (&overlap.DITSSearcher{Index: s.Index}).TopK(q, req.K)
+	}
+	return overlapResponse(rs)
+}
+
+// overlapResponse converts searcher results to the wire shape.
+func overlapResponse(rs []overlap.Result) OverlapResponse {
 	resp := OverlapResponse{Results: make([]OverlapItem, len(rs))}
 	for i, r := range rs {
 		resp.Results[i] = OverlapItem{ID: r.ID, Name: r.Name, Overlap: r.Overlap}
+	}
+	return resp
+}
+
+// handleSearchBatch answers a batch of OJSP queries in one shared pass
+// over the tree (search/exec): node summaries and compact leaf sets are
+// visited once per batch, and verification runs on the worker pool.
+func (s *SourceServer) handleSearchBatch(req SearchBatchRequest) SearchBatchResponse {
+	batch := make([]exec.BatchQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		batch[i] = exec.BatchQuery{Q: dataset.NewNodeFromCells(-1, "query", q.Cells), K: q.K}
+	}
+	outs, _ := s.executor().OverlapTopKBatch(context.Background(), s.Index, batch)
+	resp := SearchBatchResponse{Results: make([]OverlapResponse, len(req.Queries))}
+	for i, rs := range outs {
+		resp.Results[i] = overlapResponse(rs)
 	}
 	return resp
 }
@@ -214,7 +265,7 @@ func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 	if merged == nil {
 		return CoverageCandidate{}
 	}
-	cands := coverage.FindConnectSet(s.Index.Root, merged, req.Delta)
+	cands := s.findConnectSet(merged, req.Delta, cellset.NewDistIndex(req.Merged, req.Delta))
 	best, bestGain := s.pickBest(cands, merged.CompactCells(), req.Exclude)
 	if best == nil {
 		return CoverageCandidate{}
@@ -228,13 +279,29 @@ func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 	}
 }
 
+// findConnectSet runs the connectivity walk, on the worker pool when the
+// server is configured for parallel execution. Both paths return the same
+// datasets in the same order.
+func (s *SourceServer) findConnectSet(qn *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+	if s.Workers > 1 {
+		return s.executor().FindConnectSet(context.Background(), s.Index.Root, qn, delta, qIdx)
+	}
+	return coverage.FindConnectSetWithIndex(s.Index.Root, qn, delta, qIdx)
+}
+
 // pickBest selects the maximum-marginal-gain dataset among cands against
 // the merged state, skipping excluded IDs, with the deterministic
-// smallest-ID tie-break shared by both protocol variants.
+// smallest-ID tie-break shared by both protocol variants. With Workers >
+// 1 the marginal gains are computed across the pool (search/exec);
+// results are identical.
 func (s *SourceServer) pickBest(cands []*dataset.Node, mergedC *cellset.Compact, exclude []int) (*dataset.Node, int) {
 	excluded := make(map[int]bool, len(exclude))
 	for _, id := range exclude {
 		excluded[id] = true
+	}
+	if s.Workers > 1 {
+		return s.executor().PickBest(context.Background(), cands,
+			func(id int) bool { return excluded[id] }, mergedC)
 	}
 	var best *dataset.Node
 	bestGain := -1
@@ -289,7 +356,7 @@ func (s *SourceServer) handleCoverageRound(req CoverageRoundRequest) CoverageRou
 	if merged.IsEmpty() {
 		return CoverageRoundResponse{Stateless: stateless}
 	}
-	cands := coverage.FindConnectSetWithIndex(s.Index.Root, qn, delta, qIdx)
+	cands := s.findConnectSet(qn, delta, qIdx)
 	best, bestGain := s.pickBest(cands, merged, req.Exclude)
 	if best == nil {
 		return CoverageRoundResponse{Stateless: stateless}

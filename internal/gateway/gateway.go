@@ -8,8 +8,14 @@
 //
 //	POST /search/overlap   {"points":[[x,y],...], "k":10}
 //	POST /search/coverage  {"points":[[x,y],...], "delta":10, "k":5}
+//	POST /search/batch     {"queries":[{"points":...,"k":5}, ...]}
 //	GET  /stats            gateway, cache, and transport counters
 //	GET  /healthz          200 when ≥1 source is registered, else 503
+//
+// /search/batch executes many overlap queries as ONE federated batch:
+// one search.batch exchange per candidate source instead of one
+// overlap.search per query per source, with the per-query answers
+// identical to the single-query endpoint's.
 //
 // See docs/PROTOCOL.md for the full payload specification.
 package gateway
@@ -41,6 +47,9 @@ const defaultDelta = 10.0
 // result set.
 const maxK = 1000
 
+// maxBatchQueries bounds the queries of one POST /search/batch.
+const maxBatchQueries = 256
+
 // Gateway serves the HTTP API over one federation center.
 type Gateway struct {
 	center *federation.Center
@@ -48,6 +57,8 @@ type Gateway struct {
 
 	overlapQueries  atomic.Int64
 	coverageQueries atomic.Int64
+	batchRequests   atomic.Int64
+	batchQueries    atomic.Int64
 	clientErrors    atomic.Int64
 	serverErrors    atomic.Int64
 }
@@ -62,6 +73,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search/overlap", g.handleOverlap)
 	mux.HandleFunc("POST /search/coverage", g.handleCoverage)
+	mux.HandleFunc("POST /search/batch", g.handleBatch)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return mux
@@ -114,6 +126,8 @@ type StatsResponse struct {
 	UptimeSeconds   float64 `json:"uptimeSeconds"`
 	OverlapQueries  int64   `json:"overlapQueries"`
 	CoverageQueries int64   `json:"coverageQueries"`
+	BatchRequests   int64   `json:"batchRequests"`
+	BatchQueries    int64   `json:"batchQueries"`
 	ClientErrors    int64   `json:"clientErrors"`
 	ServerErrors    int64   `json:"serverErrors"`
 
@@ -153,34 +167,24 @@ func (g *Gateway) badRequest(w http.ResponseWriter, format string, args ...any) 
 	g.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeQuery parses and validates a search request into query cells.
-func (g *Gateway) decodeQuery(w http.ResponseWriter, r *http.Request) (cellset.Set, SearchRequest, bool) {
-	var req SearchRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		g.badRequest(w, "bad request body: %v", err)
-		return nil, req, false
-	}
+// validateQuery validates one search request and grids it to query cells.
+// It mutates req to apply the k default. The returned error text is safe
+// to surface to clients.
+func (g *Gateway) validateQuery(req *SearchRequest) (cellset.Set, error) {
 	if len(req.Points) == 0 && len(req.Cells) == 0 {
-		g.badRequest(w, "request must set points or cells")
-		return nil, req, false
+		return nil, fmt.Errorf("request must set points or cells")
 	}
 	if len(req.Points) > 0 && len(req.Cells) > 0 {
-		g.badRequest(w, "request must set points or cells, not both")
-		return nil, req, false
+		return nil, fmt.Errorf("request must set points or cells, not both")
 	}
 	if req.K == 0 {
 		req.K = defaultK
 	}
 	if req.K < 0 || req.K > maxK {
-		g.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
-		return nil, req, false
+		return nil, fmt.Errorf("k must be in [1, %d], got %d", maxK, req.K)
 	}
 	if req.Delta != nil && (*req.Delta < 0 || *req.Delta != *req.Delta) {
-		g.badRequest(w, "delta must be a non-negative number")
-		return nil, req, false
+		return nil, fmt.Errorf("delta must be a non-negative number")
 	}
 	var cells cellset.Set
 	if len(req.Cells) > 0 {
@@ -193,7 +197,24 @@ func (g *Gateway) decodeQuery(w http.ResponseWriter, r *http.Request) (cellset.S
 		cells = cellset.FromPoints(g.center.Grid, pts)
 	}
 	if cells.IsEmpty() {
-		g.badRequest(w, "query gridded to zero cells")
+		return nil, fmt.Errorf("query gridded to zero cells")
+	}
+	return cells, nil
+}
+
+// decodeQuery parses and validates a search request into query cells.
+func (g *Gateway) decodeQuery(w http.ResponseWriter, r *http.Request) (cellset.Set, SearchRequest, bool) {
+	var req SearchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		g.badRequest(w, "bad request body: %v", err)
+		return nil, req, false
+	}
+	cells, err := g.validateQuery(&req)
+	if err != nil {
+		g.badRequest(w, "%v", err)
 		return nil, req, false
 	}
 	return cells, req, true
@@ -251,6 +272,72 @@ func (g *Gateway) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	g.writeJSON(w, http.StatusOK, resp)
 }
 
+// BatchSearchRequest is the body of POST /search/batch: up to
+// maxBatchQueries overlap queries, each validated like a single
+// /search/overlap body (delta is rejected — a batch is overlap-only).
+type BatchSearchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+}
+
+// BatchSearchResponse answers a batch: Results[i] holds query i's ranked
+// datasets, exactly what /search/overlap would have returned for it.
+type BatchSearchResponse struct {
+	Results [][]OverlapResult `json:"results"`
+	TookMs  float64           `json:"tookMs"`
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		g.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		g.badRequest(w, "batch must contain at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		g.badRequest(w, "batch holds %d queries, max %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	batch := make([]federation.BatchQuery, len(req.Queries))
+	for i := range req.Queries {
+		if req.Queries[i].Delta != nil {
+			g.badRequest(w, "query %d: batch queries are overlap-only and must not set delta", i)
+			return
+		}
+		cells, err := g.validateQuery(&req.Queries[i])
+		if err != nil {
+			g.badRequest(w, "query %d: %v", i, err)
+			return
+		}
+		batch[i] = federation.BatchQuery{Cells: cells, K: req.Queries[i].K}
+	}
+	g.batchRequests.Add(1)
+	g.batchQueries.Add(int64(len(batch)))
+	start := time.Now()
+	outs, err := g.center.OverlapSearchBatch(batch)
+	if err != nil {
+		g.serverErrors.Add(1)
+		g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := BatchSearchResponse{
+		Results: make([][]OverlapResult, len(outs)),
+		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, rs := range outs {
+		resp.Results[i] = make([]OverlapResult, len(rs))
+		for j, res := range rs {
+			resp.Results[i][j] = OverlapResult{Source: res.Source, ID: res.ID, Name: res.Name, Overlap: res.Overlap}
+		}
+	}
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := g.center.Cache().Stats()
 	resp := StatsResponse{
@@ -258,6 +345,8 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:   time.Since(g.start).Seconds(),
 		OverlapQueries:  g.overlapQueries.Load(),
 		CoverageQueries: g.coverageQueries.Load(),
+		BatchRequests:   g.batchRequests.Load(),
+		BatchQueries:    g.batchQueries.Load(),
 		ClientErrors:    g.clientErrors.Load(),
 		ServerErrors:    g.serverErrors.Load(),
 		CacheHits:       st.Hits,

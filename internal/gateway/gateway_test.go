@@ -278,3 +278,96 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestBatchEndpoint(t *testing.T) {
+	hs, center, qp := newTestGateway(t)
+	// Disable the result cache: batched and single queries share it, so
+	// with it on, whichever runs second would echo the first's cached
+	// answers and the parity assertion below would be vacuous.
+	center.SetCache(nil)
+	// Three queries: two distinct point sets and a duplicate of the first.
+	half := qp[:len(qp)/2]
+	req := BatchSearchRequest{Queries: []SearchRequest{
+		{Points: qp, K: 5},
+		{Points: half, K: 3},
+		{Points: qp, K: 5},
+	}}
+	var resp BatchSearchResponse
+	if code := postJSON(t, hs.URL+"/search/batch", req, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d result sets, want 3", len(resp.Results))
+	}
+	// Each entry must match the single-query endpoint's answer.
+	for i, q := range req.Queries {
+		var single OverlapResponse
+		if code := postJSON(t, hs.URL+"/search/overlap", SearchRequest{Points: q.Points, K: q.K}, &single); code != http.StatusOK {
+			t.Fatalf("single %d: status = %d", i, code)
+		}
+		if len(single.Results) != len(resp.Results[i]) {
+			t.Fatalf("query %d: batch %d results, single %d", i, len(resp.Results[i]), len(single.Results))
+		}
+		for j := range single.Results {
+			if single.Results[j] != resp.Results[i][j] {
+				t.Fatalf("query %d result %d: batch %+v != single %+v", i, j, resp.Results[i][j], single.Results[j])
+			}
+		}
+	}
+	// Duplicate queries inside one batch agree with each other.
+	for j := range resp.Results[0] {
+		if resp.Results[0][j] != resp.Results[2][j] {
+			t.Fatal("duplicate batch entries diverged")
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	hs, _, qp := newTestGateway(t)
+	delta := 5.0
+	many := make([]SearchRequest, maxBatchQueries+1)
+	for i := range many {
+		many[i] = SearchRequest{Points: qp, K: 1}
+	}
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"no queries", BatchSearchRequest{}},
+		{"oversized", BatchSearchRequest{Queries: many}},
+		{"delta in batch", BatchSearchRequest{Queries: []SearchRequest{{Points: qp, Delta: &delta}}}},
+		{"bad entry", BatchSearchRequest{Queries: []SearchRequest{{Points: qp}, {}}}},
+		{"unknown field", map[string]any{"qs": []SearchRequest{{Points: qp}}}},
+	}
+	for _, tc := range cases {
+		var er struct {
+			Error string `json:"error"`
+		}
+		if code := postJSON(t, hs.URL+"/search/batch", tc.body, &er); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, code)
+		}
+		if er.Error == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+	}
+}
+
+func TestBatchStatsCounters(t *testing.T) {
+	hs, _, qp := newTestGateway(t)
+	req := BatchSearchRequest{Queries: []SearchRequest{{Points: qp, K: 2}, {Points: qp[:4], K: 2}}}
+	if code := postJSON(t, hs.URL+"/search/batch", req, nil); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	resp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchRequests != 1 || st.BatchQueries != 2 {
+		t.Fatalf("batch counters = %d requests / %d queries, want 1/2", st.BatchRequests, st.BatchQueries)
+	}
+}

@@ -3,6 +3,22 @@
 // ball-tree over dataset nodes whose leaves carry an inverted index from
 // cell ID to the datasets containing it — and the centralized global index
 // DITS-G (§V-B) built over the sources' root-node summaries.
+//
+// # Concurrency and ownership
+//
+// A Local and everything reachable from it (tree nodes, leaf inverted
+// indexes, compact leaf summaries, the dataset nodes themselves) are
+// immutable under search: any number of goroutines — the searchers in
+// search/{overlap,coverage} and the worker pools in search/exec — may
+// read one index concurrently. Mutations (Insert, Delete, Update) demand
+// exclusive access: no search may run while one is in flight; the caller
+// provides that exclusion. Dataset nodes handed to Build are owned by
+// the index afterwards (Build caches their compact form via
+// EnsureCompact) and must not be mutated by the caller.
+//
+// A Global is immutable after construction; WithSource/WithoutSource
+// return new path-copied trees sharing untouched subtrees, which is what
+// lets the federation center publish them in atomic epoch snapshots.
 package dits
 
 import (

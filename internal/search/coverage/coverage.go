@@ -13,6 +13,19 @@
 // least one member, because the minimum cell distance to a union of sets is
 // the minimum over the sets. Tests assert the three produce identical
 // results; only their running time differs.
+//
+// # Concurrency and ownership
+//
+// Searches are read-only over the index: concurrent Search calls on one
+// index are safe as long as no index mutation runs concurrently. The
+// merged query node and the covered set a search accumulates are owned by
+// that search; cellset.Compact values are immutable, so the merged state
+// shares containers with the picked datasets without copying. A
+// caller-maintained DistIndex (FindConnectSetWithIndex) may be read by
+// many concurrent walks — the parallel executor does this — but growing
+// it (Add/AddCompact) requires exclusive access; the greedy loops
+// alternate search and growth, never overlapping them. Result.Picked
+// aliases the index's dataset nodes and must be treated as read-only.
 package coverage
 
 import (

@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+	"dits/internal/search/coverage"
+)
+
+// connectTaskFactor sizes the subtree task list of a parallel
+// FindConnectSet: the frontier is expanded until it holds about this many
+// tasks per worker, so the pool stays busy even when subtree costs skew.
+const connectTaskFactor = 4
+
+// FindConnectSet is coverage.FindConnectSetWithIndex executed across the
+// worker pool: the tree is split into a DFS-ordered frontier of subtree
+// tasks and each task runs the sequential walk independently. The result
+// set and its order are identical to the sequential walk — every accept /
+// prune / verify decision is made from a subtree's own (valid) bounds, and
+// the exact leaf-level checks are shared — so callers can swap the two
+// freely. qIdx is read concurrently and must not be mutated during the
+// call (the greedy loops alternate search and growth, never overlap them).
+func (e *Executor) FindConnectSet(ctx context.Context, root *dits.TreeNode, q *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+	w := e.workers()
+	if w == 1 || root == nil {
+		return coverage.FindConnectSetWithIndex(root, q, delta, qIdx)
+	}
+	// DFS-ordered frontier: concatenating per-task results in task order
+	// reproduces the sequential DFS output order exactly.
+	target := connectTaskFactor * w
+	tasks := []*dits.TreeNode{root}
+	for len(tasks) < target {
+		split := -1
+		for i, n := range tasks {
+			if !n.IsLeaf() {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			break
+		}
+		n := tasks[split]
+		tasks = append(tasks[:split:split], append([]*dits.TreeNode{n.Left, n.Right}, tasks[split+1:]...)...)
+	}
+	outs := make([][]*dataset.Node, len(tasks))
+	var cursor atomic.Int64
+	runWorkers(w, func(wk int) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(tasks) || ctx.Err() != nil {
+				return
+			}
+			outs[i] = coverage.FindConnectSetWithIndex(tasks[i], q, delta, qIdx)
+		}
+	})
+	var out []*dataset.Node
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// pickBestChunk is the candidates-per-task grain of PickBest: big enough
+// to amortize cursor traffic, small enough to balance skewed gains.
+const pickBestChunk = 16
+
+// PickBest selects the candidate with the maximum marginal gain over
+// covered, excluding IDs for which excluded returns true, with the
+// smallest-ID tie-break every sequential picker uses. Gains are computed
+// across the worker pool; the pick is identical to the sequential scan
+// because the reduction is by the total order (gain desc, ID asc) and the
+// size filter (|S_D| < best gain so far ⇒ cannot win) only skips exact
+// computations, never changes the winner. The shared best-gain bound is a
+// monotone atomic, so a worker filtering against it can only under-filter
+// relative to the sequential pass, never over-filter.
+func (e *Executor) PickBest(ctx context.Context, cands []*dataset.Node, excluded func(id int) bool, covered *cellset.Compact) (*dataset.Node, int) {
+	w := e.workers()
+	if w == 1 || len(cands) <= pickBestChunk {
+		return pickBestSeq(cands, excluded, covered)
+	}
+	type pick struct {
+		best *dataset.Node
+		gain int
+	}
+	nchunks := (len(cands) + pickBestChunk - 1) / pickBestChunk
+	picks := make([]pick, nchunks)
+	var cursor atomic.Int64
+	var bound atomic.Int64 // best gain seen anywhere, for the size filter
+	runWorkers(w, func(wk int) {
+		for {
+			ci := int(cursor.Add(1)) - 1
+			if ci >= nchunks || ctx.Err() != nil {
+				return
+			}
+			lo := ci * pickBestChunk
+			hi := min(lo+pickBestChunk, len(cands))
+			best, gain := (*dataset.Node)(nil), -1
+			for _, nd := range cands[lo:hi] {
+				if nd == nil || excluded(nd.ID) {
+					continue
+				}
+				// The size filter stays strict (<) against the best gain
+				// seen anywhere, so a candidate tying the global best is
+				// still computed and the ID tie-break stays exact.
+				filter := gain
+				if t := int(bound.Load()); t > filter {
+					filter = t
+				}
+				if nd.Cells.Len() < filter {
+					continue
+				}
+				g := covered.MarginalGain(nd.CompactCells())
+				if g > gain || (g == gain && best != nil && nd.ID < best.ID) {
+					best, gain = nd, g
+					for {
+						cur := bound.Load()
+						if int64(g) <= cur || bound.CompareAndSwap(cur, int64(g)) {
+							break
+						}
+					}
+				}
+			}
+			picks[ci] = pick{best: best, gain: gain}
+		}
+	})
+	var best *dataset.Node
+	gain := -1
+	for _, p := range picks {
+		if p.best == nil {
+			continue
+		}
+		if p.gain > gain || (p.gain == gain && (best == nil || p.best.ID < best.ID)) {
+			best, gain = p.best, p.gain
+		}
+	}
+	return best, gain
+}
+
+// pickBestSeq is the sequential scan, identical to the pickers in
+// search/coverage and federation.
+func pickBestSeq(cands []*dataset.Node, excluded func(id int) bool, covered *cellset.Compact) (*dataset.Node, int) {
+	var best *dataset.Node
+	tau := -1
+	for _, nd := range cands {
+		if nd == nil || excluded(nd.ID) {
+			continue
+		}
+		if nd.Cells.Len() < tau {
+			continue
+		}
+		g := covered.MarginalGain(nd.CompactCells())
+		if g > tau || (g == tau && best != nil && nd.ID < best.ID) {
+			best, tau = nd, g
+		}
+	}
+	return best, tau
+}
+
+// CoverageSearch runs CoverageSearch (Algorithm 3) with its two hot spots
+// — the FindConnectSet walk and the marginal-gain scan — executed on the
+// worker pool. The greedy round structure itself is inherently sequential
+// (each round's state depends on the previous pick), so rounds are not
+// parallelized; results are identical to (*coverage.DITSSearcher).Search.
+// On cancellation the rounds picked so far are returned with ctx.Err().
+func (e *Executor) CoverageSearch(ctx context.Context, idx *dits.Local, q *dataset.Node, delta float64, k int) (coverage.Result, error) {
+	if q == nil || k <= 0 || idx == nil || idx.Root == nil {
+		return coverageResultFor(q, nil, nil), ctx.Err()
+	}
+	merged := q
+	covered := q.CompactCells()
+	picked := map[int]bool{}
+	qIdx := cellset.NewDistIndex(q.Cells, delta)
+	var chosen []*dataset.Node
+
+	for len(chosen) < k {
+		if err := ctx.Err(); err != nil {
+			return coverageResultFor(q, chosen, covered), err
+		}
+		cands := e.FindConnectSet(ctx, idx.Root, merged, delta, qIdx)
+		best, _ := e.PickBest(ctx, cands, func(id int) bool { return picked[id] }, covered)
+		if best == nil {
+			break
+		}
+		picked[best.ID] = true
+		chosen = append(chosen, best)
+		covered = covered.Union(best.CompactCells())
+		merged = merged.Merge(best)
+		qIdx.AddCompact(best.CompactCells())
+	}
+	return coverageResultFor(q, chosen, covered), nil
+}
+
+// coverageResultFor assembles the coverage.Result for picked datasets.
+func coverageResultFor(q *dataset.Node, picked []*dataset.Node, covered *cellset.Compact) coverage.Result {
+	r := coverage.Result{Picked: picked}
+	if q != nil {
+		r.QueryCoverage = q.Cells.Len()
+		r.Coverage = r.QueryCoverage
+	}
+	if covered != nil {
+		r.Coverage = covered.Len()
+	}
+	return r
+}
+
+// CoverageSearchBatch executes a batch of CJSP queries concurrently on the
+// pool, one sequential greedy per query (a coverage query's rounds are
+// data-dependent, so cross-query concurrency is the parallelism batching
+// can exploit). Entry i of the result aligns with query i; a nil query
+// yields the empty result. On cancellation remaining queries are left
+// empty and ctx.Err() is returned.
+func (e *Executor) CoverageSearchBatch(ctx context.Context, idx *dits.Local, qs []*dataset.Node, delta float64, k int) ([]coverage.Result, error) {
+	out := make([]coverage.Result, len(qs))
+	inner := &Executor{Workers: 1} // one worker per query; no nested pools
+	var cursor atomic.Int64
+	var cancelled atomic.Bool
+	runWorkers(e.workers(), func(wk int) {
+		for !cancelled.Load() {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(qs) {
+				return
+			}
+			res, err := inner.CoverageSearch(ctx, idx, qs[i], delta, k)
+			if err != nil {
+				cancelled.Store(true)
+				return
+			}
+			out[i] = res
+		}
+	})
+	if cancelled.Load() {
+		return out, ctx.Err()
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"cmp"
+	"context"
+	"slices"
+	"sync/atomic"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+	"dits/internal/search/overlap"
+)
+
+// minParallelLeaves is the candidate count below which OverlapTopK stays
+// on the in-line sequential path: with only a handful of leaves to verify,
+// goroutine startup costs more than it saves.
+const minParallelLeaves = 4
+
+// leafCand is a DITS-L leaf that survived MBR pruning, with its free upper
+// bound min(|S_Q|, MaxCells). Identical to the sequential searcher's
+// candidate unit; the executor only changes who verifies it, not what is
+// verified.
+type leafCand struct {
+	leaf *dits.TreeNode
+	ub   int
+}
+
+// collectLeaves is the filter step of Algorithm 2 (internal-node MBR
+// pruning): the leaves intersecting the query MBR, each with its free
+// upper bound. It appends to dst so batch execution can reuse one walk.
+func collectLeaves(root *dits.TreeNode, q *dataset.Node, dst []leafCand) []leafCand {
+	qn := q.Coverage()
+	var walk func(n *dits.TreeNode)
+	walk = func(n *dits.TreeNode) {
+		if n == nil || !n.Rect.Intersects(q.Rect) {
+			return
+		}
+		if !n.IsLeaf() {
+			walk(n.Left)
+			walk(n.Right)
+			return
+		}
+		ub := n.MaxCells
+		if qn < ub {
+			ub = qn
+		}
+		if ub > 0 {
+			dst = append(dst, leafCand{leaf: n, ub: ub})
+		}
+	}
+	walk(root)
+	return dst
+}
+
+// sortLeaves orders candidates by decreasing upper bound — the
+// verification order that raises the prune threshold fastest — and
+// returns the slice.
+func sortLeaves(cands []leafCand) []leafCand {
+	slices.SortFunc(cands, func(a, b leafCand) int { return cmp.Compare(b.ub, a.ub) })
+	return cands
+}
+
+// sparseDensity is the cells-per-chunk threshold below which a query is
+// verified with the posting-list kernel. The chunk kernel's word-parallel
+// advantage needs dense (bitmap) chunks — real clustered datasets sit
+// around 30–170 cells per chunk, where repeating a sparse chunk merge per
+// leaf child loses to one posting pass; synthetic dense patches sit in the
+// thousands, where the chunk kernel wins by an order of magnitude. The
+// two kernels return identical counts, so this is purely a cost choice.
+const sparseDensity = 512
+
+// minKernelChildren is the leaf size below which the posting kernel is
+// not worth it: with very few children the chunk kernel's per-child cost
+// is already minimal.
+const minKernelChildren = 4
+
+// queryCtx is the per-query state a verification task needs: both cell
+// forms plus the precomputed kernel choice.
+type queryCtx struct {
+	qc     *cellset.Compact
+	flat   cellset.Set
+	sparse bool // posting-list kernel preferred
+}
+
+// newQueryCtx precomputes the kernel choice for one query.
+func newQueryCtx(q *dataset.Node) *queryCtx {
+	qc := q.CompactCells()
+	return &queryCtx{
+		qc:     qc,
+		flat:   q.Cells,
+		sparse: len(q.Cells) > 0 && qc.Len() < sparseDensity*qc.NumChunks(),
+	}
+}
+
+// verifyLeaf runs the Lemma 2 bound check and, if it survives, the exact
+// per-dataset counting of one leaf, offering positive overlaps into the
+// shared top-k. It is the unit of work a worker executes. The counting
+// kernel is chosen adaptively: sparse queries take the posting-list pass
+// (one min(|q|, |Inv|) sweep shared by every child), dense queries the
+// word-parallel chunk merge per child.
+func verifyLeaf(t *stripedTopK, w int, c leafCand, q *queryCtx) {
+	th := t.threshold()
+	if ub := c.leaf.OverlapUBCompact(q.qc); ub == 0 || ub < th {
+		return
+	}
+	var counts []int
+	if q.sparse && len(c.leaf.Children) >= minKernelChildren {
+		counts = c.leaf.OverlapCounts(q.flat)
+	} else {
+		counts = c.leaf.OverlapCountsCompact(q.qc)
+	}
+	for i, d := range c.leaf.Children {
+		if counts[i] > 0 {
+			t.offer(w, overlap.Result{ID: d.ID, Name: d.Name, Overlap: counts[i]})
+		}
+	}
+}
+
+// OverlapTopK answers one OJSP query (Algorithm 2) over the index,
+// verifying candidate leaves on the executor's worker pool. Results are
+// identical to (*overlap.DITSSearcher).TopK; only the wall-clock changes.
+// On context cancellation it returns ctx.Err() with no results and no
+// leaked goroutines.
+func (e *Executor) OverlapTopK(ctx context.Context, idx *dits.Local, q *dataset.Node, k int) ([]overlap.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q == nil || k <= 0 || idx == nil || idx.Root == nil {
+		return nil, nil
+	}
+	cands := sortLeaves(collectLeaves(idx.Root, q, nil))
+	return e.verifyCands(ctx, cands, newQueryCtx(q), k)
+}
+
+// verifyCands drives the ordered verification of one query's candidate
+// leaves across the pool.
+func (e *Executor) verifyCands(ctx context.Context, cands []leafCand, qc *queryCtx, k int) ([]overlap.Result, error) {
+	w := e.workers()
+	if w == 1 || len(cands) < minParallelLeaves {
+		return verifySequential(ctx, cands, qc, k)
+	}
+	nstripes := w
+	if nstripes > 8 {
+		nstripes = 8
+	}
+	t := newStripedTopK(k, nstripes)
+	var (
+		cursor    atomic.Int64
+		exhausted atomic.Bool // prune threshold beat the remaining bounds
+		cancelled atomic.Bool
+	)
+	runWorkers(w, func(wk int) {
+		for !exhausted.Load() && !cancelled.Load() {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(cands) {
+				return
+			}
+			if i%16 == 0 && ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+			c := cands[i]
+			if c.ub < t.threshold() {
+				// cands is sorted by ub: every later leaf is bounded even
+				// lower, so the whole pool can stop claiming tasks.
+				exhausted.Store(true)
+				return
+			}
+			verifyLeaf(t, wk, c, qc)
+		}
+	})
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return t.ranked(), nil
+}
+
+// verifySequential is the in-line path, structured exactly like the
+// sequential searcher's verification loop (shared prune logic, one
+// stripe).
+func verifySequential(ctx context.Context, cands []leafCand, qc *queryCtx, k int) ([]overlap.Result, error) {
+	t := newStripedTopK(k, 1)
+	for i, c := range cands {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if c.ub < t.threshold() {
+			break
+		}
+		verifyLeaf(t, 0, c, qc)
+	}
+	return t.ranked(), nil
+}

@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"time"
+
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+	"dits/internal/search/overlap"
+)
+
+// OverlapTrace is the cost profile of one sequential OJSP execution,
+// decomposed the way the parallel executor schedules it: the serial prefix
+// (filter walk + candidate sort) and one entry per verified leaf task, in
+// the upper-bound order the tasks were claimed.
+type OverlapTrace struct {
+	Results  []overlap.Result
+	SerialNs float64   // filter walk + sort + result merge
+	TaskNs   []float64 // per-leaf verification costs, in schedule order
+}
+
+// TraceOverlap runs the sequential execution with per-task timing. The
+// results are identical to the plain sequential searcher; the trace feeds
+// the work-span model below, which `ditsbench -exp exec` uses to report
+// what a W-worker pool makes of this schedule independent of how many
+// CPUs the benchmarking host happens to have.
+func TraceOverlap(idx *dits.Local, q *dataset.Node, k int) OverlapTrace {
+	var tr OverlapTrace
+	if q == nil || k <= 0 || idx == nil || idx.Root == nil {
+		return tr
+	}
+	start := time.Now()
+	cands := sortLeaves(collectLeaves(idx.Root, q, nil))
+	tr.SerialNs = float64(time.Since(start).Nanoseconds())
+	qc := newQueryCtx(q)
+	t := newStripedTopK(k, 1)
+	for _, c := range cands {
+		if c.ub < t.threshold() {
+			break
+		}
+		ts := time.Now()
+		verifyLeaf(t, 0, c, qc)
+		tr.TaskNs = append(tr.TaskNs, float64(time.Since(ts).Nanoseconds()))
+	}
+	start = time.Now()
+	tr.Results = t.ranked()
+	tr.SerialNs += float64(time.Since(start).Nanoseconds())
+	return tr
+}
+
+// ModelMakespan computes the work-span estimate of executing a traced
+// schedule on w workers: tasks are claimed in order by the
+// earliest-available worker (exactly the executor's atomic-cursor
+// discipline), and the returned nanoseconds are the serial prefix plus the
+// longest worker's finish time. On a host with at least w CPUs the
+// measured wall clock converges to this; on fewer CPUs it reports the
+// parallelism the schedule exposes rather than the parallelism the host
+// can spend.
+func ModelMakespan(tr OverlapTrace, w int) float64 {
+	if w < 1 {
+		w = 1
+	}
+	ends := make([]float64, w)
+	for _, t := range tr.TaskNs {
+		// Earliest-available worker claims the next task.
+		mi := 0
+		for i := 1; i < w; i++ {
+			if ends[i] < ends[mi] {
+				mi = i
+			}
+		}
+		ends[mi] += t
+	}
+	makespan := 0.0
+	for _, e := range ends {
+		if e > makespan {
+			makespan = e
+		}
+	}
+	return tr.SerialNs + makespan
+}

@@ -7,7 +7,18 @@
 // All searchers are exact. Results are ranked by overlap descending with
 // ties broken toward smaller dataset IDs, and only datasets with positive
 // overlap are returned (a dataset sharing no cell with the query is not
-// joinable).
+// joinable). Better is the single definition of that ranking, shared with
+// the parallel executor (search/exec) and the federation's result merge.
+//
+// # Concurrency and ownership
+//
+// Searchers are read-only over their index: any number of goroutines may
+// run TopK concurrently on one DITSSearcher (or on the baselines) as long
+// as no index mutation (Insert/Delete/Update) runs at the same time —
+// index mutation requires exclusive access. A query node is owned by its
+// caller and is only read; searchers never mutate it (CompactCells
+// derives, never caches). Returned result slices are freshly allocated
+// and owned by the caller.
 package overlap
 
 import (
@@ -32,14 +43,36 @@ type Searcher interface {
 	TopK(q *dataset.Node, k int) []Result
 }
 
+// Better reports whether a ranks strictly better than b: larger overlap
+// first, ties toward the smaller dataset ID. It is the single ranking
+// relation every OJSP searcher (and the parallel executor in search/exec)
+// must agree on, so top-k results are deterministic regardless of the
+// order candidates were verified in.
+func Better(a, b Result) bool {
+	if a.Overlap != b.Overlap {
+		return a.Overlap > b.Overlap
+	}
+	return a.ID < b.ID
+}
+
+// SortResults orders results best-first under Better, the order every
+// searcher returns.
+func SortResults(rs []Result) {
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case Better(a, b):
+			return -1
+		case Better(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
 // less orders results worse-first for the min-heap: smaller overlap is
 // worse; on ties, the larger ID is worse (so smaller IDs are kept).
-func less(a, b Result) bool {
-	if a.Overlap != b.Overlap {
-		return a.Overlap < b.Overlap
-	}
-	return a.ID > b.ID
-}
+func less(a, b Result) bool { return Better(b, a) }
 
 // resultHeap is a min-heap whose head is the weakest kept result.
 type resultHeap []Result
@@ -95,16 +128,7 @@ func (t *topK) full() bool { return t.h.Len() >= t.k }
 // sorted extracts the results ranked best-first.
 func (t *topK) sorted() []Result {
 	out := append([]Result(nil), t.h...)
-	slices.SortFunc(out, func(a, b Result) int {
-		switch {
-		case less(b, a):
-			return -1
-		case less(a, b):
-			return 1
-		default:
-			return 0
-		}
-	})
+	SortResults(out)
 	return out
 }
 
