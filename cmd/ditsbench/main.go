@@ -17,6 +17,12 @@
 //	ditsbench -exp fedcomm -compare    # diff protocol bytes per query
 //	ditsbench -exp exec -baseline      # snapshot to BENCH_exec.json
 //	ditsbench -exp exec -compare       # diff executor timings/speedups
+//	ditsbench -exp ingest -baseline    # snapshot to BENCH_ingest.json
+//	ditsbench -exp ingest -compare     # diff write-path/recovery timings
+//
+// The ingest experiment can replay a reproducible mutation trace written
+// by `datagen -updates N` via -trace; without it an equivalent trace is
+// generated in memory.
 package main
 
 import (
@@ -32,11 +38,11 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec: snapshot results to -benchfile")
-	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec: diff results against the -benchfile snapshot")
+	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest: diff results against the -benchfile snapshot")
 	benchFile := flag.String("benchfile", "", "snapshot file for -baseline/-compare (default BENCH_<exp>.json)")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale (fraction of Table I sizes)")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
@@ -48,6 +54,7 @@ func main() {
 	flag.Float64Var(&cfg.Delta, "delta", cfg.Delta, "default connectivity threshold δ")
 	flag.IntVar(&cfg.F, "f", cfg.F, "default leaf capacity f")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "max worker-pool size for the exec experiment")
+	flag.StringVar(&cfg.TracePath, "trace", "", "mutation trace file (datagen -updates) for the ingest experiment")
 	covSrc := flag.String("coverage-sources", strings.Join(cfg.CoverageSources, ","),
 		"comma-separated sources for the CJSP figures ('' = all five)")
 	flag.Parse()
@@ -92,6 +99,8 @@ func main() {
 			tables, err = runFedcommSnapshot(cfg, *baseline, *compare, file)
 		case id == "exec" && (*baseline || *compare):
 			tables, err = runExecSnapshot(cfg, *baseline, *compare, file)
+		case id == "ingest" && (*baseline || *compare):
+			tables, err = runIngestSnapshot(cfg, *baseline, *compare, file)
 		default:
 			tables, err = bench.Run(id, cfg)
 		}
@@ -178,6 +187,31 @@ func runExecSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]b
 	}
 	if baseline {
 		if err := bench.WriteExec(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
+}
+
+// runIngestSnapshot is the same workflow for the durable write path:
+// -baseline snapshots apply/rebuild/WAL/recovery timings, -compare diffs
+// a fresh run against the snapshot. The run itself enforces byte-identical
+// search results between every recovered store and the in-process oracle.
+func runIngestSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables, err := bench.RunIngest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if compare {
+		base, err := bench.ReadIngest(file)
+		if err != nil {
+			return nil, fmt.Errorf("load baseline (run -exp ingest -baseline first): %w", err)
+		}
+		tables = append(tables, bench.CompareIngest(base, report))
+	}
+	if baseline {
+		if err := bench.WriteIngest(file, report); err != nil {
 			return nil, err
 		}
 		fmt.Printf("baseline snapshot written to %s\n\n", file)

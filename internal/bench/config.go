@@ -36,6 +36,11 @@ type Config struct {
 	// Workers is the largest worker-pool size the exec experiment drives
 	// the query executor with (ditsbench -workers).
 	Workers int
+
+	// TracePath optionally points the ingest experiment at a mutation
+	// trace file written by `datagen -updates` (ditsbench -trace). Empty
+	// generates an equivalent trace in memory from the same generator.
+	TracePath string
 }
 
 // DefaultConfig returns the scaled-down defaults used by ditsbench and the

@@ -1,0 +1,448 @@
+// The ingest experiment measures the durable write path of
+// internal/ingest along the axes the paper's update experiments (Figs.
+// 21-22) and the durability design add: incremental index maintenance vs
+// rebuilding from scratch (the only option a frozen source has), the WAL
+// overhead under both fsync policies, and recovery time from a pure WAL
+// replay vs from a snapshot. Before any timing is reported the recovered
+// store's search results are checked byte-identical against a fresh Build
+// over the surviving datasets — the snapshot can only ever show a speedup
+// that preserves answers. Results snapshot to BENCH_ingest.json:
+//
+//	ditsbench -exp ingest -baseline   # run and snapshot
+//	ditsbench -exp ingest -compare    # rerun and diff against the snapshot
+//	ditsbench -exp ingest -trace data/updates.trace   # replay a datagen trace
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/ingest"
+	"dits/internal/search/overlap"
+	"dits/internal/workload"
+)
+
+// IngestSchema identifies the snapshot format.
+const IngestSchema = "dits-bench-ingest/1"
+
+// ingestTraceLen is the mutation count when no -trace file is given.
+const ingestTraceLen = 300
+
+// IngestEntry is one measured write-path configuration.
+type IngestEntry struct {
+	Op        string  `json:"op"`        // apply | rebuild | wal-never | wal-always | recover-replay | recover-snapshot
+	Mutations int     `json:"mutations"` // mutations applied (or replayed)
+	NsPerOp   float64 `json:"ns_per_op"` // per mutation (apply/wal ops) or per recovery (recover ops)
+	TotalMs   float64 `json:"total_ms"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// IngestReport is the machine-readable result of one ingest run.
+type IngestReport struct {
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated,omitempty"`
+	Theta     int           `json:"theta"`
+	Seed      int64         `json:"seed"`
+	Scale     float64       `json:"scale"`
+	Mutations int           `json:"mutations"`
+	Datasets  int           `json:"datasets"` // index size at the start of the trace
+	Results   []IngestEntry `json:"results"`
+	// InsertVsRebuildSpeedup is the headline: ns to rebuild the whole
+	// index divided by ns to apply one mutation incrementally.
+	InsertVsRebuildSpeedup float64 `json:"insert_vs_rebuild_speedup"`
+	// RecoveryReplayMs / RecoverySnapshotMs are wall-clock restart times
+	// with the whole trace in the WAL vs compacted into a snapshot.
+	RecoveryReplayMs   float64 `json:"recovery_replay_ms"`
+	RecoverySnapshotMs float64 `json:"recovery_snapshot_ms"`
+}
+
+// ingestOp is one gridded mutation ready to apply.
+type ingestOp struct {
+	del   bool
+	id    int
+	name  string
+	cells cellset.Set
+}
+
+// ingestWorkload builds the experiment's world: the Transit source (the
+// paper's motivating portal), its gridded nodes, and the gridded mutation
+// trace. Ops whose points grid to zero cells are dropped, and deletes are
+// kept only while their target is live after the drops.
+func ingestWorkload(cfg Config) (sourceData, []ingestOp, error) {
+	// The OJSP figures' larger scale is used here too: rebuild cost grows
+	// with index size while incremental cost barely does, and the paper's
+	// update experiments run against full-size sources.
+	ocfg := overlapCfg(cfg)
+	spec, _ := workload.SpecByName("Transit")
+	sd := cache.gridded(spec, ocfg, cfg.Theta)
+
+	var trace []workload.Mutation
+	if cfg.TracePath != "" {
+		var err error
+		trace, err = workload.ReadTraceFile(cfg.TracePath)
+		if err != nil {
+			return sd, nil, fmt.Errorf("bench: load -trace: %w", err)
+		}
+		// A datagen trace spans all five sources; keep this source's rows.
+		var own []workload.Mutation
+		for _, m := range trace {
+			if m.Source == sd.src.Name {
+				own = append(own, m)
+			}
+		}
+		trace = own
+		if len(trace) == 0 {
+			return sd, nil, fmt.Errorf("bench: -trace holds no mutations for source %s", sd.src.Name)
+		}
+	} else {
+		trace = workload.GenerateTrace([]*dataset.Source{sd.src}, ingestTraceLen, cfg.Seed+7)
+	}
+
+	live := map[int]bool{}
+	for _, nd := range sd.nodes {
+		live[nd.ID] = true
+	}
+	ops := make([]ingestOp, 0, len(trace))
+	for _, m := range trace {
+		if m.Op == workload.MutDelete {
+			if live[m.ID] {
+				ops = append(ops, ingestOp{del: true, id: m.ID})
+				delete(live, m.ID)
+			}
+			continue
+		}
+		pts := make([]geo.Point, len(m.Points))
+		for i, p := range m.Points {
+			pts[i] = geo.Point{X: p[0], Y: p[1]}
+		}
+		cells := cellset.FromPoints(sd.grid, pts)
+		if cells.IsEmpty() {
+			continue
+		}
+		ops = append(ops, ingestOp{id: m.ID, name: m.Name, cells: cells})
+		live[m.ID] = true
+	}
+	if len(ops) == 0 {
+		return sd, nil, fmt.Errorf("bench: ingest trace gridded to zero applicable mutations")
+	}
+	return sd, ops, nil
+}
+
+// freshIndex builds the pre-trace index.
+func freshIndex(sd sourceData, f int) *dits.Local {
+	return dits.Build(sd.grid, sd.nodes, f)
+}
+
+// applyOps runs the ops against a live index (in-memory, no WAL).
+func applyOps(idx *dits.Local, ops []ingestOp) error {
+	for _, op := range ops {
+		var err error
+		switch {
+		case op.del:
+			err = idx.Delete(op.id)
+		case idx.Get(op.id) != nil:
+			err = idx.Update(dataset.NewNodeFromCells(op.id, op.name, op.cells))
+		default:
+			err = idx.Insert(dataset.NewNodeFromCells(op.id, op.name, op.cells))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyOpsStore runs the ops through a durable store.
+func applyOpsStore(st *ingest.Store, ops []ingestOp) error {
+	for _, op := range ops {
+		var err error
+		if op.del {
+			_, err = st.DeleteDataset(op.id)
+		} else {
+			_, err = st.PutDataset(op.id, op.name, op.cells)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestFingerprint is the parity basis: ranked top-k answers for sampled
+// queries against the index.
+func ingestFingerprint(sd sourceData, idx *dits.Local, k int) [][]overlap.Result {
+	qs := queries(sd, 10, 123)
+	out := make([][]overlap.Result, len(qs))
+	for i, q := range qs {
+		out[i] = (&overlap.DITSSearcher{Index: idx}).TopK(q, k)
+	}
+	return out
+}
+
+// RunIngest executes the ingest experiment, returning the machine-readable
+// report and printable tables. It fails on any divergence between a
+// recovered store and the in-process oracle.
+func RunIngest(cfg Config) (IngestReport, []Table, error) {
+	report := IngestReport{
+		Schema: IngestSchema, Theta: cfg.Theta, Seed: cfg.Seed,
+		Scale: overlapCfg(cfg).Scale,
+	}
+	sd, ops, err := ingestWorkload(cfg)
+	if err != nil {
+		return report, nil, err
+	}
+	report.Mutations = len(ops)
+	report.Datasets = len(sd.nodes)
+
+	// ---- Oracle: final state applied in-process; parity basis. ----
+	oracle := freshIndex(sd, cfg.F)
+	if err := applyOps(oracle, ops); err != nil {
+		return report, nil, err
+	}
+	if err := oracle.CheckInvariants(); err != nil {
+		return report, nil, err
+	}
+	want := ingestFingerprint(sd, oracle, cfg.K)
+
+	// ---- Fig. 21/22 series: incremental apply time as the batch grows. ----
+	for _, beta := range ParamBeta {
+		if beta >= len(ops) {
+			break // the full-trace entry below covers the final point
+		}
+		idx := freshIndex(sd, cfg.F)
+		ms := timeIt(func() {
+			if err := applyOps(idx, ops[:beta]); err != nil {
+				panic(err)
+			}
+		})
+		report.Results = append(report.Results, IngestEntry{
+			Op: "apply", Mutations: beta,
+			NsPerOp: ms * 1e6 / float64(beta), TotalMs: ms,
+			Note: "in-memory Insert/Update/Delete (Figs. 21-22 series)",
+		})
+	}
+
+	// Full-trace incremental apply: the headline numerator's denominator.
+	idx := freshIndex(sd, cfg.F)
+	applyMs := timeIt(func() {
+		if err := applyOps(idx, ops); err != nil {
+			panic(err)
+		}
+	})
+	applyNs := applyMs * 1e6 / float64(len(ops))
+	report.Results = append(report.Results, IngestEntry{
+		Op: "apply", Mutations: len(ops), NsPerOp: applyNs, TotalMs: applyMs,
+	})
+
+	// Rebuild: what a frozen source pays to pick up ONE mutation.
+	rebuildNs := measure(func() { freshIndex(sd, cfg.F) })
+	report.Results = append(report.Results, IngestEntry{
+		Op: "rebuild", Mutations: 1, NsPerOp: rebuildNs, TotalMs: rebuildNs / 1e6,
+		Note: "full Build of the source index",
+	})
+	if applyNs > 0 {
+		report.InsertVsRebuildSpeedup = rebuildNs / applyNs
+	}
+
+	// ---- WAL overhead under both fsync policies. ----
+	type walRun struct {
+		op    string
+		fsync ingest.FsyncMode
+	}
+	var replayDir string
+	for _, wr := range []walRun{{"wal-never", ingest.FsyncNever}, {"wal-always", ingest.FsyncAlways}} {
+		dir, err := os.MkdirTemp("", "dits-ingest-bench-*")
+		if err != nil {
+			return report, nil, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := ingest.Open(dir, ingest.Options{
+			Fsync:         wr.fsync,
+			SnapshotEvery: -1, // keep the whole trace in the WAL for the replay measurement
+			Bootstrap:     func() (*dits.Local, error) { return freshIndex(sd, cfg.F), nil },
+		})
+		if err != nil {
+			return report, nil, err
+		}
+		ms := timeIt(func() {
+			if err := applyOpsStore(st, ops); err != nil {
+				panic(err)
+			}
+		})
+		if got := ingestFingerprint(sd, st.Index(), cfg.K); !reflect.DeepEqual(got, want) {
+			return report, nil, fmt.Errorf("bench: ingest parity violation after %s run", wr.op)
+		}
+		if err := st.Close(); err != nil {
+			return report, nil, err
+		}
+		report.Results = append(report.Results, IngestEntry{
+			Op: wr.op, Mutations: len(ops),
+			NsPerOp: ms * 1e6 / float64(len(ops)), TotalMs: ms,
+			Note: "durable put/delete through the store",
+		})
+		if wr.fsync == ingest.FsyncNever {
+			replayDir = dir
+		}
+	}
+
+	// ---- Recovery: full WAL replay vs snapshot-only. ----
+	var replayed *ingest.Store
+	replayMs := timeIt(func() {
+		replayed, err = ingest.Open(replayDir, ingest.Options{})
+	})
+	if err != nil {
+		return report, nil, err
+	}
+	if got := ingestFingerprint(sd, replayed.Index(), cfg.K); !reflect.DeepEqual(got, want) {
+		return report, nil, fmt.Errorf("bench: recovery (replay) parity violation")
+	}
+	stats := replayed.Stats()
+	if err := replayed.Snapshot(); err != nil {
+		return report, nil, err
+	}
+	if err := replayed.Close(); err != nil {
+		return report, nil, err
+	}
+	report.RecoveryReplayMs = replayMs
+	report.Results = append(report.Results, IngestEntry{
+		Op: "recover-replay", Mutations: stats.Replayed,
+		NsPerOp: replayMs * 1e6, TotalMs: replayMs,
+		Note: "restart: snapshot load + full WAL replay",
+	})
+
+	var snapped *ingest.Store
+	snapMs := timeIt(func() {
+		snapped, err = ingest.Open(replayDir, ingest.Options{})
+	})
+	if err != nil {
+		return report, nil, err
+	}
+	if got := ingestFingerprint(sd, snapped.Index(), cfg.K); !reflect.DeepEqual(got, want) {
+		return report, nil, fmt.Errorf("bench: recovery (snapshot) parity violation")
+	}
+	if err := snapped.Close(); err != nil {
+		return report, nil, err
+	}
+	report.RecoverySnapshotMs = snapMs
+	report.Results = append(report.Results, IngestEntry{
+		Op: "recover-snapshot", Mutations: 0,
+		NsPerOp: snapMs * 1e6, TotalMs: snapMs,
+		Note: "restart: snapshot load, empty WAL",
+	})
+
+	t := Table{
+		ID:    "ingest",
+		Title: "Durable ingest: incremental updates vs rebuild, WAL overhead, recovery",
+		Header: []string{
+			"op", "mutations", "ns/op", "total ms", "note",
+		},
+		Notes: []string{
+			fmt.Sprintf("source: Transit at scale %g (%d datasets); %d trace mutations; parity with a fresh rebuild enforced.",
+				report.Scale, report.Datasets, report.Mutations),
+			fmt.Sprintf("headline: one incremental mutation is %.0fx cheaper than a rebuild; recovery %0.1f ms (replay) / %0.1f ms (snapshot).",
+				report.InsertVsRebuildSpeedup, report.RecoveryReplayMs, report.RecoverySnapshotMs),
+		},
+	}
+	for _, e := range report.Results {
+		t.Rows = append(t.Rows, []string{
+			e.Op, itoa(e.Mutations),
+			fmt.Sprintf("%.0f", e.NsPerOp),
+			fmt.Sprintf("%.2f", e.TotalMs),
+			e.Note,
+		})
+	}
+	return report, []Table{t}, nil
+}
+
+// WriteIngest stamps and writes the report as indented JSON.
+func WriteIngest(path string, r IngestReport) error {
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadIngest loads a snapshot written by WriteIngest.
+func ReadIngest(path string) (IngestReport, error) {
+	var r IngestReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != IngestSchema {
+		return r, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, IngestSchema)
+	}
+	return r, nil
+}
+
+// CompareIngest diffs a current run against a snapshot per (op, mutations)
+// pair. Wall-clock drift against a snapshot from different hardware is
+// informational; the insert-vs-rebuild speedup, measured live, is the
+// hardware-independent signal.
+func CompareIngest(base, cur IngestReport) Table {
+	t := Table{
+		ID:    "ingest-compare",
+		Title: "Durable ingest vs baseline snapshot" + ingestGeneratedSuffix(base),
+		Header: []string{
+			"op", "mutations", "base ns/op", "now ns/op", "drift",
+		},
+		Notes: []string{
+			"drift = now/base ns per op: < 1.00x is faster than the snapshot.",
+			fmt.Sprintf("headline now: %.0fx vs rebuild, recovery %.1f/%.1f ms (snapshot: %.0fx, %.1f/%.1f ms).",
+				cur.InsertVsRebuildSpeedup, cur.RecoveryReplayMs, cur.RecoverySnapshotMs,
+				base.InsertVsRebuildSpeedup, base.RecoveryReplayMs, base.RecoverySnapshotMs),
+		},
+	}
+	key := func(e IngestEntry) string { return fmt.Sprintf("%s|%d", e.Op, e.Mutations) }
+	baseBy := make(map[string]IngestEntry, len(base.Results))
+	for _, e := range base.Results {
+		baseBy[key(e)] = e
+	}
+	for _, e := range cur.Results {
+		b, ok := baseBy[key(e)]
+		if !ok {
+			t.Notes = append(t.Notes, fmt.Sprintf("no baseline entry for %s/%d", e.Op, e.Mutations))
+			continue
+		}
+		drift := "-"
+		if b.NsPerOp > 0 {
+			drift = fmt.Sprintf("%.2fx", e.NsPerOp/b.NsPerOp)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Op, itoa(e.Mutations),
+			fmt.Sprintf("%.0f", b.NsPerOp),
+			fmt.Sprintf("%.0f", e.NsPerOp),
+			drift,
+		})
+	}
+	return t
+}
+
+func ingestGeneratedSuffix(base IngestReport) string {
+	if base.Generated == "" {
+		return ""
+	}
+	return " (" + base.Generated + ")"
+}
+
+// Ingest adapts RunIngest to the experiment registry (plain -exp ingest
+// runs without snapshotting).
+func Ingest(cfg Config) []Table {
+	_, tables, err := RunIngest(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tables
+}

@@ -38,6 +38,7 @@ var experiments = []Experiment{
 	{"setops", "Cell-set engine: flat slices vs Roaring-style containers (extension)", Setops},
 	{"fedcomm", "Federation protocol: stateless vs session, bytes and round-trips per query (extension)", Fedcomm},
 	{"exec", "Query executor: parallel traversal and batched execution vs sequential (extension)", Exec},
+	{"ingest", "Durable ingest: incremental updates vs rebuild, WAL overhead, recovery (extension)", Ingest},
 }
 
 // All returns every experiment, sorted by ID.
@@ -54,5 +55,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest)", id)
 }

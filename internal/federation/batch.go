@@ -160,9 +160,18 @@ func (c *Center) prepQuery(ep *epochSnap, rc *cache.Cache, q BatchQuery, slot *[
 	if q.K <= 0 || q.Cells.IsEmpty() {
 		return batchPrep{cached: true} // nothing to ask; the slot stays nil
 	}
+	qn, ok := c.queryNode(q.Cells)
+	if !ok {
+		return batchPrep{cached: true}
+	}
 	var p batchPrep
+	// The candidate filter runs before the cache probe: the key embeds
+	// each candidate's data version (see queryKey), exactly like the
+	// single-query path, so batch and single answers share entries and
+	// invalidate together.
+	cands := c.candidates(ep, qn, 0)
 	if rc != nil {
-		p.key = queryKey(ep.gen, 'O', uint64(q.K), 0, q.Cells)
+		p.key = c.queryKey(ep.gen, 'O', uint64(q.K), 0, q.Cells, cands)
 		if v, ok := rc.Get(p.key); ok {
 			cached := v.([]SourceResult)
 			*slot = append([]SourceResult(nil), cached...)
@@ -170,11 +179,7 @@ func (c *Center) prepQuery(ep *epochSnap, rc *cache.Cache, q BatchQuery, slot *[
 			return p
 		}
 	}
-	qn, ok := c.queryNode(q.Cells)
-	if !ok {
-		return batchPrep{cached: true}
-	}
-	for _, m := range c.candidates(ep, qn, 0) {
+	for _, m := range cands {
 		clip := c.clipFor(m, q.Cells, 0)
 		if clip.IsEmpty() {
 			continue

@@ -3,7 +3,9 @@ package federation
 import (
 	"cmp"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"maps"
 	"math"
 	"math/rand"
 	"slices"
@@ -91,11 +93,30 @@ type Center struct {
 
 	epoch atomic.Pointer[epochSnap]
 
+	// versions is the center's view of each source's data version,
+	// updated from every mutation response. It is an immutable map behind
+	// an atomic pointer: queries fold the versions of the sources they
+	// may touch into their cache keys, so a mutation re-keys exactly the
+	// affected entries (the stale ones age out of the LRU unreferenced).
+	versions atomic.Pointer[map[string]uint64]
+	// invalidations counts cache-invalidation events: one per applied
+	// mutation and one per membership epoch change.
+	invalidations atomic.Int64
+
 	mu      sync.Mutex // serializes membership changes and guards cache/gf
 	gf      int        // leaf capacity for DITS-G
 	incrOps int        // membership ops since the last full rebuild
 	cache   *cache.Cache
+	// regGen records, per source, the epoch generation of its latest
+	// Register/Unregister (guarded by mu). Mutation notes pinned to an
+	// earlier generation come from a previous incarnation of the source
+	// and are dropped; notes merely racing an unrelated epoch swap pass.
+	regGen map[string]uint64
 }
+
+// ErrUnknownSource reports a mutation routed to a source name that is not
+// registered in the current membership epoch.
+var ErrUnknownSource = errors.New("federation: unknown source")
 
 // sessionIDs issues center-process-unique session identifiers. The base is
 // random so sessions from independent centers sharing a source collide
@@ -126,6 +147,8 @@ func NewCenter(g geo.Grid, opts Options) *Center {
 		members: map[string]*member{},
 		global:  dits.BuildGlobal(nil, c.gf),
 	})
+	c.versions.Store(&map[string]uint64{})
+	c.regGen = map[string]uint64{}
 	return c
 }
 
@@ -171,7 +194,28 @@ func (c *Center) Register(summary dits.SourceSummary, peer transport.Peer) {
 		g = g.WithoutSource(summary.Name)
 	}
 	g = g.WithSource(summary)
+	// Registration is an authoritative reset of the source's state: drop
+	// its version entry so a rebuilt source whose data version restarted
+	// from zero is not shadowed by the previous incarnation's counter,
+	// and stamp the new generation so in-flight mutation responses from
+	// the previous incarnation are dropped rather than re-noted. The
+	// epoch bump below invalidates every cached entry regardless.
+	c.dropVersionLocked(summary.Name)
 	c.swapEpochLocked(old, members, g)
+	c.regGen[summary.Name] = c.epoch.Load().gen
+}
+
+// dropVersionLocked removes a source from the version vector; the caller
+// holds c.mu.
+func (c *Center) dropVersionLocked(name string) {
+	old := *c.versions.Load()
+	if _, ok := old[name]; !ok {
+		return
+	}
+	nv := make(map[string]uint64, len(old))
+	maps.Copy(nv, old)
+	delete(nv, name)
+	c.versions.Store(&nv)
 }
 
 // RegisterRemote fetches the source's summary over the peer connection
@@ -206,7 +250,9 @@ func (c *Center) Unregister(name string) {
 			members[k] = v
 		}
 	}
+	c.dropVersionLocked(name)
 	c.swapEpochLocked(old, members, old.global.WithoutSource(name))
+	c.regGen[name] = c.epoch.Load().gen
 }
 
 // swapEpochLocked publishes a new membership epoch; the caller holds c.mu.
@@ -238,6 +284,7 @@ func (c *Center) swapEpochLocked(old *epochSnap, members map[string]*member, g *
 		ordered: ordered,
 		global:  g,
 	})
+	c.invalidations.Add(1)
 	c.cache.Clear()
 }
 
@@ -314,13 +361,30 @@ func (c *Center) deltaRaw(delta float64) float64 {
 // queryKey canonicalizes a query for the result cache. The cell set is
 // already sorted and de-duplicated (the cellset.Set invariant), so equal
 // queries serialize to equal keys regardless of how they were built. gen
-// is the membership generation the query started under.
-func queryKey(gen uint64, kind byte, a, b uint64, cells cellset.Set) string {
-	buf := make([]byte, 0, 25+8*len(cells))
+// is the membership generation the query started under, and members are
+// the sources whose data could contribute to the answer (name-sorted):
+// each one's (name, data version) pair is folded into the key, so any
+// mutation at a contributing source re-keys the entry — targeted
+// invalidation without scanning the cache — while mutations at sources
+// the query can never touch leave its entries valid. A membership change
+// bumps gen, which re-keys (and Clears) everything.
+func (c *Center) queryKey(gen uint64, kind byte, a, b uint64, cells cellset.Set, members []*member) string {
+	vers := *c.versions.Load()
+	n := 25 + 8*len(cells)
+	for _, m := range members {
+		n += 10 + len(m.summary.Name)
+	}
+	buf := make([]byte, 0, n)
 	buf = binary.LittleEndian.AppendUint64(buf, gen)
 	buf = append(buf, kind)
 	buf = binary.LittleEndian.AppendUint64(buf, a)
 	buf = binary.LittleEndian.AppendUint64(buf, b)
+	for _, m := range members {
+		name := m.summary.Name
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint64(buf, vers[name])
+	}
 	for _, cell := range cells {
 		buf = binary.LittleEndian.AppendUint64(buf, cell)
 	}
@@ -337,24 +401,27 @@ func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, e
 	if len(ep.members) == 0 {
 		return nil, nil
 	}
+	qn, ok := c.queryNode(queryCells)
+	if !ok {
+		return nil, nil
+	}
+	// Candidates are computed before the cache probe: the key embeds each
+	// candidate's data version, so a mutation at any source that could
+	// contribute to this answer misses the stale entry.
+	members := c.candidates(ep, qn, 0)
 	rc := c.Cache()
 	key := ""
 	if rc != nil {
-		key = queryKey(ep.gen, 'O', uint64(k), 0, queryCells)
+		key = c.queryKey(ep.gen, 'O', uint64(k), 0, queryCells, members)
 		if v, ok := rc.Get(key); ok {
 			// Hand out a copy: callers may sort or truncate the slice.
 			cached := v.([]SourceResult)
 			return append([]SourceResult(nil), cached...), nil
 		}
 	}
-	qn, ok := c.queryNode(queryCells)
-	if !ok {
-		return nil, nil
-	}
 	// Fan out to candidate sources in parallel: sources are independent
 	// machines, so their local searches overlap in time. Each peer is
 	// driven by exactly one goroutine.
-	members := c.candidates(ep, qn, 0)
 	outs, errs := fanOut(members, func(m *member) ([]SourceResult, error) {
 		cells := c.clipFor(m, queryCells, 0)
 		if cells.IsEmpty() {
@@ -430,7 +497,10 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 	rc := c.Cache()
 	key := ""
 	if rc != nil {
-		key = queryKey(ep.gen, 'C', uint64(k), math.Float64bits(delta), queryCells)
+		// A greedy coverage query may contact any source as its merged
+		// region grows, so the key carries the full membership version
+		// vector: any mutation anywhere re-keys coverage entries.
+		key = c.queryKey(ep.gen, 'C', uint64(k), math.Float64bits(delta), queryCells, ep.ordered)
 		if v, ok := rc.Get(key); ok {
 			cached := v.(CoverageResult)
 			cached.Picked = append([]SourceResult(nil), cached.Picked...)
@@ -777,6 +847,126 @@ func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
 		return struct{}{}, nil
 	})
 }
+
+// MutateResult is the center-side outcome of a federated dataset mutation.
+type MutateResult struct {
+	Source      string
+	ID          int
+	Found       bool   // delete: the dataset existed; put: always true
+	Version     uint64 // source data version after the mutation
+	NumDatasets int    // datasets at the source after the mutation
+}
+
+// PutDataset durably upserts one dataset at the named source (method
+// dataset.put) and invalidates the affected result-cache entries: the
+// source's data version bumps (re-keying every cached answer it could
+// have contributed to), and if the mutation changed the source's root
+// summary the membership epoch advances so DITS-G candidate filtering
+// sees the source's new extent.
+func (c *Center) PutDataset(source string, id int, name string, cells cellset.Set) (MutateResult, error) {
+	if cells.IsEmpty() {
+		return MutateResult{}, fmt.Errorf("federation: dataset %d has no cells", id)
+	}
+	body, err := transport.Encode(DatasetPutRequest{ID: id, Name: name, Cells: cells})
+	if err != nil {
+		return MutateResult{}, err
+	}
+	return c.mutate(source, id, MethodDatasetPut, body)
+}
+
+// DeleteDataset durably removes one dataset at the named source (method
+// dataset.delete). Deleting an ID the source does not hold returns
+// Found=false and mutates nothing.
+func (c *Center) DeleteDataset(source string, id int) (MutateResult, error) {
+	body, err := transport.Encode(DatasetDeleteRequest{ID: id})
+	if err != nil {
+		return MutateResult{}, err
+	}
+	return c.mutate(source, id, MethodDatasetDelete, body)
+}
+
+// mutate routes one mutation to its source and folds the response into
+// the center's version vector and (when the summary moved) DITS-G.
+func (c *Center) mutate(source string, id int, method string, body []byte) (MutateResult, error) {
+	ep := c.epoch.Load()
+	m, ok := ep.members[source]
+	if !ok {
+		return MutateResult{}, fmt.Errorf("%w: %q", ErrUnknownSource, source)
+	}
+	respBody, err := m.peer.Call(method, body)
+	if err != nil {
+		return MutateResult{}, fmt.Errorf("federation: %s at %s: %w", method, source, err)
+	}
+	var resp MutateResponse
+	if err := transport.Decode(respBody, &resp); err != nil {
+		return MutateResult{}, err
+	}
+	res := MutateResult{
+		Source: source, ID: id,
+		Found: resp.Found, Version: resp.Version, NumDatasets: resp.NumDatasets,
+	}
+	if method == MethodDatasetDelete && !resp.Found {
+		return res, nil // nothing changed; nothing to invalidate
+	}
+	c.noteMutation(ep, source, resp)
+	return res, nil
+}
+
+// noteMutation records a source's post-mutation data version and, when
+// the mutation moved the source's root summary, publishes a new
+// membership epoch whose DITS-G carries the updated summary (the same
+// copy-on-write path Register uses). Notes are applied in version order:
+// a response that raced past a newer one is dropped entirely, so a
+// late-arriving older (Version, Summary) pair — the pair is snapshotted
+// atomically at the source — can never roll DITS-G back to a stale
+// summary or move the version vector backwards.
+//
+// A note whose RPC was issued before the source's latest
+// Register/Unregister is dropped: it comes from a PREVIOUS incarnation
+// (crashed, rebuilt at version 0, re-registered), and re-installing its
+// old high version would make the monotonic guard swallow the new
+// incarnation's notes forever. The drop is safe for the cache — the
+// re-registration's epoch bump already cleared and re-keyed everything.
+// Notes merely racing an UNRELATED epoch swap are processed against the
+// current epoch, so an acknowledged mutation's summary refresh is never
+// lost to a concurrent membership change.
+func (c *Center) noteMutation(ep *epochSnap, source string, resp MutateResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ep.gen < c.regGen[source] {
+		return // response from a superseded incarnation of the source
+	}
+	old := *c.versions.Load()
+	if resp.Version <= old[source] {
+		return // stale or duplicate response; a newer state is already noted
+	}
+	nv := make(map[string]uint64, len(old)+1)
+	maps.Copy(nv, old)
+	nv[source] = resp.Version
+	c.versions.Store(&nv)
+	cur := c.epoch.Load()
+	if m, ok := cur.members[source]; ok && m.summary != resp.Summary {
+		members := make(map[string]*member, len(cur.members))
+		maps.Copy(members, cur.members)
+		members[source] = &member{summary: resp.Summary, peer: m.peer}
+		g := cur.global.WithoutSource(source).WithSource(resp.Summary)
+		c.swapEpochLocked(cur, members, g) // counts the invalidation itself
+		return
+	}
+	c.invalidations.Add(1)
+}
+
+// SourceVersions returns the center's view of each mutated source's data
+// version. Sources that never mutated through this center are absent.
+func (c *Center) SourceVersions() map[string]uint64 {
+	out := make(map[string]uint64)
+	maps.Copy(out, *c.versions.Load())
+	return out
+}
+
+// CacheInvalidations returns the number of cache-invalidation events the
+// center processed: one per applied mutation, one per membership change.
+func (c *Center) CacheInvalidations() int64 { return c.invalidations.Load() }
 
 // offer is one source's candidate in a coverage iteration.
 type offer struct {

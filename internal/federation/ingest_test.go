@@ -1,0 +1,317 @@
+package federation
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dits/internal/cache"
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/ingest"
+	"dits/internal/transport"
+)
+
+// buildMutableFederation is buildFederation with every source backed by a
+// durable ingest store rooted in a per-test temp dir.
+func buildMutableFederation(t *testing.T, rng *rand.Rand, m, perSource int, opts Options) (*Center, []*SourceServer) {
+	t.Helper()
+	center, _, servers := buildFederation(rng, m, perSource, opts)
+	for _, srv := range servers {
+		idx := srv.Index
+		st, err := ingest.Open(t.TempDir(), ingest.Options{
+			Fsync:         ingest.FsyncNever,
+			SnapshotEvery: -1,
+			Bootstrap:     func() (*dits.Local, error) { return idx, nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		srv.EnableIngest(st)
+	}
+	return center, servers
+}
+
+// cellsNear builds a small cell set clustered at (cx, cy).
+func cellsNear(cx, cy, n int) cellset.Set {
+	side := 1 << theta
+	ids := make([]uint64, n)
+	for j := range ids {
+		x := clamp(cx+j%5, 0, side-1)
+		y := clamp(cy+j/5, 0, side-1)
+		ids[j] = geo.ZEncode(uint32(x), uint32(y))
+	}
+	return cellset.New(ids...)
+}
+
+func TestFederatedMutationInvalidatesCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	center, servers := buildMutableFederation(t, rng, 3, 40, DefaultOptions())
+	center.SetCache(cache.New(128))
+
+	query := randomQuery(rng)
+	before, err := center.OverlapSearch(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache and prove the second read hits it.
+	if _, err := center.OverlapSearch(query, 5); err != nil {
+		t.Fatal(err)
+	}
+	if hits := center.Cache().Stats().Hits; hits == 0 {
+		t.Fatal("second identical query should hit the cache")
+	}
+
+	// Insert, at the lexicographically first source, a dataset that covers
+	// the query exactly: it must dethrone every cached result.
+	target := servers[0].Name
+	res, err := center.PutDataset(target, 777777, "fresh", query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Version == 0 {
+		t.Fatalf("put result = %+v", res)
+	}
+	if got := center.SourceVersions()[target]; got != res.Version {
+		t.Fatalf("version vector holds %d, want %d", got, res.Version)
+	}
+	if center.CacheInvalidations() == 0 {
+		t.Fatal("mutation must count as a cache invalidation")
+	}
+
+	after, err := center.OverlapSearch(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) == 0 || after[0].ID != 777777 || after[0].Overlap != query.Len() {
+		t.Fatalf("post-mutation top result = %+v, want the inserted dataset", after)
+	}
+	if reflect.DeepEqual(before, after) {
+		t.Fatal("results unchanged after a dominating insert: stale cache")
+	}
+
+	// Deleting it restores the original answer — again through the cache.
+	del, err := center.DeleteDataset(target, 777777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !del.Found {
+		t.Fatal("delete of a live dataset must report Found")
+	}
+	restored, err := center.OverlapSearch(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, restored) {
+		t.Fatalf("results after insert+delete differ from the original:\n  %v\n  %v", before, restored)
+	}
+
+	// Deletes are idempotent at the protocol level: a second delete of the
+	// same ID reports Found=false without erroring or mutating anything.
+	if del, err = center.DeleteDataset(target, 777777); err != nil || del.Found {
+		t.Fatalf("double delete: res=%+v err=%v (must be Found=false, nil)", del, err)
+	}
+
+	// Re-registration is an authoritative reset: the source's entry leaves
+	// the version vector so a rebuilt source restarting from version 0 is
+	// not shadowed by the old counter's monotonic guard.
+	for _, srv := range servers {
+		if srv.Name == target {
+			center.Register(srv.Summary(), &transport.InProc{Name: target, Handler: srv.Handler(), Metrics: center.Metrics})
+		}
+	}
+	if _, ok := center.SourceVersions()[target]; ok {
+		t.Fatal("re-registration must drop the source's version entry")
+	}
+}
+
+func TestMutationAtUnknownOrReadOnlySource(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	center, _, _ := buildFederation(rng, 2, 10, DefaultOptions())
+	if _, err := center.PutDataset("nope", 1, "x", cellsNear(3, 3, 4)); !errors.Is(err, ErrUnknownSource) {
+		t.Fatalf("unknown source: err = %v, want ErrUnknownSource", err)
+	}
+	// Sources built without EnableIngest are read-only.
+	if _, err := center.PutDataset("a", 1, "x", cellsNear(3, 3, 4)); err == nil {
+		t.Fatal("mutation at a read-only source must fail")
+	}
+	var re *transport.RemoteError
+	if _, err := center.DeleteDataset("a", 1); !errors.As(err, &re) {
+		t.Fatalf("read-only delete: err = %v, want RemoteError", err)
+	}
+}
+
+// TestMutationGrowsSummary inserts data far outside a source's original
+// extent and checks the center's DITS-G picks the source up for queries
+// there — the summary-refresh path.
+func TestMutationGrowsSummary(t *testing.T) {
+	// One source confined to the lower-left corner; global filtering ON.
+	g := worldGrid()
+	center := NewCenter(g, DefaultOptions())
+	var nodes []*dataset.Node
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, dataset.NewNodeFromCells(i+1, "seed", cellsNear(8+3*i, 8+2*i, 10)))
+	}
+	idx := dits.Build(g, nodes, 4)
+	srv := NewSourceServerWithGrid("a", idx)
+	st, err := ingest.Open(t.TempDir(), ingest.Options{
+		Fsync:         ingest.FsyncNever,
+		SnapshotEvery: -1,
+		Bootstrap:     func() (*dits.Local, error) { return idx, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv.EnableIngest(st)
+	center.Register(srv.Summary(), &transport.InProc{Name: "a", Handler: srv.Handler(), Metrics: center.Metrics})
+	gen := center.Generation()
+
+	// A far-corner query: the source's summary cannot reach it yet.
+	side := 1 << theta
+	far := cellsNear(side-8, side-8, 12)
+	rs, err := center.OverlapSearch(far, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("far corner answered %v before any data lives there", rs)
+	}
+
+	if _, err := center.PutDataset("a", 888888, "corner", far); err != nil {
+		t.Fatal(err)
+	}
+	if center.Generation() == gen {
+		t.Fatal("a summary-moving mutation must advance the membership epoch")
+	}
+	rs, err = center.OverlapSearch(far, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ID != 888888 {
+		t.Fatalf("post-mutation far query = %+v, want the inserted corner dataset", rs)
+	}
+
+	// A mutation strictly inside the (now grown) extent must NOT advance
+	// the epoch — only the version vector moves.
+	gen = center.Generation()
+	if _, err := center.PutDataset("a", 888889, "inner", cellsNear(10, 10, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if center.Generation() != gen {
+		t.Fatal("an extent-preserving mutation must not advance the epoch")
+	}
+}
+
+func TestSourceVersionRPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	center, servers := buildMutableFederation(t, rng, 1, 10, DefaultOptions())
+	srv := servers[0]
+	peer := &transport.InProc{Name: srv.Name, Handler: srv.Handler()}
+	call := func() VersionResponse {
+		body, err := peer.Call(MethodSourceVersion, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp VersionResponse
+		if err := transport.Decode(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	v0 := call()
+	if !v0.Durable || v0.Version != 0 || v0.Name != srv.Name {
+		t.Fatalf("initial version = %+v", v0)
+	}
+	if _, err := center.PutDataset(srv.Name, 42424242, "v", cellsNear(5, 5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if v1 := call(); v1.Version != 1 {
+		t.Fatalf("version after one mutation = %d, want 1", v1.Version)
+	}
+	// Stats carries the same counters.
+	body, err := peer.Call(MethodStats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := transport.Decode(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DataVersion != 1 || !stats.Durable {
+		t.Fatalf("stats = %+v, want DataVersion=1 Durable=true", stats)
+	}
+}
+
+// TestConcurrentMutationsAndQueries races federated searches (overlap,
+// batch, coverage with open sessions) against mutations; run under -race
+// this is the serialization proof for the whole stack.
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	center, servers := buildMutableFederation(t, rng, 3, 30, DefaultOptions())
+	center.SetCache(cache.New(64))
+
+	queries := make([]cellset.Set, 16)
+	for i := range queries {
+		queries[i] = randomQuery(rand.New(rand.NewSource(int64(100 + i))))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(w*20+i)%len(queries)]
+				if _, err := center.OverlapSearch(q, 5); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := center.CoverageSearch(q, 6, 3); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := center.OverlapSearchBatch([]BatchQuery{{Cells: q, K: 3}, {Cells: queries[i%len(queries)], K: 2}}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mrng := rand.New(rand.NewSource(77))
+		for i := 0; i < 60; i++ {
+			src := servers[mrng.Intn(len(servers))].Name
+			id := 500000 + i
+			if _, err := center.PutDataset(src, id, "churn", cellsNear(mrng.Intn(1<<theta), mrng.Intn(1<<theta), 5)); err != nil {
+				errCh <- err
+				return
+			}
+			if i%3 == 0 {
+				if _, err := center.DeleteDataset(src, id); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for _, srv := range servers {
+		var err error
+		srv.view(func(idx *dits.Local) { err = idx.CheckInvariants() })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

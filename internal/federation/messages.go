@@ -26,7 +26,10 @@
 // peer exchange at a time.
 package federation
 
-import "dits/internal/cellset"
+import (
+	"dits/internal/cellset"
+	"dits/internal/index/dits"
+)
 
 // Method names of the source-server protocol.
 const (
@@ -48,6 +51,17 @@ const (
 	// center pays one round trip per source per batch instead of one per
 	// query per source.
 	MethodSearchBatch = "search.batch"
+
+	// Ingestion protocol. A source backed by a durable store
+	// (internal/ingest) accepts dataset mutations: each is WAL-logged
+	// before it touches the live index, serialized against in-flight
+	// searches, and bumps the source's monotonic data version. A source
+	// without a store rejects both mutation methods as read-only.
+	MethodDatasetPut    = "dataset.put"
+	MethodDatasetDelete = "dataset.delete"
+	// MethodSourceVersion reports the source's current data version, so a
+	// center can audit its cached version vector against the source.
+	MethodSourceVersion = "source.version"
 )
 
 // OverlapRequest asks a source for its local top-k overlap results. Cells
@@ -182,5 +196,46 @@ type StatsResponse struct {
 	NumDatasets int
 	TreeNodes   int
 	Height      int
-	Sessions    int // live coverage sessions held by the source
+	Sessions    int    // live coverage sessions held by the source
+	DataVersion uint64 // mutations applied over the source's lifetime (0 when read-only)
+	Durable     bool   // whether the source runs a WAL-backed ingest store
+}
+
+// DatasetPutRequest durably upserts one dataset at a source: insert when
+// the ID is new, replace in place when it exists. Cells must be gridded
+// under the federation's shared grid, like query cells.
+type DatasetPutRequest struct {
+	ID    int
+	Name  string
+	Cells cellset.Set
+}
+
+// DatasetDeleteRequest durably removes one dataset by ID.
+type DatasetDeleteRequest struct {
+	ID int
+}
+
+// MutateResponse answers both mutation methods. Version is the source's
+// data version after the mutation (monotonic, persisted across restarts).
+// Summary is the source's post-mutation root summary: the center folds it
+// into DITS-G (copy-on-write) whenever a mutation grew or shrank the
+// source's extent, so global candidate filtering never prunes a source
+// whose new data now reaches a query. Found is false only for a delete of
+// an ID the source does not hold (which mutates nothing).
+type MutateResponse struct {
+	Found       bool
+	Version     uint64
+	NumDatasets int
+	Summary     dits.SourceSummary
+}
+
+// VersionRequest asks a source for its current data version.
+type VersionRequest struct{}
+
+// VersionResponse reports the source's data version and whether the
+// source is backed by a durable (WAL) store.
+type VersionResponse struct {
+	Name    string
+	Version uint64
+	Durable bool
 }

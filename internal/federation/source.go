@@ -2,6 +2,7 @@ package federation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"dits/internal/dataset"
 	"dits/internal/geo"
 	"dits/internal/index/dits"
+	"dits/internal/ingest"
 	"dits/internal/search/coverage"
 	"dits/internal/search/exec"
 	"dits/internal/search/overlap"
@@ -47,6 +49,18 @@ type SourceServer struct {
 	// MaxSessions and SessionTTL override the eviction defaults when >0.
 	MaxSessions int
 	SessionTTL  time.Duration
+
+	// store is the durable write path (EnableIngest). When set, every
+	// index access — searches, session rounds, stats, summaries — goes
+	// through the store's shared lock, so mutations serialize against
+	// in-flight requests; when nil the source is read-only and the index
+	// immutability contract applies unchanged.
+	store *ingest.Store
+	// ingestMu serializes mutation RPCs end-to-end (store mutation +
+	// response snapshot), so a MutateResponse's Version and Summary always
+	// describe the same index state — the center orders summary refreshes
+	// by version and that ordering is only sound if the pair is atomic.
+	ingestMu sync.Mutex
 
 	mu       sync.Mutex
 	sessions map[uint64]*covSession
@@ -131,9 +145,42 @@ func NewSourceServerWithGrid(name string, idx *dits.Local) *SourceServer {
 	return &SourceServer{Name: name, Index: idx}
 }
 
+// EnableIngest attaches a durable write path: the server adopts the
+// store's live index and starts answering dataset.put / dataset.delete.
+// Mutations and searches then share the store's lock — a request sees the
+// index either before or after any mutation, never mid-apply, and an open
+// CJSP session simply observes each round against the index state current
+// at that round (a winner deleted between offer and fetch surfaces as
+// Found=false, which the center already handles).
+func (s *SourceServer) EnableIngest(st *ingest.Store) {
+	s.store = st
+	s.Index = st.Index()
+}
+
+// view runs fn with shared access to the index, honoring the store's
+// mutation lock when the source is mutable.
+func (s *SourceServer) view(fn func(idx *dits.Local)) {
+	if s.store != nil {
+		s.store.View(fn)
+		return
+	}
+	fn(s.Index)
+}
+
 // Summary returns the root-node summary uploaded to the data center.
 func (s *SourceServer) Summary() dits.SourceSummary {
-	return s.Index.Summary(s.Name)
+	var sum dits.SourceSummary
+	s.view(func(idx *dits.Local) { sum = idx.Summary(s.Name) })
+	return sum
+}
+
+// DataVersion returns the source's current data version: 0 for read-only
+// sources, the store's monotonic mutation count otherwise.
+func (s *SourceServer) DataVersion() uint64 {
+	if s.store == nil {
+		return 0
+	}
+	return s.store.Version()
 }
 
 // NumSessions returns the number of live coverage sessions, sweeping any
@@ -185,14 +232,45 @@ func (s *SourceServer) Handler() transport.Handler {
 				return nil, err
 			}
 			return transport.Encode(s.handleSessionClose(req))
-		case MethodStats:
-			return transport.Encode(StatsResponse{
-				Name:        s.Name,
-				NumDatasets: s.Index.Len(),
-				TreeNodes:   s.Index.NumTreeNodes(),
-				Height:      s.Index.Height(),
-				Sessions:    s.NumSessions(),
+		case MethodDatasetPut:
+			var req DatasetPutRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			resp, err := s.handleDatasetPut(req)
+			if err != nil {
+				return nil, err
+			}
+			return transport.Encode(resp)
+		case MethodDatasetDelete:
+			var req DatasetDeleteRequest
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			resp, err := s.handleDatasetDelete(req)
+			if err != nil {
+				return nil, err
+			}
+			return transport.Encode(resp)
+		case MethodSourceVersion:
+			return transport.Encode(VersionResponse{
+				Name:    s.Name,
+				Version: s.DataVersion(),
+				Durable: s.store != nil,
 			})
+		case MethodStats:
+			resp := StatsResponse{
+				Name:        s.Name,
+				Sessions:    s.NumSessions(),
+				DataVersion: s.DataVersion(),
+				Durable:     s.store != nil,
+			}
+			s.view(func(idx *dits.Local) {
+				resp.NumDatasets = idx.Len()
+				resp.TreeNodes = idx.NumTreeNodes()
+				resp.Height = idx.Height()
+			})
+			return transport.Encode(resp)
 		case MethodSummary:
 			// Lets a data center bootstrap registration over the wire
 			// (§V-B: "each source sends its root node to the data
@@ -214,6 +292,50 @@ func (s *SourceServer) executor() *exec.Executor {
 	return &exec.Executor{Workers: w}
 }
 
+// handleDatasetPut durably upserts a dataset through the ingest store.
+func (s *SourceServer) handleDatasetPut(req DatasetPutRequest) (MutateResponse, error) {
+	if s.store == nil {
+		return MutateResponse{}, fmt.Errorf("federation: source %s is read-only (no ingest store)", s.Name)
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	v, err := s.store.PutDataset(req.ID, req.Name, req.Cells)
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	return s.mutateResponse(true, v), nil
+}
+
+// handleDatasetDelete durably removes a dataset. An unknown ID answers
+// Found=false rather than an error, so centers can treat it as idempotent.
+func (s *SourceServer) handleDatasetDelete(req DatasetDeleteRequest) (MutateResponse, error) {
+	if s.store == nil {
+		return MutateResponse{}, fmt.Errorf("federation: source %s is read-only (no ingest store)", s.Name)
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	v, err := s.store.DeleteDataset(req.ID)
+	if errors.Is(err, ingest.ErrNotFound) {
+		return s.mutateResponse(false, s.store.Version()), nil
+	}
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	return s.mutateResponse(true, v), nil
+}
+
+// mutateResponse snapshots the post-mutation version, summary, and size.
+// The caller holds ingestMu, so no other mutation RPC can interleave
+// between the apply and this snapshot.
+func (s *SourceServer) mutateResponse(found bool, version uint64) MutateResponse {
+	resp := MutateResponse{Found: found, Version: version}
+	s.view(func(idx *dits.Local) {
+		resp.NumDatasets = idx.Len()
+		resp.Summary = idx.Summary(s.Name)
+	})
+	return resp
+}
+
 // handleOverlap runs the local OverlapSearch (Algorithm 2), parallelizing
 // the traversal across the configured worker pool.
 func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
@@ -222,11 +344,13 @@ func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
 		return OverlapResponse{}
 	}
 	var rs []overlap.Result
-	if s.Workers > 1 {
-		rs, _ = s.executor().OverlapTopK(context.Background(), s.Index, q, req.K)
-	} else {
-		rs = (&overlap.DITSSearcher{Index: s.Index}).TopK(q, req.K)
-	}
+	s.view(func(idx *dits.Local) {
+		if s.Workers > 1 {
+			rs, _ = s.executor().OverlapTopK(context.Background(), idx, q, req.K)
+		} else {
+			rs = (&overlap.DITSSearcher{Index: idx}).TopK(q, req.K)
+		}
+	})
 	return overlapResponse(rs)
 }
 
@@ -247,7 +371,10 @@ func (s *SourceServer) handleSearchBatch(req SearchBatchRequest) SearchBatchResp
 	for i, q := range req.Queries {
 		batch[i] = exec.BatchQuery{Q: dataset.NewNodeFromCells(-1, "query", q.Cells), K: q.K}
 	}
-	outs, _ := s.executor().OverlapTopKBatch(context.Background(), s.Index, batch)
+	var outs [][]overlap.Result
+	s.view(func(idx *dits.Local) {
+		outs, _ = s.executor().OverlapTopKBatch(context.Background(), idx, batch)
+	})
 	resp := SearchBatchResponse{Results: make([]OverlapResponse, len(req.Queries))}
 	for i, rs := range outs {
 		resp.Results[i] = overlapResponse(rs)
@@ -265,28 +392,32 @@ func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 	if merged == nil {
 		return CoverageCandidate{}
 	}
-	cands := s.findConnectSet(merged, req.Delta, cellset.NewDistIndex(req.Merged, req.Delta))
-	best, bestGain := s.pickBest(cands, merged.CompactCells(), req.Exclude)
-	if best == nil {
-		return CoverageCandidate{}
-	}
-	return CoverageCandidate{
-		Found: true,
-		ID:    best.ID,
-		Name:  best.Name,
-		Gain:  bestGain,
-		Cells: best.Cells,
-	}
+	var out CoverageCandidate
+	s.view(func(idx *dits.Local) {
+		cands := s.findConnectSet(idx, merged, req.Delta, cellset.NewDistIndex(req.Merged, req.Delta))
+		best, bestGain := s.pickBest(cands, merged.CompactCells(), req.Exclude)
+		if best == nil {
+			return
+		}
+		out = CoverageCandidate{
+			Found: true,
+			ID:    best.ID,
+			Name:  best.Name,
+			Gain:  bestGain,
+			Cells: best.Cells,
+		}
+	})
+	return out
 }
 
 // findConnectSet runs the connectivity walk, on the worker pool when the
 // server is configured for parallel execution. Both paths return the same
-// datasets in the same order.
-func (s *SourceServer) findConnectSet(qn *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+// datasets in the same order. The caller holds the index's shared lock.
+func (s *SourceServer) findConnectSet(idx *dits.Local, qn *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
 	if s.Workers > 1 {
-		return s.executor().FindConnectSet(context.Background(), s.Index.Root, qn, delta, qIdx)
+		return s.executor().FindConnectSet(context.Background(), idx.Root, qn, delta, qIdx)
 	}
-	return coverage.FindConnectSetWithIndex(s.Index.Root, qn, delta, qIdx)
+	return coverage.FindConnectSetWithIndex(idx.Root, qn, delta, qIdx)
 }
 
 // pickBest selects the maximum-marginal-gain dataset among cands against
@@ -356,12 +487,16 @@ func (s *SourceServer) handleCoverageRound(req CoverageRoundRequest) CoverageRou
 	if merged.IsEmpty() {
 		return CoverageRoundResponse{Stateless: stateless}
 	}
-	cands := s.findConnectSet(qn, delta, qIdx)
-	best, bestGain := s.pickBest(cands, merged, req.Exclude)
-	if best == nil {
-		return CoverageRoundResponse{Stateless: stateless}
-	}
-	return CoverageRoundResponse{Stateless: stateless, Found: true, ID: best.ID, Name: best.Name, Gain: bestGain}
+	out := CoverageRoundResponse{Stateless: stateless}
+	s.view(func(idx *dits.Local) {
+		cands := s.findConnectSet(idx, qn, delta, qIdx)
+		best, bestGain := s.pickBest(cands, merged, req.Exclude)
+		if best == nil {
+			return
+		}
+		out.Found, out.ID, out.Name, out.Gain = true, best.ID, best.Name, bestGain
+	})
+	return out
 }
 
 // handleFetchCells ships the winning dataset's full cell set and folds it
@@ -370,7 +505,10 @@ func (s *SourceServer) handleCoverageRound(req CoverageRoundRequest) CoverageRou
 // clip region the center uses for this source, so the unclipped union is
 // exactly what clipping would produce.
 func (s *SourceServer) handleFetchCells(req FetchCellsRequest) FetchCellsResponse {
-	nd := s.Index.Get(req.ID)
+	// Dataset nodes are immutable once published (mutations replace the
+	// node object), so the cells stay valid after the lock is released.
+	var nd *dataset.Node
+	s.view(func(idx *dits.Local) { nd = idx.Get(req.ID) })
 	if nd == nil {
 		return FetchCellsResponse{}
 	}

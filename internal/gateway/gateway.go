@@ -6,24 +6,34 @@
 //
 // Endpoints:
 //
-//	POST /search/overlap   {"points":[[x,y],...], "k":10}
-//	POST /search/coverage  {"points":[[x,y],...], "delta":10, "k":5}
-//	POST /search/batch     {"queries":[{"points":...,"k":5}, ...]}
-//	GET  /stats            gateway, cache, and transport counters
-//	GET  /healthz          200 when ≥1 source is registered, else 503
+//	POST   /search/overlap   {"points":[[x,y],...], "k":10}
+//	POST   /search/coverage  {"points":[[x,y],...], "delta":10, "k":5}
+//	POST   /search/batch     {"queries":[{"points":...,"k":5}, ...]}
+//	POST   /ingest/dataset   {"source":"Transit", "id":7001, "name":"...", "points":[[x,y],...]}
+//	DELETE /ingest/dataset   ?source=Transit&id=7001
+//	GET    /stats            gateway, cache, ingest, and transport counters
+//	GET    /healthz          200 when ≥1 source is registered, else 503
 //
 // /search/batch executes many overlap queries as ONE federated batch:
 // one search.batch exchange per candidate source instead of one
 // overlap.search per query per source, with the per-query answers
 // identical to the single-query endpoint's.
 //
+// The /ingest endpoints mutate a running source through its durable write
+// path (dataset.put / dataset.delete): the mutation is WAL-logged at the
+// source before it is acknowledged, and the center's result cache is
+// invalidated by data version, so no subsequent search can return a
+// pre-mutation answer for data the mutation touched.
+//
 // See docs/PROTOCOL.md for the full payload specification.
 package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +69,7 @@ type Gateway struct {
 	coverageQueries atomic.Int64
 	batchRequests   atomic.Int64
 	batchQueries    atomic.Int64
+	ingestMutations atomic.Int64
 	clientErrors    atomic.Int64
 	serverErrors    atomic.Int64
 }
@@ -74,6 +85,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /search/overlap", g.handleOverlap)
 	mux.HandleFunc("POST /search/coverage", g.handleCoverage)
 	mux.HandleFunc("POST /search/batch", g.handleBatch)
+	mux.HandleFunc("POST /ingest/dataset", g.handleIngestPut)
+	mux.HandleFunc("DELETE /ingest/dataset", g.handleIngestDelete)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return mux
@@ -128,6 +141,7 @@ type StatsResponse struct {
 	CoverageQueries int64   `json:"coverageQueries"`
 	BatchRequests   int64   `json:"batchRequests"`
 	BatchQueries    int64   `json:"batchQueries"`
+	IngestMutations int64   `json:"ingestMutations"`
 	ClientErrors    int64   `json:"clientErrors"`
 	ServerErrors    int64   `json:"serverErrors"`
 
@@ -149,6 +163,15 @@ type StatsResponse struct {
 	// SourceFailures counts failed exchanges per source, populated when
 	// the center runs the skip-and-record failure policy.
 	SourceFailures map[string]int64 `json:"sourceFailures,omitempty"`
+
+	// CacheInvalidations counts cache-invalidation events — one per
+	// applied dataset mutation, one per membership epoch change.
+	CacheInvalidations int64 `json:"cacheInvalidations"`
+	// SourceVersions is the center's data-version vector: the version of
+	// every source mutated through this center. Cached results are keyed
+	// by these versions, so the vector tells exactly which data any
+	// cached answer can be built from.
+	SourceVersions map[string]uint64 `json:"sourceVersions,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -167,16 +190,37 @@ func (g *Gateway) badRequest(w http.ResponseWriter, format string, args ...any) 
 	g.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// gridInput validates and grids a points-or-cells payload — shared by
+// the search endpoints and the ingest upsert, so query data and ingested
+// data are always gridded identically. The returned error text is safe
+// to surface to clients.
+func (g *Gateway) gridInput(points [][2]float64, cellIDs []uint64) (cellset.Set, error) {
+	if len(points) == 0 && len(cellIDs) == 0 {
+		return nil, fmt.Errorf("request must set points or cells")
+	}
+	if len(points) > 0 && len(cellIDs) > 0 {
+		return nil, fmt.Errorf("request must set points or cells, not both")
+	}
+	var cells cellset.Set
+	if len(cellIDs) > 0 {
+		cells = cellset.New(cellIDs...)
+	} else {
+		pts := make([]geo.Point, len(points))
+		for i, p := range points {
+			pts[i] = geo.Point{X: p[0], Y: p[1]}
+		}
+		cells = cellset.FromPoints(g.center.Grid, pts)
+	}
+	if cells.IsEmpty() {
+		return nil, fmt.Errorf("input gridded to zero cells")
+	}
+	return cells, nil
+}
+
 // validateQuery validates one search request and grids it to query cells.
 // It mutates req to apply the k default. The returned error text is safe
 // to surface to clients.
 func (g *Gateway) validateQuery(req *SearchRequest) (cellset.Set, error) {
-	if len(req.Points) == 0 && len(req.Cells) == 0 {
-		return nil, fmt.Errorf("request must set points or cells")
-	}
-	if len(req.Points) > 0 && len(req.Cells) > 0 {
-		return nil, fmt.Errorf("request must set points or cells, not both")
-	}
 	if req.K == 0 {
 		req.K = defaultK
 	}
@@ -186,20 +230,7 @@ func (g *Gateway) validateQuery(req *SearchRequest) (cellset.Set, error) {
 	if req.Delta != nil && (*req.Delta < 0 || *req.Delta != *req.Delta) {
 		return nil, fmt.Errorf("delta must be a non-negative number")
 	}
-	var cells cellset.Set
-	if len(req.Cells) > 0 {
-		cells = cellset.New(req.Cells...)
-	} else {
-		pts := make([]geo.Point, len(req.Points))
-		for i, p := range req.Points {
-			pts[i] = geo.Point{X: p[0], Y: p[1]}
-		}
-		cells = cellset.FromPoints(g.center.Grid, pts)
-	}
-	if cells.IsEmpty() {
-		return nil, fmt.Errorf("query gridded to zero cells")
-	}
-	return cells, nil
+	return g.gridInput(req.Points, req.Cells)
 }
 
 // decodeQuery parses and validates a search request into query cells.
@@ -338,6 +369,108 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	g.writeJSON(w, http.StatusOK, resp)
 }
 
+// IngestRequest is the body of POST /ingest/dataset: the target source,
+// the dataset ID (upsert: insert when new, replace when it exists), and
+// the data as raw points (gridded under the federation's shared grid) or
+// precomputed cell IDs — exactly one of the two.
+type IngestRequest struct {
+	Source string       `json:"source"`
+	ID     int          `json:"id"`
+	Name   string       `json:"name,omitempty"`
+	Points [][2]float64 `json:"points,omitempty"`
+	Cells  []uint64     `json:"cells,omitempty"`
+}
+
+// IngestResponse answers both ingest endpoints. Version is the source's
+// data version after the mutation; every cached search answer the
+// mutation could affect is invalidated before the response is sent.
+type IngestResponse struct {
+	Source      string  `json:"source"`
+	ID          int     `json:"id"`
+	Found       bool    `json:"found"`
+	Version     uint64  `json:"version"`
+	NumDatasets int     `json:"numDatasets"`
+	TookMs      float64 `json:"tookMs"`
+}
+
+func (g *Gateway) handleIngestPut(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		g.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if req.Source == "" {
+		g.badRequest(w, "request must set source")
+		return
+	}
+	cells, err := g.gridInput(req.Points, req.Cells)
+	if err != nil {
+		g.badRequest(w, "%v", err)
+		return
+	}
+	start := time.Now()
+	res, err := g.center.PutDataset(req.Source, req.ID, req.Name, cells)
+	if err != nil {
+		g.writeMutationError(w, err)
+		return
+	}
+	g.ingestMutations.Add(1)
+	g.writeJSON(w, http.StatusOK, IngestResponse{
+		Source: res.Source, ID: res.ID, Found: res.Found,
+		Version: res.Version, NumDatasets: res.NumDatasets,
+		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (g *Gateway) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
+	source := r.URL.Query().Get("source")
+	idStr := r.URL.Query().Get("id")
+	if source == "" || idStr == "" {
+		g.badRequest(w, "query parameters source and id are required")
+		return
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		g.badRequest(w, "bad id %q: %v", idStr, err)
+		return
+	}
+	start := time.Now()
+	res, err := g.center.DeleteDataset(source, id)
+	if err != nil {
+		g.writeMutationError(w, err)
+		return
+	}
+	if !res.Found {
+		g.clientErrors.Add(1)
+		g.writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("source %s holds no dataset %d", source, id),
+		})
+		return
+	}
+	g.ingestMutations.Add(1)
+	g.writeJSON(w, http.StatusOK, IngestResponse{
+		Source: res.Source, ID: res.ID, Found: true,
+		Version: res.Version, NumDatasets: res.NumDatasets,
+		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// writeMutationError maps a center mutation failure onto HTTP: an unknown
+// source name is the client's mistake (404), everything else is a
+// federation failure (502).
+func (g *Gateway) writeMutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, federation.ErrUnknownSource) {
+		g.clientErrors.Add(1)
+		g.writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	g.serverErrors.Add(1)
+	g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+}
+
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := g.center.Cache().Stats()
 	resp := StatsResponse{
@@ -347,6 +480,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		CoverageQueries: g.coverageQueries.Load(),
 		BatchRequests:   g.batchRequests.Load(),
 		BatchQueries:    g.batchQueries.Load(),
+		IngestMutations: g.ingestMutations.Load(),
 		ClientErrors:    g.clientErrors.Load(),
 		ServerErrors:    g.serverErrors.Load(),
 		CacheHits:       st.Hits,
@@ -360,6 +494,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		MembershipEpoch: g.center.Generation(),
 		PeerMethodStats: g.center.Metrics.PerMethod(),
 		SourceFailures:  g.center.Metrics.Failures(),
+
+		CacheInvalidations: g.center.CacheInvalidations(),
+		SourceVersions:     g.center.SourceVersions(),
 	}
 	g.writeJSON(w, http.StatusOK, resp)
 }

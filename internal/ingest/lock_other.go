@@ -1,0 +1,10 @@
+//go:build !unix
+
+package ingest
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics: the
+// single-writer guard degrades to best effort there (the supported
+// deployment targets are unix; CI exercises the real lock).
+func lockFile(f *os.File) error { return nil }

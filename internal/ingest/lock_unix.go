@@ -1,0 +1,15 @@
+//go:build unix
+
+package ingest
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on f. The kernel
+// releases flock locks when the process dies — even on a crash — so there
+// is no stale-lockfile recovery to implement.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,409 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/index/dits"
+)
+
+// DefaultSnapshotEvery is the number of mutations between automatic
+// background snapshots when Options.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 256
+
+// ErrNotFound reports a delete of a dataset ID the index does not hold.
+var ErrNotFound = errors.New("ingest: dataset not found")
+
+// ErrClosed reports a mutation against a closed store.
+var ErrClosed = errors.New("ingest: store is closed")
+
+// Options configure a store.
+type Options struct {
+	// Fsync is the WAL flush policy (default FsyncAlways).
+	Fsync FsyncMode
+	// SnapshotEvery is the number of applied mutations between automatic
+	// background snapshots. Zero means DefaultSnapshotEvery; a negative
+	// value disables automatic snapshots (Snapshot can still be called).
+	SnapshotEvery int
+	// Bootstrap builds the initial index the first time a store directory
+	// is opened (no manifest yet). It is not called on recovery: a
+	// recovered store's state comes from its snapshot and WAL, never from
+	// re-reading the original source data.
+	Bootstrap func() (*dits.Local, error)
+}
+
+// Store is the durable write path of one source: it owns the live DITS-L
+// index, logs every mutation to the WAL before applying it, compacts the
+// log into snapshots in the background, and recovers the index on open.
+//
+// Concurrency: mutations and snapshots serialize on an internal write
+// lock; searches run concurrently with each other and with the disk I/O
+// of a snapshot through View, blocking only for the in-memory apply of a
+// mutation. The data version is monotonic across restarts (it is persisted
+// in the manifest and advanced by WAL replay).
+type Store struct {
+	dir  string
+	opts Options
+
+	// writeMu serializes mutations and snapshots end-to-end (WAL append,
+	// apply, manifest commit). mu guards the index itself: searches hold
+	// it shared, the in-memory apply holds it exclusively. Lock order:
+	// writeMu before mu.
+	writeMu sync.Mutex
+	mu      sync.RWMutex
+
+	idx       *dits.Local
+	wal       *wal
+	lock      *os.File      // flock-held LOCK file: one process per store dir
+	seq       uint64        // last WAL sequence number issued
+	snapSeq   uint64        // sequence covered by the newest committed snapshot
+	version   atomic.Uint64 // data version: one bump per applied mutation
+	sinceSnap int           // mutations applied since the last snapshot
+	replayed  int           // records replayed by Open (for operators)
+	snapshots atomic.Int64  // snapshots committed since Open
+
+	closed     bool
+	compacting atomic.Bool
+	wg         sync.WaitGroup
+	lastErr    error // last background-snapshot failure
+}
+
+// Open opens the store directory, recovering state when it exists: load
+// the manifest's snapshot, replay the WAL tail (records past the
+// snapshot), and truncate a torn final record. A fresh directory is
+// bootstrapped from opts.Bootstrap and immediately anchored with an
+// initial snapshot, so every subsequent recovery has a base state.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: create store dir: %w", err)
+	}
+	st := &Store{dir: dir, opts: opts}
+	// One process per store directory: two writers appending to the same
+	// WAL through independent offsets would interleave garbage that the
+	// next recovery truncates away as a torn tail — acknowledged
+	// mutations silently lost. An advisory file lock (released by the
+	// kernel even on a crash, so no stale-lockfile handling) turns that
+	// into an immediate startup error.
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open lock file: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("ingest: %s is already open in another process: %w", dir, err)
+	}
+	st.lock = lock
+	opened := false
+	defer func() {
+		if !opened { // any failure below: release the lock
+			lock.Close()
+		}
+	}()
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man != nil {
+		f, err := os.Open(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: open snapshot %s: %w", man.Snapshot, err)
+		}
+		st.idx, err = dits.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: load snapshot %s: %w", man.Snapshot, err)
+		}
+		st.seq, st.snapSeq = man.Seq, man.Seq
+		st.version.Store(man.Version)
+	} else {
+		if opts.Bootstrap == nil {
+			return nil, fmt.Errorf("ingest: %s holds no store and no Bootstrap was given", dir)
+		}
+		st.idx, err = opts.Bootstrap()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: bootstrap: %w", err)
+		}
+		if st.idx == nil {
+			return nil, fmt.Errorf("ingest: bootstrap returned no index")
+		}
+		if err := st.commitSnapshot(0, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	fsync := opts.Fsync == FsyncAlways
+	wal, recs, err := openWAL(filepath.Join(dir, "wal.log"), fsync)
+	if err != nil {
+		return nil, err
+	}
+	st.wal = wal
+	for _, rec := range recs {
+		if rec.Seq <= st.snapSeq {
+			// Redundant record from a crash between manifest commit and
+			// WAL reset; the snapshot already contains it.
+			continue
+		}
+		if err := st.apply(rec); err != nil {
+			wal.close()
+			return nil, fmt.Errorf("ingest: replay seq %d: %w", rec.Seq, err)
+		}
+		st.seq = rec.Seq
+		st.version.Add(1)
+		st.replayed++
+		st.sinceSnap++
+	}
+	opened = true
+	return st, nil
+}
+
+// apply performs one mutation on the in-memory index. Put is an upsert;
+// delete requires the ID to exist.
+func (st *Store) apply(rec walRecord) error {
+	switch rec.Op {
+	case opPut:
+		nd := dataset.NewNodeFromCells(rec.ID, rec.Name, rec.Cells)
+		if nd == nil {
+			return fmt.Errorf("ingest: dataset %d has no cells", rec.ID)
+		}
+		if st.idx.Get(rec.ID) != nil {
+			return st.idx.Update(nd)
+		}
+		return st.idx.Insert(nd)
+	case opDelete:
+		if st.idx.Get(rec.ID) == nil {
+			return fmt.Errorf("%w: id %d", ErrNotFound, rec.ID)
+		}
+		return st.idx.Delete(rec.ID)
+	}
+	return fmt.Errorf("ingest: unknown opcode %d", rec.Op)
+}
+
+// Index returns the live index. The pointer is stable for the store's
+// lifetime, but its contents mutate; concurrent readers must go through
+// View unless they serialize against mutations themselves.
+func (st *Store) Index() *dits.Local { return st.idx }
+
+// View runs fn with shared (read) access to the index: any number of Views
+// proceed concurrently, and mutations wait for them only during the
+// in-memory apply step.
+func (st *Store) View(fn func(idx *dits.Local)) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	fn(st.idx)
+}
+
+// Version returns the store's data version: it starts at 0, bumps by one
+// per applied mutation, and is monotonic across restarts.
+func (st *Store) Version() uint64 { return st.version.Load() }
+
+// PutDataset durably upserts a dataset: the mutation is WAL-logged (and
+// flushed, per policy) before the index changes, and the returned version
+// is the data version after the apply.
+func (st *Store) PutDataset(id int, name string, cells cellset.Set) (uint64, error) {
+	if cells.IsEmpty() {
+		return 0, fmt.Errorf("ingest: dataset %d has no cells", id)
+	}
+	return st.mutate(walRecord{Op: opPut, ID: id, Name: name, Cells: cells})
+}
+
+// DeleteDataset durably removes a dataset by ID. Deleting an ID the index
+// does not hold returns ErrNotFound and logs nothing.
+func (st *Store) DeleteDataset(id int) (uint64, error) {
+	return st.mutate(walRecord{Op: opDelete, ID: id})
+}
+
+// mutate runs the WAL-then-apply sequence for one mutation.
+func (st *Store) mutate(rec walRecord) (uint64, error) {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	if st.closed {
+		return 0, ErrClosed
+	}
+	// Validate against the current index before logging, so the WAL only
+	// ever holds records that apply cleanly on replay. No search or other
+	// mutation can interleave: mutations hold writeMu and index reads
+	// cannot observe a half-applied state (apply runs under mu).
+	if rec.Op == opDelete && st.idx.Get(rec.ID) == nil {
+		return 0, fmt.Errorf("%w: id %d", ErrNotFound, rec.ID)
+	}
+	rec.Seq = st.seq + 1
+	if err := st.wal.append(rec); err != nil {
+		return 0, err
+	}
+	st.seq = rec.Seq
+	st.mu.Lock()
+	err := st.apply(rec)
+	if err == nil {
+		st.version.Add(1)
+	}
+	st.mu.Unlock()
+	if err != nil {
+		// Cannot happen given the validation above; surface loudly if it
+		// ever does, since WAL and index would disagree.
+		return 0, fmt.Errorf("ingest: apply seq %d: %w", rec.Seq, err)
+	}
+	st.sinceSnap++
+	st.maybeCompactLocked()
+	return st.version.Load(), nil
+}
+
+// snapshotEvery resolves the automatic-snapshot threshold.
+func (st *Store) snapshotEvery() int {
+	switch {
+	case st.opts.SnapshotEvery > 0:
+		return st.opts.SnapshotEvery
+	case st.opts.SnapshotEvery < 0:
+		return 0
+	}
+	return DefaultSnapshotEvery
+}
+
+// maybeCompactLocked starts a background snapshot when enough mutations
+// accumulated. The caller holds writeMu; the snapshot goroutine re-acquires
+// it, so compaction never blocks the mutation that triggered it.
+func (st *Store) maybeCompactLocked() {
+	every := st.snapshotEvery()
+	if every <= 0 || st.sinceSnap < every || !st.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		defer st.compacting.Store(false)
+		if err := st.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
+			st.writeMu.Lock()
+			st.lastErr = err
+			st.writeMu.Unlock()
+		}
+	}()
+}
+
+// Snapshot compacts the log: write the current index as a snapshot file,
+// commit the manifest, and truncate the WAL. Mutations are blocked for the
+// duration; searches are not (the index encode runs under the shared
+// lock). Safe to call at any time, including concurrently with mutations.
+func (st *Store) Snapshot() error {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.seq == st.snapSeq {
+		return nil // nothing new since the last snapshot
+	}
+	if err := st.commitSnapshot(st.seq, st.version.Load()); err != nil {
+		return err
+	}
+	if err := st.wal.reset(); err != nil {
+		return err
+	}
+	st.sinceSnap = 0
+	st.lastErr = nil // a completed snapshot supersedes any earlier failure
+	return nil
+}
+
+// commitSnapshot writes the index as snap-<seq>.gob and commits the
+// manifest pointing at it. The caller holds writeMu (or, during Open, has
+// exclusive ownership). Crash windows: before the manifest commit the old
+// manifest + full WAL still recover everything; after it, leftover WAL
+// records at or below seq are skipped by their sequence numbers.
+func (st *Store) commitSnapshot(seq, version uint64) error {
+	// The index streams straight into the temp file — no in-memory copy
+	// of the encoding. Searches proceed under the shared lock throughout;
+	// mutations are already excluded by writeMu.
+	name := fmt.Sprintf("snap-%016d.gob", seq)
+	path := filepath.Join(st.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ingest: create snapshot: %w", err)
+	}
+	st.mu.RLock()
+	err = st.idx.Save(f)
+	st.mu.RUnlock()
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: write snapshot: %w", err)
+	}
+	if err := syncDir(st.dir); err != nil {
+		return err
+	}
+	if err := writeManifest(st.dir, manifest{Snapshot: name, Seq: seq, Version: version}); err != nil {
+		return err
+	}
+	st.snapSeq = seq
+	st.snapshots.Add(1)
+	// Old snapshots are now unreachable from the manifest; reclaim them.
+	if olds, err := filepath.Glob(filepath.Join(st.dir, "snap-*.gob")); err == nil {
+		for _, old := range olds {
+			if filepath.Base(old) != name {
+				os.Remove(old)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats is an operator snapshot of the store's durability state.
+type Stats struct {
+	Version       uint64 // data version (mutations applied over the store's lifetime)
+	Seq           uint64 // last WAL sequence issued
+	SnapshotSeq   uint64 // sequence covered by the newest snapshot
+	SinceSnapshot int    // mutations in the WAL tail
+	Replayed      int    // records replayed by the last Open
+	Snapshots     int64  // snapshots committed since Open
+	WALBytes      int64  // current WAL file size
+	Fsync         string // flush policy
+	LastError     string // last background-snapshot failure, if any
+}
+
+// Stats returns the store's durability counters.
+func (st *Store) Stats() Stats {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	s := Stats{
+		Version:       st.version.Load(),
+		Seq:           st.seq,
+		SnapshotSeq:   st.snapSeq,
+		SinceSnapshot: st.sinceSnap,
+		Replayed:      st.replayed,
+		Snapshots:     st.snapshots.Load(),
+		WALBytes:      st.wal.size,
+		Fsync:         st.opts.Fsync.String(),
+	}
+	if st.lastErr != nil {
+		s.LastError = st.lastErr.Error()
+	}
+	return s
+}
+
+// Close flushes and closes the WAL after waiting out any background
+// snapshot. Further mutations return ErrClosed; the index stays readable.
+func (st *Store) Close() error {
+	st.writeMu.Lock()
+	if st.closed {
+		st.writeMu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.writeMu.Unlock()
+	st.wg.Wait()
+	err := st.wal.close()
+	st.lock.Close() // releases the flock
+	return err
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dits/internal/dataset"
+)
+
+func traceSources(t *testing.T) []*dataset.Source {
+	t.Helper()
+	var out []*dataset.Source
+	for _, name := range []string{"Transit", "Baidu"} {
+		spec, err := SpecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Generate(spec, 0.01, 3))
+	}
+	return out
+}
+
+func TestGenerateTraceDeterministicAndApplicable(t *testing.T) {
+	srcs := traceSources(t)
+	a := GenerateTrace(srcs, 200, 42)
+	b := GenerateTrace(srcs, 200, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trace generation is not deterministic")
+	}
+	if len(a) != 200 {
+		t.Fatalf("trace holds %d mutations, want 200", len(a))
+	}
+	c := GenerateTrace(srcs, 200, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+
+	// Applicability: replay against per-source live sets; deletes and
+	// updates must always target live IDs, inserts always new IDs.
+	live := map[string]map[int]bool{}
+	for _, src := range srcs {
+		live[src.Name] = map[int]bool{}
+		for _, d := range src.Datasets {
+			if len(d.Points) > 0 {
+				live[src.Name][d.ID] = true
+			}
+		}
+	}
+	var puts, deletes int
+	for i, m := range a {
+		switch m.Op {
+		case MutPut:
+			puts++
+			if len(m.Points) == 0 {
+				t.Fatalf("entry %d: put with no points", i)
+			}
+			live[m.Source][m.ID] = true
+		case MutDelete:
+			deletes++
+			if !live[m.Source][m.ID] {
+				t.Fatalf("entry %d: delete of non-live id %d", i, m.ID)
+			}
+			delete(live[m.Source], m.ID)
+		}
+	}
+	if puts == 0 || deletes == 0 {
+		t.Fatalf("degenerate mix: %d puts, %d deletes", puts, deletes)
+	}
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	srcs := traceSources(t)
+	trace := GenerateTrace(srcs, 50, 7)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 50 {
+		t.Fatalf("trace file has %d lines, want 50", got)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, back) {
+		t.Fatal("trace did not survive the JSONL roundtrip")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"op":"explode","source":"x","id":1}`)); err == nil {
+		t.Fatal("unknown op must be rejected")
+	}
+}
