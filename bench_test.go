@@ -6,6 +6,7 @@
 package dits_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -214,7 +215,7 @@ func BenchmarkFig13OverlapComm(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := center.OverlapSearch(f.queryCells[i%len(f.queryCells)], benchK); err != nil {
+		if _, err := center.OverlapSearch(context.Background(), f.queryCells[i%len(f.queryCells)], benchK); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +225,7 @@ func BenchmarkFig13OverlapComm(b *testing.B) {
 func BenchmarkFig14OverlapTransmission(b *testing.B) {
 	f := setup()
 	center := buildCenter(f, federation.DefaultOptions())
-	if _, err := center.OverlapSearch(f.queryCells[0], benchK); err != nil {
+	if _, err := center.OverlapSearch(context.Background(), f.queryCells[0], benchK); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -239,7 +240,7 @@ func BenchmarkFig19CoverageComm(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := center.CoverageSearch(f.queryCells[i%len(f.queryCells)], benchDelta, 5); err != nil {
+		if _, err := center.CoverageSearch(context.Background(), f.queryCells[i%len(f.queryCells)], benchDelta, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -249,7 +250,7 @@ func BenchmarkFig19CoverageComm(b *testing.B) {
 func BenchmarkFig20CoverageTransmission(b *testing.B) {
 	f := setup()
 	center := buildCenter(f, federation.DefaultOptions())
-	if _, err := center.CoverageSearch(f.queryCells[0], benchDelta, 5); err != nil {
+	if _, err := center.CoverageSearch(context.Background(), f.queryCells[0], benchDelta, 5); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

@@ -19,6 +19,8 @@
 //	ditsbench -exp exec -compare       # diff executor timings/speedups
 //	ditsbench -exp ingest -baseline    # snapshot to BENCH_ingest.json
 //	ditsbench -exp ingest -compare     # diff write-path/recovery timings
+//	ditsbench -exp load -baseline      # snapshot to BENCH_load.json
+//	ditsbench -exp load -compare       # diff throughput/latency/shed rate
 //
 // The ingest experiment can replay a reproducible mutation trace written
 // by `datagen -updates N` via -trace; without it an equivalent trace is
@@ -38,11 +40,11 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest: snapshot results to -benchfile")
-	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest: diff results against the -benchfile snapshot")
+	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest/load: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest/load: diff results against the -benchfile snapshot")
 	benchFile := flag.String("benchfile", "", "snapshot file for -baseline/-compare (default BENCH_<exp>.json)")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale (fraction of Table I sizes)")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
@@ -55,6 +57,7 @@ func main() {
 	flag.IntVar(&cfg.F, "f", cfg.F, "default leaf capacity f")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "max worker-pool size for the exec experiment")
 	flag.StringVar(&cfg.TracePath, "trace", "", "mutation trace file (datagen -updates) for the ingest experiment")
+	flag.Float64Var(&cfg.LoadSecs, "loadsecs", 3, "per-scenario duration in seconds for the load experiment")
 	covSrc := flag.String("coverage-sources", strings.Join(cfg.CoverageSources, ","),
 		"comma-separated sources for the CJSP figures ('' = all five)")
 	flag.Parse()
@@ -101,6 +104,8 @@ func main() {
 			tables, err = runExecSnapshot(cfg, *baseline, *compare, file)
 		case id == "ingest" && (*baseline || *compare):
 			tables, err = runIngestSnapshot(cfg, *baseline, *compare, file)
+		case id == "load" && (*baseline || *compare):
+			tables, err = runLoadSnapshot(cfg, *baseline, *compare, file)
 		default:
 			tables, err = bench.Run(id, cfg)
 		}
@@ -212,6 +217,31 @@ func runIngestSnapshot(cfg bench.Config, baseline, compare bool, file string) ([
 	}
 	if baseline {
 		if err := bench.WriteIngest(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
+}
+
+// runLoadSnapshot is the same workflow for the serving-stack load
+// experiment: -baseline snapshots throughput/latency/shed-rate per
+// scenario, -compare diffs a fresh run against the snapshot (latency
+// drift across hardware is informational, never a failure).
+func runLoadSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables, err := bench.RunLoad(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if compare {
+		base, err := bench.ReadLoad(file)
+		if err != nil {
+			return nil, fmt.Errorf("load baseline (run -exp load -baseline first): %w", err)
+		}
+		tables = append(tables, bench.CompareLoad(base, report))
+	}
+	if baseline {
+		if err := bench.WriteLoad(file, report); err != nil {
 			return nil, err
 		}
 		fmt.Printf("baseline snapshot written to %s\n\n", file)

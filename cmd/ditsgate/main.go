@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"dits/internal/admission"
 	"dits/internal/cache"
 	"dits/internal/federation"
 	"dits/internal/gateway"
@@ -50,6 +52,12 @@ func main() {
 	stateless := flag.Bool("stateless", false, "disable the CJSP session protocol (ship full state every round)")
 	tolerant := flag.Bool("tolerant", false, "skip failed sources mid-query instead of failing the query")
 	workers := flag.Int("workers", 0, "center-side worker pool for POST /search/batch prep and merge (0 = GOMAXPROCS)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 disables)")
+	burst := flag.Int("burst", 0, "per-client burst size (0 = ceil(rate-limit))")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unbounded)")
+	maxQueue := flag.Int("max-queue", 0, "max requests queued for an in-flight slot before shedding")
+	deadline := flag.Duration("deadline", 0, "per-request deadline propagated to the sources (0 = none)")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *remote == "" {
@@ -73,16 +81,26 @@ func main() {
 	for _, a := range strings.Split(*remote, ",") {
 		a = strings.TrimSpace(a)
 		pool := transport.DialPool(a, a, *poolSize, center.Metrics)
-		summary, err := center.RegisterRemote(pool)
+		summary, err := center.RegisterRemote(context.Background(), pool)
 		if err != nil {
 			fail(fmt.Errorf("register %s: %w", a, err))
 		}
 		fmt.Printf("registered source %q at %s (pool=%d)\n", summary.Name, a, *poolSize)
 	}
 
+	gw := gateway.NewWithOptions(center, gateway.Options{
+		Admission: admission.Config{
+			Rate:        *rateLimit,
+			Burst:       *burst,
+			MaxInFlight: *maxInflight,
+			MaxQueue:    *maxQueue,
+			Deadline:    *deadline,
+		},
+		EnablePprof: *pprofFlag,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gateway.New(center).Handler(),
+		Handler:           gw.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/gob"
 	"flag"
 	"fmt"
@@ -145,7 +146,7 @@ func dialRemote(addrs string, sources []*dataset.Source, theta int, boundsFlag s
 		if err != nil {
 			return searchRunner{}, err
 		}
-		summary, err := center.RegisterRemote(peer)
+		summary, err := center.RegisterRemote(context.Background(), peer)
 		if err != nil {
 			return searchRunner{}, err
 		}
@@ -153,7 +154,7 @@ func dialRemote(addrs string, sources []*dataset.Source, theta int, boundsFlag s
 	}
 	return searchRunner{
 		overlap: func(pts []geo.Point, k int) ([]core.Result, error) {
-			rs, err := center.OverlapSearch(cellset.FromPoints(grid, pts), k)
+			rs, err := center.OverlapSearch(context.Background(), cellset.FromPoints(grid, pts), k)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +165,7 @@ func dialRemote(addrs string, sources []*dataset.Source, theta int, boundsFlag s
 			return out, nil
 		},
 		coverage: func(pts []geo.Point, delta float64, k int) (core.CoverageOutcome, error) {
-			res, err := center.CoverageSearch(cellset.FromPoints(grid, pts), delta, k)
+			res, err := center.CoverageSearch(context.Background(), cellset.FromPoints(grid, pts), delta, k)
 			if err != nil {
 				return core.CoverageOutcome{}, err
 			}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -66,7 +67,7 @@ func main() {
 	query := cellset.FromPoints(grid, sources[0].src.Datasets[2].Points)
 	fmt.Printf("\nquery covers %d cells\n", query.Len())
 
-	rs, err := center.OverlapSearch(query, 5)
+	rs, err := center.OverlapSearch(context.Background(), query, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func main() {
 		center.Metrics.Messages(), center.Metrics.Bytes())
 
 	center.Metrics.Reset()
-	cov, err := center.CoverageSearch(query, 10, 5)
+	cov, err := center.CoverageSearch(context.Background(), query, 10, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,11 +116,11 @@ func main() {
 		defer peer.Close()
 		naive.Register(s.server.Summary(), peer)
 	}
-	if _, err := naive.OverlapSearch(query, 5); err != nil {
+	if _, err := naive.OverlapSearch(context.Background(), query, 5); err != nil {
 		log.Fatal(err)
 	}
 	center.Metrics.Reset()
-	if _, err := center.OverlapSearch(query, 5); err != nil {
+	if _, err := center.OverlapSearch(context.Background(), query, 5); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nquery distribution strategies: %d bytes vs %d bytes broadcast\n",

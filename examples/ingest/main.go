@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -70,7 +71,7 @@ func main() {
 	fmt.Printf("query covers %d cells\n\n", query.Len())
 
 	show := func(label string) []federation.SourceResult {
-		rs, err := center.OverlapSearch(query, 5)
+		rs, err := center.OverlapSearch(context.Background(), query, 5)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func main() {
 	var puts, deletes, skipped int
 	for _, m := range trace {
 		if m.Op == workload.MutDelete {
-			res, err := center.DeleteDataset(m.Source, m.ID)
+			res, err := center.DeleteDataset(context.Background(), m.Source, m.ID)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -108,7 +109,7 @@ func main() {
 			skipped++
 			continue
 		}
-		if _, err := center.PutDataset(m.Source, m.ID, m.Name, cells); err != nil {
+		if _, err := center.PutDataset(context.Background(), m.Source, m.ID, m.Name, cells); err != nil {
 			log.Fatal(err)
 		}
 		puts++
@@ -140,7 +141,7 @@ func main() {
 	server2.EnableIngest(recovered)
 	center2 := federation.NewCenter(grid, federation.DefaultOptions())
 	center2.Register(server2.Summary(), &transport.InProc{Name: src.Name, Handler: server2.Handler()})
-	rs2, err := center2.OverlapSearch(query, 5)
+	rs2, err := center2.OverlapSearch(context.Background(), query, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

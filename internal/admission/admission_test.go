@@ -1,0 +1,181 @@
+package admission
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	c := New(Config{Rate: 10, Burst: 3})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.Admit(context.Background(), "a"); !ok {
+			t.Fatalf("burst request %d shed", i)
+		}
+	}
+	_, retry, ok := c.Admit(context.Background(), "a")
+	if ok {
+		t.Fatal("4th back-to-back request should be shed")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want ~1/rate", retry)
+	}
+	// A different client has its own bucket.
+	if _, _, ok := c.Admit(context.Background(), "b"); !ok {
+		t.Fatal("client b should have a fresh bucket")
+	}
+	// After 100ms one token refills for client a.
+	now = now.Add(100 * time.Millisecond)
+	if _, _, ok := c.Admit(context.Background(), "a"); !ok {
+		t.Fatal("token did not refill")
+	}
+	st := c.Stats()
+	if st.ShedRate != 1 || st.Admitted != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueBoundsAndShedding(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 1})
+
+	rel1, _, ok := c.Admit(context.Background(), "x")
+	if !ok {
+		t.Fatal("first request must be admitted")
+	}
+	// Second request queues; run it in a goroutine.
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, _, ok := c.Admit(context.Background(), "x")
+		if ok {
+			admitted <- rel
+		}
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	// Third request: queue full, shed immediately.
+	_, retry, ok := c.Admit(context.Background(), "x")
+	if ok {
+		t.Fatal("third request should be shed, queue is full")
+	}
+	if retry < time.Second {
+		t.Fatalf("retryAfter = %v", retry)
+	}
+	if st := c.Stats(); st.ShedQueue != 1 {
+		t.Fatalf("shedQueue = %d", st.ShedQueue)
+	}
+
+	rel1() // frees the slot; the queued request proceeds
+	select {
+	case rel := <-admitted:
+		rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never admitted")
+	}
+	if st := c.Stats(); st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+func TestQueueWaitHonorsContext(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4})
+	rel, _, ok := c.Admit(context.Background(), "x")
+	if !ok {
+		t.Fatal("first request must be admitted")
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, ok := c.Admit(ctx, "x"); ok {
+		t.Fatal("queued request should give up with its context")
+	}
+}
+
+func TestMiddlewareShedsWith429(t *testing.T) {
+	c := New(Config{Rate: 1, Burst: 1})
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest("POST", "/search/overlap", nil)
+	req.Header.Set("X-Client-ID", "tester")
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Fatalf("shed body = %q", rec.Body.String())
+	}
+}
+
+func TestMiddlewareAppliesDeadline(t *testing.T) {
+	c := New(Config{Deadline: 250 * time.Millisecond})
+	var sawDeadline bool
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/stats", nil))
+	if !sawDeadline {
+		t.Fatal("handler context has no deadline")
+	}
+}
+
+func TestZeroConfigAdmitsEverything(t *testing.T) {
+	c := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, ok := c.Admit(context.Background(), "any")
+			if !ok {
+				t.Error("zero config must admit")
+				return
+			}
+			rel()
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Admitted != 32 || st.ShedRate+st.ShedQueue != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientID(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := ClientID(r); got != "10.1.2.3" {
+		t.Fatalf("ClientID = %q", got)
+	}
+	r.Header.Set("X-Client-ID", "svc-7")
+	if got := ClientID(r); got != "svc-7" {
+		t.Fatalf("ClientID = %q, want header value", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never reached")
+}

@@ -14,6 +14,7 @@ func tinyConfig() Config {
 	cfg.Q = 2
 	cfg.K = 3
 	cfg.CoverageSources = []string{"Transit"}
+	cfg.LoadSecs = 0.4
 	return cfg
 }
 
@@ -94,6 +95,116 @@ func TestFedcommSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("compare table has %d rows, want %d", len(cmp.Rows), len(report.Results))
 	}
 	if _, err := ReadFedcomm(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("reading a missing snapshot should error")
+	}
+}
+
+// execReportFixture builds a minimal report without running the
+// experiment, for exercising the compare logic in isolation.
+func execReportFixture(numCPU int, basis string, speedup float64) ExecReport {
+	return ExecReport{
+		Schema: ExecSchema, NumCPU: numCPU,
+		Results: []ExecEntry{{
+			Op: "parallel", Workers: 8, Queries: 2, K: 3,
+			SeqNsPerQuery: 1000, ExecNsPerQuery: 500,
+			Speedup: speedup, Basis: basis,
+		}},
+		ParallelSpeedupMaxW: speedup,
+	}
+}
+
+// TestCompareExecWarnsAcrossBases pins the credibility contract of
+// BENCH_exec.json: comparing a wall-clock snapshot against a modeled run
+// (different hardware) must WARN in the notes, show both bases in the
+// row, and never drop the row.
+func TestCompareExecWarnsAcrossBases(t *testing.T) {
+	base := execReportFixture(8, BasisWallClock, 4.0)
+	cur := execReportFixture(1, BasisModeled, 3.5)
+	tbl := CompareExec(base, cur)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("cross-basis compare dropped the row: %+v", tbl.Rows)
+	}
+	joined := strings.Join(tbl.Notes, "\n")
+	if !strings.Contains(joined, "WARNING") || !strings.Contains(joined, "not directly comparable") {
+		t.Fatalf("cross-basis compare must warn, notes:\n%s", joined)
+	}
+	if !strings.Contains(joined, "snapshot host CPUs: 8, current host CPUs: 1") {
+		t.Fatalf("compare must surface both hosts' CPU counts, notes:\n%s", joined)
+	}
+	if got := tbl.Rows[0][len(tbl.Rows[0])-1]; got != "wall-clock vs modeled" {
+		t.Fatalf("basis cell = %q", got)
+	}
+
+	// Same basis on both sides: no warning, plain basis cell.
+	tbl = CompareExec(execReportFixture(8, BasisWallClock, 4.0), execReportFixture(8, BasisWallClock, 4.1))
+	if strings.Contains(strings.Join(tbl.Notes, "\n"), "WARNING") {
+		t.Fatal("same-basis compare must not warn")
+	}
+	if got := tbl.Rows[0][len(tbl.Rows[0])-1]; got != BasisWallClock {
+		t.Fatalf("basis cell = %q", got)
+	}
+}
+
+// TestExecSnapshotNormalizesLegacyBasis checks that snapshots written
+// before the wall → wall-clock rename still read and compare cleanly.
+func TestExecSnapshotNormalizesLegacyBasis(t *testing.T) {
+	legacy := execReportFixture(8, "wall", 4.0)
+	path := filepath.Join(t.TempDir(), "exec.json")
+	if err := WriteExec(path, legacy); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Basis != BasisWallClock {
+		t.Fatalf("legacy basis not normalized: %q", back.Results[0].Basis)
+	}
+	tbl := CompareExec(back, execReportFixture(8, BasisWallClock, 4.2))
+	if strings.Contains(strings.Join(tbl.Notes, "\n"), "WARNING") {
+		t.Fatal("legacy wall vs wall-clock is the SAME basis and must not warn")
+	}
+}
+
+// TestLoadSnapshotRoundTrip exercises the load experiment end to end at
+// tiny duration and round-trips its snapshot through disk and compare.
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load runs real HTTP scenarios; not short")
+	}
+	cfg := tinyConfig()
+	report, tables, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(report.Results) != 5 {
+		t.Fatalf("unexpected shape: %d tables, %d results", len(tables), len(report.Results))
+	}
+	shed := report.Results[len(report.Results)-1]
+	if shed.Scenario != "tight-shed" || shed.Shed == 0 || shed.ShedRate <= 0 {
+		t.Fatalf("tight-shed scenario did not shed: %+v", shed)
+	}
+	for _, e := range report.Results {
+		if e.OK == 0 || e.P50Ms <= 0 || e.P999Ms < e.P99Ms || e.P99Ms < e.P50Ms {
+			t.Fatalf("implausible entry: %+v", e)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := WriteLoad(path, report); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLoad(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != LoadSchema || len(back.Results) != len(report.Results) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	cmp := CompareLoad(back, report)
+	if len(cmp.Rows) != len(report.Results) {
+		t.Fatalf("compare table has %d rows, want %d", len(cmp.Rows), len(report.Results))
+	}
+	if _, err := ReadLoad(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("reading a missing snapshot should error")
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"dits/internal/cellset"
@@ -138,7 +139,7 @@ func Fig13And14(cfg Config) []Table {
 	return commFigure(cfg, "fig13", "fig14", "OJSP",
 		func(c *federation.Center, qs []cellset.Set) {
 			for _, q := range qs {
-				if _, err := c.OverlapSearch(q, cfg.K); err != nil {
+				if _, err := c.OverlapSearch(context.Background(), q, cfg.K); err != nil {
 					panic(err)
 				}
 			}
@@ -151,7 +152,7 @@ func Fig19And20(cfg Config) []Table {
 	return commFigure(cfg, "fig19", "fig20", "CJSP",
 		func(c *federation.Center, qs []cellset.Set) {
 			for _, q := range qs {
-				if _, err := c.CoverageSearch(q, cfg.Delta, cfg.K); err != nil {
+				if _, err := c.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K); err != nil {
 					panic(err)
 				}
 			}

@@ -41,6 +41,10 @@ type Config struct {
 	// trace file written by `datagen -updates` (ditsbench -trace). Empty
 	// generates an equivalent trace in memory from the same generator.
 	TracePath string
+
+	// LoadSecs is the per-scenario duration of the load experiment in
+	// seconds (ditsbench -loadsecs). Zero means 3.
+	LoadSecs float64
 }
 
 // DefaultConfig returns the scaled-down defaults used by ditsbench and the

@@ -56,8 +56,20 @@ type ExecEntry struct {
 	WallSpeedup       float64 `json:"wall_speedup"`                   // seq / wall
 	ModeledSpeedup    float64 `json:"modeled_speedup,omitempty"`      // seq / modeled
 	Speedup           float64 `json:"speedup"`                        // per Basis
-	Basis             string  `json:"basis"`                          // "wall" or "modeled"
+	// Basis states what the headline Speedup was computed from:
+	// BasisWallClock (measured) or BasisModeled (work-span model, used
+	// when the host has fewer CPUs than the configuration's workers).
+	// Snapshots from different bases are not directly comparable;
+	// CompareExec warns instead of pretending they are.
+	Basis string `json:"basis"`
 }
+
+// The two speedup bases. Snapshots written before the rename carry
+// "wall"; ReadExec normalizes it.
+const (
+	BasisWallClock = "wall-clock"
+	BasisModeled   = "modeled"
+)
 
 // ExecReport is the machine-readable result of one exec run.
 type ExecReport struct {
@@ -198,9 +210,9 @@ func RunExec(cfg Config) (ExecReport, []Table, error) {
 		if modeled[w] > 0 {
 			e.ModeledSpeedup = seqNs / modeled[w]
 		}
-		e.Speedup, e.Basis = e.WallSpeedup, "wall"
+		e.Speedup, e.Basis = e.WallSpeedup, BasisWallClock
 		if runtime.NumCPU() < w {
-			e.Speedup, e.Basis = e.ModeledSpeedup, "modeled"
+			e.Speedup, e.Basis = e.ModeledSpeedup, BasisModeled
 		}
 		report.Results = append(report.Results, e)
 		if w == maxW {
@@ -241,7 +253,7 @@ func RunExec(cfg Config) (ExecReport, []Table, error) {
 			Op: "batch", Workload: "clustered", Workers: w, Batch: len(batchQs),
 			Queries: len(batchQs), K: cfg.K,
 			SeqNsPerQuery: batchSeqNs, ExecNsPerQuery: wallNs,
-			Basis: "wall",
+			Basis: BasisWallClock,
 		}
 		if wallNs > 0 {
 			e.WallSpeedup = batchSeqNs / wallNs
@@ -307,21 +319,39 @@ func ReadExec(path string) (ExecReport, error) {
 	if r.Schema != ExecSchema {
 		return r, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, ExecSchema)
 	}
+	normalizeExecBases(&r)
 	return r, nil
+}
+
+// normalizeExecBases rewrites the legacy "wall" basis value to
+// BasisWallClock so old snapshots compare cleanly against fresh runs.
+func normalizeExecBases(r *ExecReport) {
+	for i := range r.Results {
+		if r.Results[i].Basis == "wall" {
+			r.Results[i].Basis = BasisWallClock
+		}
+	}
 }
 
 // CompareExec diffs a current run against a snapshot per (op, workers)
 // pair — the regression signal for executor changes. Wall-clock drift
 // against a snapshot from different hardware is informational; the
 // speedup columns, measured live, are the hardware-independent signal.
+// Entries whose speedup bases differ (a wall-clock snapshot compared on a
+// smaller box that had to model, or vice versa) are flagged with a
+// warning, never treated as a regression: the numbers answer different
+// questions.
 func CompareExec(base, cur ExecReport) Table {
+	normalizeExecBases(&base)
+	normalizeExecBases(&cur)
 	t := Table{
 		ID:    "exec-compare",
 		Title: "Query executor vs baseline snapshot" + execGeneratedSuffix(base),
 		Header: []string{
-			"op", "workers", "base ns/q", "now ns/q", "drift", "base speedup", "now speedup",
+			"op", "workers", "base ns/q", "now ns/q", "drift", "base speedup", "now speedup", "basis",
 		},
 		Notes: []string{
+			fmt.Sprintf("snapshot host CPUs: %d, current host CPUs: %d.", base.NumCPU, cur.NumCPU),
 			"drift = now/base exec ns per query: < 1.00x is faster than the snapshot.",
 			fmt.Sprintf("headline now: parallel %.2fx, batch %.2fx (snapshot %.2fx / %.2fx).",
 				cur.ParallelSpeedupMaxW, cur.BatchPerQuerySpeedup,
@@ -343,6 +373,13 @@ func CompareExec(base, cur ExecReport) Table {
 		if b.ExecNsPerQuery > 0 {
 			drift = fmt.Sprintf("%.2fx", e.ExecNsPerQuery/b.ExecNsPerQuery)
 		}
+		basis := e.Basis
+		if b.Basis != e.Basis {
+			basis = fmt.Sprintf("%s vs %s", b.Basis, e.Basis)
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"WARNING: %s/%d workers compares %s (snapshot) against %s (current) — speedups are not directly comparable.",
+				e.Op, e.Workers, b.Basis, e.Basis))
+		}
 		t.Rows = append(t.Rows, []string{
 			e.Op, itoa(e.Workers),
 			fmt.Sprintf("%.0f", b.ExecNsPerQuery),
@@ -350,6 +387,7 @@ func CompareExec(base, cur ExecReport) Table {
 			drift,
 			fmt.Sprintf("%.2fx", b.Speedup),
 			fmt.Sprintf("%.2fx", e.Speedup),
+			basis,
 		})
 	}
 	return t

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -92,7 +93,7 @@ func RunFedcomm(cfg Config) (FedcommReport, []Table, error) {
 	}{{"stateless", stateless}, {"session", session}} {
 		p.center.Metrics.Reset()
 		for _, q := range queries {
-			if _, err := p.center.OverlapSearch(q, cfg.K); err != nil {
+			if _, err := p.center.OverlapSearch(context.Background(), q, cfg.K); err != nil {
 				return report, nil, fmt.Errorf("bench: fedcomm OJSP (%s): %w", p.name, err)
 			}
 		}
@@ -104,11 +105,11 @@ func RunFedcomm(cfg Config) (FedcommReport, []Table, error) {
 	stateless.Metrics.Reset()
 	session.Metrics.Reset()
 	for i, q := range queries {
-		a, err := stateless.CoverageSearch(q, cfg.Delta, cfg.K)
+		a, err := stateless.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K)
 		if err != nil {
 			return report, nil, fmt.Errorf("bench: fedcomm CJSP (stateless): %w", err)
 		}
-		b, err := session.CoverageSearch(q, cfg.Delta, cfg.K)
+		b, err := session.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K)
 		if err != nil {
 			return report, nil, fmt.Errorf("bench: fedcomm CJSP (session): %w", err)
 		}

@@ -1,0 +1,262 @@
+// The load experiment measures the serving stack end-to-end: a small
+// generated federation behind a real HTTP listener (internal/load's local
+// harness), driven by the open- and closed-loop generators of cmd/ditsload.
+// Open-loop scenarios pace arrivals at a fixed rate and measure latency
+// from the intended arrival time (coordinated-omission corrected); closed
+// loops measure service time under N back-to-back clients. A final
+// tight-admission scenario overloads a rate-limited gateway to demonstrate
+// load shedding end to end. Results snapshot to BENCH_load.json:
+//
+//	ditsbench -exp load -baseline   # run and snapshot
+//	ditsbench -exp load -compare    # run and diff against the snapshot
+//
+// Latency numbers are wall clock on whatever host runs the experiment;
+// the compare table reports drift as informational (a laptop and a CI box
+// will differ), with the shed-rate and error-rate columns as the
+// hardware-independent regression signal.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dits/internal/admission"
+	"dits/internal/load"
+)
+
+// LoadSchema identifies the snapshot format.
+const LoadSchema = "dits-bench-load/1"
+
+// LoadEntry is one measured load scenario.
+type LoadEntry struct {
+	Scenario string  `json:"scenario"`
+	Mode     string  `json:"mode"`
+	Rate     float64 `json:"rate,omitempty"`    // open loop: offered req/s
+	Clients  int     `json:"clients,omitempty"` // closed loop: concurrency
+	Seconds  float64 `json:"seconds"`
+
+	Sent       int64   `json:"sent"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"`
+	Throughput float64 `json:"throughput"` // ok/s
+	ShedRate   float64 `json:"shed_rate"`
+	ErrorRate  float64 `json:"error_rate"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// LoadReport is the machine-readable result of one load run.
+type LoadReport struct {
+	Schema    string      `json:"schema"`
+	Generated string      `json:"generated,omitempty"`
+	NumCPU    int         `json:"num_cpu"`
+	Seed      int64       `json:"seed"`
+	Duration  float64     `json:"scenario_seconds"` // per-scenario duration
+	Results   []LoadEntry `json:"results"`
+}
+
+// loadScenario is one swept configuration.
+type loadScenario struct {
+	name    string
+	mode    string
+	rate    float64
+	clients int
+	tight   bool // run against the tight-admission gateway
+	mix     load.Mix
+}
+
+// loadScenarios are the fixed sweep: open loop at two offered rates,
+// closed loop at two client counts, then a deliberate overload of a
+// rate-limited gateway to exercise shedding.
+var loadScenarios = []loadScenario{
+	{name: "open-100rps", mode: "open", rate: 100},
+	{name: "open-1000rps", mode: "open", rate: 1000},
+	{name: "closed-8", mode: "closed", clients: 8},
+	{name: "closed-64", mode: "closed", clients: 64},
+	{name: "tight-shed", mode: "open", rate: 300, tight: true, mix: load.Mix{Overlap: 1}},
+}
+
+// RunLoad executes the load experiment, returning the machine-readable
+// report and printable tables.
+func RunLoad(cfg Config) (LoadReport, []Table, error) {
+	secs := cfg.LoadSecs
+	if secs <= 0 {
+		secs = 3
+	}
+	report := LoadReport{
+		Schema: LoadSchema, NumCPU: runtime.NumCPU(),
+		Seed: cfg.Seed, Duration: secs,
+	}
+
+	// One permissive gateway for the throughput scenarios (mutable so the
+	// ingest class flows), one tight gateway for the shed scenario.
+	lg, err := load.StartLocal(load.LocalOptions{Sources: 2, Scale: 0.005, Seed: cfg.Seed, Mutable: true})
+	if err != nil {
+		return report, nil, err
+	}
+	defer lg.Close()
+	tight, err := load.StartLocal(load.LocalOptions{
+		Sources: 1, Scale: 0.005, Seed: cfg.Seed,
+		Admission: admission.Config{Rate: 50, Burst: 25, MaxInFlight: 4, MaxQueue: 8},
+	})
+	if err != nil {
+		return report, nil, err
+	}
+	defer tight.Close()
+
+	for _, sc := range loadScenarios {
+		opts := load.Options{
+			Target:   lg.URL,
+			Mode:     sc.mode,
+			Rate:     sc.rate,
+			Clients:  sc.clients,
+			Duration: time.Duration(secs * float64(time.Second)),
+			Mix:      sc.mix,
+			Seed:     cfg.Seed,
+			ClientID: "ditsbench",
+			K:        cfg.K,
+		}
+		if sc.tight {
+			opts.Target = tight.URL
+		} else {
+			opts.IngestSource = lg.IngestSource
+		}
+		res, err := load.Run(context.Background(), opts)
+		if err != nil {
+			return report, nil, fmt.Errorf("bench: load scenario %s: %w", sc.name, err)
+		}
+		if res.OK == 0 {
+			return report, nil, fmt.Errorf("bench: load scenario %s completed no requests", sc.name)
+		}
+		report.Results = append(report.Results, LoadEntry{
+			Scenario: sc.name, Mode: res.Mode, Rate: res.Rate, Clients: res.Clients,
+			Seconds: res.Seconds, Sent: res.Sent, OK: res.OK, Shed: res.Shed,
+			Throughput: res.Throughput, ShedRate: res.ShedRate, ErrorRate: res.ErrorRate,
+			P50Ms: res.P50Ms, P99Ms: res.P99Ms, P999Ms: res.P999Ms,
+		})
+	}
+
+	// The tight scenario exists to demonstrate shedding; a zero shed count
+	// means admission control did not engage and the experiment is wrong.
+	last := report.Results[len(report.Results)-1]
+	if last.Shed == 0 {
+		return report, nil, fmt.Errorf("bench: tight-shed scenario shed nothing (admission not engaged)")
+	}
+
+	t := Table{
+		ID:    "load",
+		Title: "Serving stack under load: open/closed loops over HTTP (mixed OJSP/CJSP/batch/ingest)",
+		Header: []string{
+			"scenario", "mode", "offered", "sent", "ok", "shed", "ok/s", "p50 ms", "p99 ms", "p999 ms",
+		},
+		Notes: []string{
+			fmt.Sprintf("host CPUs: %d; %gs per scenario; open-loop latency measured from intended arrival (coordinated-omission corrected).", runtime.NumCPU(), secs),
+			"tight-shed offers 300 req/s to a gateway admitting 50 req/s (burst 25, 4 in flight, queue 8): the shed column is the 429s.",
+		},
+	}
+	for _, e := range report.Results {
+		offered := fmt.Sprintf("%d clients", e.Clients)
+		if e.Mode == "open" {
+			offered = fmt.Sprintf("%.0f req/s", e.Rate)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Scenario, e.Mode, offered,
+			fmt.Sprintf("%d", e.Sent), fmt.Sprintf("%d", e.OK), fmt.Sprintf("%d", e.Shed),
+			fmt.Sprintf("%.0f", e.Throughput),
+			fmt.Sprintf("%.2f", e.P50Ms), fmt.Sprintf("%.2f", e.P99Ms), fmt.Sprintf("%.2f", e.P999Ms),
+		})
+	}
+	return report, []Table{t}, nil
+}
+
+// WriteLoad stamps and writes the report as indented JSON.
+func WriteLoad(path string, r LoadReport) error {
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadLoad loads a snapshot written by WriteLoad.
+func ReadLoad(path string) (LoadReport, error) {
+	var r LoadReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != LoadSchema {
+		return r, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, LoadSchema)
+	}
+	return r, nil
+}
+
+// CompareLoad diffs a current run against a snapshot per scenario. All
+// drift is informational — absolute latency and throughput are hardware
+// bound — but a shed-rate or error-rate jump is flagged in the notes.
+func CompareLoad(base, cur LoadReport) Table {
+	t := Table{
+		ID:    "load-compare",
+		Title: "Serving stack vs baseline snapshot" + loadGeneratedSuffix(base),
+		Header: []string{
+			"scenario", "base ok/s", "now ok/s", "drift", "base p99", "now p99", "base shed%", "now shed%",
+		},
+		Notes: []string{
+			fmt.Sprintf("snapshot host CPUs: %d, current: %d — absolute numbers are comparable only on matching hardware.", base.NumCPU, cur.NumCPU),
+			"drift = now/base throughput: > 1.00x is faster than the snapshot.",
+		},
+	}
+	baseBy := make(map[string]LoadEntry, len(base.Results))
+	for _, e := range base.Results {
+		baseBy[e.Scenario] = e
+	}
+	for _, e := range cur.Results {
+		b, ok := baseBy[e.Scenario]
+		if !ok {
+			t.Notes = append(t.Notes, fmt.Sprintf("no baseline entry for scenario %s", e.Scenario))
+			continue
+		}
+		drift := "-"
+		if b.Throughput > 0 {
+			drift = fmt.Sprintf("%.2fx", e.Throughput/b.Throughput)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Scenario,
+			fmt.Sprintf("%.0f", b.Throughput), fmt.Sprintf("%.0f", e.Throughput), drift,
+			fmt.Sprintf("%.2f", b.P99Ms), fmt.Sprintf("%.2f", e.P99Ms),
+			fmt.Sprintf("%.1f", 100*b.ShedRate), fmt.Sprintf("%.1f", 100*e.ShedRate),
+		})
+		if e.ErrorRate > b.ErrorRate+0.01 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"WARNING: %s error rate rose %.1f%% -> %.1f%%", e.Scenario, 100*b.ErrorRate, 100*e.ErrorRate))
+		}
+	}
+	return t
+}
+
+func loadGeneratedSuffix(base LoadReport) string {
+	if base.Generated == "" {
+		return ""
+	}
+	return " (" + base.Generated + ")"
+}
+
+// Load adapts RunLoad to the experiment registry (plain -exp load runs
+// without snapshotting).
+func Load(cfg Config) []Table {
+	_, tables, err := RunLoad(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tables
+}

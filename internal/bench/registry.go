@@ -39,6 +39,7 @@ var experiments = []Experiment{
 	{"fedcomm", "Federation protocol: stateless vs session, bytes and round-trips per query (extension)", Fedcomm},
 	{"exec", "Query executor: parallel traversal and batched execution vs sequential (extension)", Exec},
 	{"ingest", "Durable ingest: incremental updates vs rebuild, WAL overhead, recovery (extension)", Ingest},
+	{"load", "Serving stack under load: open/closed-loop latency, throughput, shed rate (extension)", Load},
 }
 
 // All returns every experiment, sorted by ID.
@@ -55,5 +56,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load)", id)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -93,7 +94,7 @@ func DrainQueries(center *federation.Center, qs []cellset.Set, clients, total, k
 				if i >= int64(total) {
 					return
 				}
-				if _, err := center.OverlapSearch(qs[i%int64(len(qs))], k); err != nil {
+				if _, err := center.OverlapSearch(context.Background(), qs[i%int64(len(qs))], k); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}

@@ -11,6 +11,8 @@ import (
 	"container/list"
 	"hash/maphash"
 	"sync"
+
+	"dits/internal/metrics"
 )
 
 // numShards is the shard count; a power of two so shard selection is a
@@ -18,10 +20,17 @@ import (
 // concurrency without bloating the per-cache footprint.
 const numShards = 16
 
-// Cache is a sharded LRU mapping string keys to arbitrary values.
+// Cache is a sharded LRU mapping string keys to arbitrary values. The
+// hit/miss/eviction counters are cache-level lock-free metrics instruments
+// so the hot Get path adds nothing to the shard critical sections and the
+// same counters feed both Stats and Prometheus exposition (Register).
 type Cache struct {
 	shards [numShards]shard
 	seed   maphash.Seed
+
+	hits      metrics.Counter
+	misses    metrics.Counter
+	evictions metrics.Counter
 }
 
 type shard struct {
@@ -29,8 +38,6 @@ type shard struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
-
-	hits, misses, evictions int64
 }
 
 // entry is one element payload in a shard's LRU list.
@@ -72,10 +79,10 @@ func (c *Cache) Get(key string) (any, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
-		s.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	s.hits++
+	c.hits.Inc()
 	s.ll.MoveToFront(el)
 	return el.Value.(*entry).value, true
 }
@@ -98,7 +105,7 @@ func (c *Cache) Put(key string, value any) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.items, oldest.Value.(*entry).key)
-		s.evictions++
+		c.evictions.Inc()
 	}
 	s.items[key] = s.ll.PushFront(&entry{key: key, value: value})
 }
@@ -157,16 +164,34 @@ func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	var st Stats
+	st := Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Evictions += s.evictions
 		st.Len += s.ll.Len()
 		st.Capacity += s.cap
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// Register exposes the cache counters on a metrics registry under the
+// dits_cache_* names. Safe on a nil cache (registers nothing).
+func (c *Cache) Register(r *metrics.Registry) {
+	if c == nil {
+		return
+	}
+	r.RegisterCounter("dits_cache_hits_total", "Result-cache hits", &c.hits)
+	r.RegisterCounter("dits_cache_misses_total", "Result-cache misses", &c.misses)
+	r.RegisterCounter("dits_cache_evictions_total", "Result-cache LRU evictions", &c.evictions)
+	r.RegisterGaugeFunc("dits_cache_entries", "Cached entries", func() float64 {
+		return float64(c.Len())
+	})
+	r.RegisterGaugeFunc("dits_cache_capacity", "Cache capacity", func() float64 {
+		return float64(c.Stats().Capacity)
+	})
 }

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dits/internal/cellset"
@@ -206,7 +207,7 @@ func (f *Federation) Metrics() *transport.Metrics { return f.center.Metrics }
 // OverlapSearch answers the multi-source OJSP.
 func (f *Federation) OverlapSearch(query []geo.Point, k int) ([]Result, error) {
 	cells := cellset.FromPoints(f.grid, query)
-	rs, err := f.center.OverlapSearch(cells, k)
+	rs, err := f.center.OverlapSearch(context.Background(), cells, k)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +221,7 @@ func (f *Federation) OverlapSearch(query []geo.Point, k int) ([]Result, error) {
 // CoverageSearch answers the multi-source CJSP.
 func (f *Federation) CoverageSearch(query []geo.Point, delta float64, k int) (CoverageOutcome, error) {
 	cells := cellset.FromPoints(f.grid, query)
-	res, err := f.center.CoverageSearch(cells, delta, k)
+	res, err := f.center.CoverageSearch(context.Background(), cells, delta, k)
 	if err != nil {
 		return CoverageOutcome{}, err
 	}

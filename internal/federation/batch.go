@@ -2,6 +2,7 @@ package federation
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -61,7 +62,7 @@ type subEntry struct {
 // method as unknown) is transparently retried query-by-query over
 // MethodOverlap on the same connection; other failures follow
 // Options.OnSourceError like every federated query.
-func (c *Center) OverlapSearchBatch(queries []BatchQuery) ([][]SourceResult, error) {
+func (c *Center) OverlapSearchBatch(ctx context.Context, queries []BatchQuery) ([][]SourceResult, error) {
 	out := make([][]SourceResult, len(queries))
 	if len(queries) == 0 {
 		return out, nil
@@ -116,7 +117,7 @@ func (c *Center) OverlapSearchBatch(queries []BatchQuery) ([][]SourceResult, err
 	// Phase 3: one exchange per source (per-query fallback for sources
 	// that don't speak search.batch), each on its own goroutine.
 	answers, errs := fanOut(contact, func(m *member) ([]OverlapResponse, error) {
-		return c.callSearchBatch(m, sub[m], queries)
+		return c.callSearchBatch(ctx, m, sub[m], queries)
 	})
 	if err := c.resolve(contact, errs, nil); err != nil {
 		return nil, err
@@ -195,7 +196,7 @@ func (c *Center) prepQuery(ep *epochSnap, rc *cache.Cache, q BatchQuery, slot *[
 // method. It runs inside the source's fan-out goroutine, preserving the
 // one-goroutine-per-peer invariant. The returned slice aligns with
 // entries.
-func (c *Center) callSearchBatch(m *member, entries []subEntry, queries []BatchQuery) ([]OverlapResponse, error) {
+func (c *Center) callSearchBatch(ctx context.Context, m *member, entries []subEntry, queries []BatchQuery) ([]OverlapResponse, error) {
 	req := SearchBatchRequest{Queries: make([]OverlapRequest, len(entries))}
 	for i, e := range entries {
 		req.Queries[i] = OverlapRequest{Cells: e.clip, K: queries[e.qi].K}
@@ -204,9 +205,9 @@ func (c *Center) callSearchBatch(m *member, entries []subEntry, queries []BatchQ
 	if err != nil {
 		return nil, err
 	}
-	respBody, err := m.peer.Call(MethodSearchBatch, body)
+	respBody, err := m.peer.Call(ctx, MethodSearchBatch, body)
 	if isUnknownMethod(err) {
-		return c.perQueryFallback(m, entries, queries)
+		return c.perQueryFallback(ctx, m, entries, queries)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("federation: search batch at %s: %w", m.summary.Name, err)
@@ -225,14 +226,14 @@ func (c *Center) callSearchBatch(m *member, entries []subEntry, queries []BatchQ
 // perQueryFallback answers a sub-batch one MethodOverlap call at a time —
 // the compatibility path for sources that do not implement
 // MethodSearchBatch.
-func (c *Center) perQueryFallback(m *member, entries []subEntry, queries []BatchQuery) ([]OverlapResponse, error) {
+func (c *Center) perQueryFallback(ctx context.Context, m *member, entries []subEntry, queries []BatchQuery) ([]OverlapResponse, error) {
 	resps := make([]OverlapResponse, len(entries))
 	for i, e := range entries {
 		body, err := transport.Encode(OverlapRequest{Cells: e.clip, K: queries[e.qi].K})
 		if err != nil {
 			return nil, err
 		}
-		respBody, err := m.peer.Call(MethodOverlap, body)
+		respBody, err := m.peer.Call(ctx, MethodOverlap, body)
 		if err != nil {
 			return nil, fmt.Errorf("federation: overlap at %s: %w", m.summary.Name, err)
 		}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -54,7 +55,7 @@ func TestOverlapSearchBatchParity(t *testing.T) {
 		t.Run(fmt.Sprintf("filter=%v_workers=%d", opts.GlobalFilter, opts.Workers), func(t *testing.T) {
 			f := newTestFederation(t, opts)
 			qs := batchTestQueries(t, f, 9)
-			got, err := f.center.OverlapSearchBatch(qs)
+			got, err := f.center.OverlapSearchBatch(context.Background(), qs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,7 +63,7 @@ func TestOverlapSearchBatchParity(t *testing.T) {
 				t.Fatalf("got %d results for %d queries", len(got), len(qs))
 			}
 			for i, q := range qs {
-				want, err := f.center.OverlapSearch(q.Cells, q.K)
+				want, err := f.center.OverlapSearch(context.Background(), q.Cells, q.K)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -82,11 +83,11 @@ func TestOverlapSearchBatchOfOne(t *testing.T) {
 		srv.Workers = 8
 	}
 	q := batchTestQueries(t, f, 1)[0]
-	got, err := f.center.OverlapSearchBatch([]BatchQuery{q})
+	got, err := f.center.OverlapSearchBatch(context.Background(), []BatchQuery{q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := f.center.OverlapSearch(q.Cells, q.K)
+	want, err := f.center.OverlapSearch(context.Background(), q.Cells, q.K)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestOverlapSearchBatchCacheSharing(t *testing.T) {
 	f := newTestFederation(t, DefaultOptions())
 	f.center.SetCache(cache.New(64))
 	qs := batchTestQueries(t, f, 4)
-	if _, err := f.center.OverlapSearchBatch(qs); err != nil {
+	if _, err := f.center.OverlapSearchBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	st := f.center.Cache().Stats()
@@ -110,7 +111,7 @@ func TestOverlapSearchBatchCacheSharing(t *testing.T) {
 	}
 	msgs := f.center.Metrics.Messages()
 	for _, q := range qs {
-		if _, err := f.center.OverlapSearch(q.Cells, q.K); err != nil {
+		if _, err := f.center.OverlapSearch(context.Background(), q.Cells, q.K); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +119,7 @@ func TestOverlapSearchBatchCacheSharing(t *testing.T) {
 		t.Fatalf("single queries after a batch hit the network: %d -> %d messages", msgs, got)
 	}
 	// And the reverse: a fresh batch over now-cached queries is silent.
-	if _, err := f.center.OverlapSearchBatch(qs); err != nil {
+	if _, err := f.center.OverlapSearchBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.center.Metrics.Messages(); got != msgs {
@@ -132,7 +133,7 @@ func TestOverlapSearchBatchRoundTrips(t *testing.T) {
 	f := newTestFederation(t, Options{}) // no filtering: every source contacted
 	qs := batchTestQueries(t, f, 8)
 	f.center.Metrics.Reset()
-	if _, err := f.center.OverlapSearchBatch(qs); err != nil {
+	if _, err := f.center.OverlapSearchBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	per := f.center.Metrics.PerMethod()
@@ -151,11 +152,11 @@ type legacyPeer struct {
 	transport.Peer
 }
 
-func (p *legacyPeer) Call(method string, body []byte) ([]byte, error) {
+func (p *legacyPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
 	if method == MethodSearchBatch {
 		return nil, &transport.RemoteError{Source: "legacy", Msg: `federation: unknown method "search.batch"`}
 	}
-	return p.Peer.Call(method, body)
+	return p.Peer.Call(ctx, method, body)
 }
 
 // TestOverlapSearchBatchLegacyFallback: a source rejecting search.batch is
@@ -168,12 +169,12 @@ func TestOverlapSearchBatchLegacyFallback(t *testing.T) {
 		Name: legacy.Name, Handler: legacy.Handler(), Metrics: f.center.Metrics,
 	}})
 	qs := batchTestQueries(t, f, 6)
-	got, err := f.center.OverlapSearchBatch(qs)
+	got, err := f.center.OverlapSearchBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, q := range qs {
-		want, err := f.center.OverlapSearch(q.Cells, q.K)
+		want, err := f.center.OverlapSearch(context.Background(), q.Cells, q.K)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,11 +193,11 @@ type failingBatchPeer struct {
 	fail bool
 }
 
-func (p *failingBatchPeer) Call(method string, body []byte) ([]byte, error) {
+func (p *failingBatchPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
 	if p.fail {
 		return nil, fmt.Errorf("peer down")
 	}
-	return p.Peer.Call(method, body)
+	return p.Peer.Call(ctx, method, body)
 }
 
 // TestOverlapSearchBatchFailurePolicies: FailFast aborts the whole batch;
@@ -216,7 +217,7 @@ func TestOverlapSearchBatchFailurePolicies(t *testing.T) {
 	f, fp := build(FailFast)
 	qs := batchTestQueries(t, f, 5)
 	fp.fail = true
-	if _, err := f.center.OverlapSearchBatch(qs); err == nil {
+	if _, err := f.center.OverlapSearchBatch(context.Background(), qs); err == nil {
 		t.Fatal("FailFast batch with a dead source succeeded")
 	}
 
@@ -224,7 +225,7 @@ func TestOverlapSearchBatchFailurePolicies(t *testing.T) {
 	f.center.SetCache(cache.New(64))
 	qs = batchTestQueries(t, f, 5)
 	fp.fail = true
-	got, err := f.center.OverlapSearchBatch(qs)
+	got, err := f.center.OverlapSearchBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,12 +238,12 @@ func TestOverlapSearchBatchFailurePolicies(t *testing.T) {
 	// Recover the source: the degraded answers must not have been cached,
 	// so the same batch now includes the recovered source's datasets.
 	fp.fail = false
-	full, err := f.center.OverlapSearchBatch(qs)
+	full, err := f.center.OverlapSearchBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range qs {
-		want, err := f.center.OverlapSearch(qs[i].Cells, qs[i].K)
+		want, err := f.center.OverlapSearch(context.Background(), qs[i].Cells, qs[i].K)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -271,7 +272,7 @@ func TestSearchBatchSourceHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	respBody, err := h(MethodSearchBatch, body)
+	respBody, err := h(context.Background(), MethodSearchBatch, body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestSearchBatchSourceHandler(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantBody, err := h(MethodOverlap, single)
+		wantBody, err := h(context.Background(), MethodOverlap, single)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"cmp"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -221,8 +222,8 @@ func (c *Center) dropVersionLocked(name string) {
 // RegisterRemote fetches the source's summary over the peer connection
 // (MethodSummary) and registers it — how a data center bootstraps against
 // already-running source servers.
-func (c *Center) RegisterRemote(peer transport.Peer) (dits.SourceSummary, error) {
-	body, err := peer.Call(MethodSummary, nil)
+func (c *Center) RegisterRemote(ctx context.Context, peer transport.Peer) (dits.SourceSummary, error) {
+	body, err := peer.Call(ctx, MethodSummary, nil)
 	if err != nil {
 		return dits.SourceSummary{}, fmt.Errorf("federation: fetch summary: %w", err)
 	}
@@ -393,7 +394,7 @@ func (c *Center) queryKey(gen uint64, kind byte, a, b uint64, cells cellset.Set,
 
 // OverlapSearch answers the multi-source OJSP: the k datasets with the
 // largest overlap with the query across all registered sources.
-func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, error) {
+func (c *Center) OverlapSearch(ctx context.Context, queryCells cellset.Set, k int) ([]SourceResult, error) {
 	if k <= 0 || queryCells.IsEmpty() {
 		return nil, nil
 	}
@@ -431,7 +432,7 @@ func (c *Center) OverlapSearch(queryCells cellset.Set, k int) ([]SourceResult, e
 		if err != nil {
 			return nil, err
 		}
-		respBody, err := m.peer.Call(MethodOverlap, body)
+		respBody, err := m.peer.Call(ctx, MethodOverlap, body)
 		if err != nil {
 			return nil, fmt.Errorf("federation: overlap at %s: %w", m.summary.Name, err)
 		}
@@ -485,7 +486,7 @@ type CoverageResult struct {
 // With Options.Sessions it runs the session protocol — delta-shipped
 // rounds, two-phase winner fetch — which produces identical results to the
 // stateless protocol at a fraction of the bytes.
-func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (CoverageResult, error) {
+func (c *Center) CoverageSearch(ctx context.Context, queryCells cellset.Set, delta float64, k int) (CoverageResult, error) {
 	res := CoverageResult{QueryCoverage: queryCells.Len(), Coverage: queryCells.Len()}
 	if k <= 0 || queryCells.IsEmpty() {
 		return res, nil
@@ -510,9 +511,9 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 	var degraded bool
 	var err error
 	if c.Options.Sessions {
-		res, degraded, err = c.coverageSession(ep, queryCells, delta, k, res)
+		res, degraded, err = c.coverageSession(ctx, ep, queryCells, delta, k, res)
 	} else {
-		res, degraded, err = c.coverageStateless(ep, queryCells, delta, k, res)
+		res, degraded, err = c.coverageStateless(ctx, ep, queryCells, delta, k, res)
 	}
 	if err != nil {
 		return res, err
@@ -532,7 +533,7 @@ func (c *Center) CoverageSearch(queryCells cellset.Set, delta float64, k int) (C
 // candidate answers with its best pick's full cell set.
 // It also reports whether the answer is degraded (a source was skipped
 // under the tolerant policy).
-func (c *Center) coverageStateless(ep *epochSnap, queryCells cellset.Set, delta float64, k int, res CoverageResult) (CoverageResult, bool, error) {
+func (c *Center) coverageStateless(ctx context.Context, ep *epochSnap, queryCells cellset.Set, delta float64, k int, res CoverageResult) (CoverageResult, bool, error) {
 	// The merged-query state lives on the container engine: each greedy
 	// round unions the winning candidate word-parallel, and the flat form
 	// shipped to sources is rematerialized from it.
@@ -543,6 +544,9 @@ func (c *Center) coverageStateless(ep *epochSnap, queryCells cellset.Set, delta 
 	draw := c.deltaRaw(delta)
 
 	for len(res.Picked) < k {
+		if err := ctx.Err(); err != nil {
+			return res, len(failed) > 0, err
+		}
 		qn, ok := c.queryNode(merged)
 		if !ok {
 			break
@@ -564,7 +568,7 @@ func (c *Center) coverageStateless(ep *epochSnap, queryCells cellset.Set, delta 
 			if err != nil {
 				return nil, err
 			}
-			respBody, err := m.peer.Call(MethodCoverage, body)
+			respBody, err := m.peer.Call(ctx, MethodCoverage, body)
 			if err != nil {
 				return nil, fmt.Errorf("federation: coverage at %s: %w", m.summary.Name, err)
 			}
@@ -623,7 +627,7 @@ type srcState struct {
 // it answered last round, so the center reuses the cached offer without a
 // network call. It also reports whether the answer is degraded (a source
 // was skipped under the tolerant policy).
-func (c *Center) coverageSession(ep *epochSnap, queryCells cellset.Set, delta float64, k int, res CoverageResult) (CoverageResult, bool, error) {
+func (c *Center) coverageSession(ctx context.Context, ep *epochSnap, queryCells cellset.Set, delta float64, k int, res CoverageResult) (CoverageResult, bool, error) {
 	sessID := nextSessionID()
 	draw := c.deltaRaw(delta)
 	states := make(map[string]*srcState)
@@ -647,6 +651,9 @@ func (c *Center) coverageSession(ep *epochSnap, queryCells cellset.Set, delta fl
 
 rounds:
 	for len(res.Picked) < k {
+		if err := ctx.Err(); err != nil {
+			return res, anyFailed(), err
+		}
 		qn := c.boundsQueryNode(minX, minY, maxX, maxY)
 		cands := c.candidates(ep, qn, draw)
 
@@ -690,7 +697,7 @@ rounds:
 			reqs[name] = req
 		}
 		outs, errs := fanOut(contact, func(m *member) (CoverageRoundResponse, error) {
-			resp, err := c.callRound(m, reqs[m.summary.Name])
+			resp, err := c.callRound(ctx, m, reqs[m.summary.Name])
 			if err == nil && resp.SessionMiss {
 				// Stateless fallback: the source evicted the session;
 				// re-open it with the full clipped state. mergedC is
@@ -701,7 +708,7 @@ rounds:
 				if full.Base.IsEmpty() {
 					return CoverageRoundResponse{}, nil
 				}
-				resp, err = c.callRound(m, full)
+				resp, err = c.callRound(ctx, m, full)
 			}
 			return resp, err
 		})
@@ -746,7 +753,7 @@ rounds:
 				break rounds // no source has a connected dataset left
 			}
 			st := states[best.src]
-			fetch, err := c.fetchCells(st.m, sessID, best.cand.ID)
+			fetch, err := c.fetchCells(ctx, st.m, sessID, best.cand.ID)
 			if err == nil && !fetch.Found {
 				err = fmt.Errorf("federation: source %s lost dataset %d mid-session", best.src, best.cand.ID)
 			}
@@ -802,13 +809,13 @@ rounds:
 }
 
 // callRound performs one coverage.round exchange.
-func (c *Center) callRound(m *member, req CoverageRoundRequest) (CoverageRoundResponse, error) {
+func (c *Center) callRound(ctx context.Context, m *member, req CoverageRoundRequest) (CoverageRoundResponse, error) {
 	var resp CoverageRoundResponse
 	body, err := transport.Encode(req)
 	if err != nil {
 		return resp, err
 	}
-	respBody, err := m.peer.Call(MethodCoverageRound, body)
+	respBody, err := m.peer.Call(ctx, MethodCoverageRound, body)
 	if err != nil {
 		return resp, fmt.Errorf("federation: coverage round at %s: %w", m.summary.Name, err)
 	}
@@ -816,13 +823,13 @@ func (c *Center) callRound(m *member, req CoverageRoundRequest) (CoverageRoundRe
 }
 
 // fetchCells performs the second-phase coverage.fetch exchange.
-func (c *Center) fetchCells(m *member, sess uint64, id int) (FetchCellsResponse, error) {
+func (c *Center) fetchCells(ctx context.Context, m *member, sess uint64, id int) (FetchCellsResponse, error) {
 	var resp FetchCellsResponse
 	body, err := transport.Encode(FetchCellsRequest{Session: sess, ID: id})
 	if err != nil {
 		return resp, err
 	}
-	respBody, err := m.peer.Call(MethodFetchCells, body)
+	respBody, err := m.peer.Call(ctx, MethodFetchCells, body)
 	if err != nil {
 		return resp, fmt.Errorf("federation: fetch cells at %s: %w", m.summary.Name, err)
 	}
@@ -830,7 +837,9 @@ func (c *Center) fetchCells(m *member, sess uint64, id int) (FetchCellsResponse,
 }
 
 // closeSessions releases every open session at the end of a coverage
-// query, best-effort: sources reclaim lost sessions on their own.
+// query, best-effort: sources reclaim lost sessions on their own. It runs
+// on a fresh context — the query's own deadline may already have expired,
+// and cleanup should still go out.
 func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
 	body, err := transport.Encode(SessionCloseRequest{Session: sessID})
 	if err != nil {
@@ -843,7 +852,7 @@ func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
 		}
 	}
 	fanOut(open, func(m *member) (struct{}, error) {
-		m.peer.Call(MethodSessionClose, body)
+		m.peer.Call(context.Background(), MethodSessionClose, body)
 		return struct{}{}, nil
 	})
 }
@@ -863,7 +872,7 @@ type MutateResult struct {
 // have contributed to), and if the mutation changed the source's root
 // summary the membership epoch advances so DITS-G candidate filtering
 // sees the source's new extent.
-func (c *Center) PutDataset(source string, id int, name string, cells cellset.Set) (MutateResult, error) {
+func (c *Center) PutDataset(ctx context.Context, source string, id int, name string, cells cellset.Set) (MutateResult, error) {
 	if cells.IsEmpty() {
 		return MutateResult{}, fmt.Errorf("federation: dataset %d has no cells", id)
 	}
@@ -871,29 +880,29 @@ func (c *Center) PutDataset(source string, id int, name string, cells cellset.Se
 	if err != nil {
 		return MutateResult{}, err
 	}
-	return c.mutate(source, id, MethodDatasetPut, body)
+	return c.mutate(ctx, source, id, MethodDatasetPut, body)
 }
 
 // DeleteDataset durably removes one dataset at the named source (method
 // dataset.delete). Deleting an ID the source does not hold returns
 // Found=false and mutates nothing.
-func (c *Center) DeleteDataset(source string, id int) (MutateResult, error) {
+func (c *Center) DeleteDataset(ctx context.Context, source string, id int) (MutateResult, error) {
 	body, err := transport.Encode(DatasetDeleteRequest{ID: id})
 	if err != nil {
 		return MutateResult{}, err
 	}
-	return c.mutate(source, id, MethodDatasetDelete, body)
+	return c.mutate(ctx, source, id, MethodDatasetDelete, body)
 }
 
 // mutate routes one mutation to its source and folds the response into
 // the center's version vector and (when the summary moved) DITS-G.
-func (c *Center) mutate(source string, id int, method string, body []byte) (MutateResult, error) {
+func (c *Center) mutate(ctx context.Context, source string, id int, method string, body []byte) (MutateResult, error) {
 	ep := c.epoch.Load()
 	m, ok := ep.members[source]
 	if !ok {
 		return MutateResult{}, fmt.Errorf("%w: %q", ErrUnknownSource, source)
 	}
-	respBody, err := m.peer.Call(method, body)
+	respBody, err := m.peer.Call(ctx, method, body)
 	if err != nil {
 		return MutateResult{}, fmt.Errorf("federation: %s at %s: %w", method, source, err)
 	}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -27,7 +28,7 @@ func tcpFederation(t *testing.T, rng *rand.Rand, m, perSource, poolSize int) (*C
 		t.Cleanup(func() { ts.Close() })
 		pool := transport.DialPool(srv.Name, ts.Addr(), poolSize, center.Metrics)
 		t.Cleanup(func() { pool.Close() })
-		if _, err := center.RegisterRemote(pool); err != nil {
+		if _, err := center.RegisterRemote(context.Background(), pool); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -53,10 +54,10 @@ func TestCenterConcurrentQueries(t *testing.T) {
 	wantCoverage := make([]CoverageResult, len(queries))
 	for i, q := range queries {
 		var err error
-		if wantOverlap[i], err = center.OverlapSearch(q, 5); err != nil {
+		if wantOverlap[i], err = center.OverlapSearch(context.Background(), q, 5); err != nil {
 			t.Fatal(err)
 		}
-		if wantCoverage[i], err = center.CoverageSearch(q, 3, 3); err != nil {
+		if wantCoverage[i], err = center.CoverageSearch(context.Background(), q, 3, 3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func TestCenterConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3*len(queries); i++ {
 				qi := (w + i) % len(queries)
-				rs, err := center.OverlapSearch(queries[qi], 5)
+				rs, err := center.OverlapSearch(context.Background(), queries[qi], 5)
 				if err != nil {
 					t.Error(err)
 					return
@@ -77,7 +78,7 @@ func TestCenterConcurrentQueries(t *testing.T) {
 					t.Errorf("overlap[%d] diverged under concurrency", qi)
 					return
 				}
-				cr, err := center.CoverageSearch(queries[qi], 3, 3)
+				cr, err := center.CoverageSearch(context.Background(), queries[qi], 3, 3)
 				if err != nil {
 					t.Error(err)
 					return
@@ -104,14 +105,14 @@ func TestCenterCachedResultsAreIsolated(t *testing.T) {
 	center.SetCache(cache.New(64))
 	q := cellset.New(geo.ZEncode(3, 3), geo.ZEncode(4, 4), geo.ZEncode(5, 5))
 
-	first, err := center.OverlapSearch(q, 5)
+	first, err := center.OverlapSearch(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(first) > 0 {
 		first[0] = SourceResult{Source: "mutated", ID: -99}
 	}
-	second, err := center.OverlapSearch(q, 5)
+	second, err := center.OverlapSearch(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestCenterCachedResultsAreIsolated(t *testing.T) {
 		}
 	}
 
-	cr, err := center.CoverageSearch(q, 2, 2)
+	cr, err := center.CoverageSearch(context.Background(), q, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cr.Picked) > 0 {
 		cr.Picked[0] = SourceResult{Source: "mutated"}
 	}
-	cr2, err := center.CoverageSearch(q, 2, 2)
+	cr2, err := center.CoverageSearch(context.Background(), q, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +175,11 @@ func TestCenterMembershipChurn(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
 				q := pooled[(w*31+i)%len(pooled)].Cells
-				if _, err := center.OverlapSearch(q, 3); err != nil {
+				if _, err := center.OverlapSearch(context.Background(), q, 3); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := center.CoverageSearch(q, 2, 2); err != nil {
+				if _, err := center.CoverageSearch(context.Background(), q, 2, 2); err != nil {
 					t.Error(err)
 					return
 				}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -119,7 +120,7 @@ func TestFederatedOverlapMatchesPooled(t *testing.T) {
 		qNode := dataset.NewNodeFromCells(-1, "", q)
 		for _, k := range []int{1, 5, 20} {
 			want := oracle.TopK(qNode, k)
-			got, err := center.OverlapSearch(q, k)
+			got, err := center.OverlapSearch(context.Background(), q, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,12 +153,12 @@ func TestDistributionStrategiesPreserveResults(t *testing.T) {
 	}
 	for trial := 0; trial < 25; trial++ {
 		q := randomQuery(rng)
-		ref, err := centers[0].OverlapSearch(q, 10)
+		ref, err := centers[0].OverlapSearch(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for vi, c := range centers[1:] {
-			got, err := c.OverlapSearch(q, 10)
+			got, err := c.OverlapSearch(context.Background(), q, 10)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -166,12 +167,12 @@ func TestDistributionStrategiesPreserveResults(t *testing.T) {
 					overlapsOf(got), overlapsOf(ref))
 			}
 		}
-		refCov, err := centers[0].CoverageSearch(q, 2, 5)
+		refCov, err := centers[0].CoverageSearch(context.Background(), q, 2, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for vi, c := range centers[1:] {
-			got, err := c.CoverageSearch(q, 2, 5)
+			got, err := c.CoverageSearch(context.Background(), q, 2, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -193,10 +194,10 @@ func TestStrategiesReduceCommunication(t *testing.T) {
 		q := randomQuery(rng)
 		smart.Metrics.Reset()
 		naive.Metrics.Reset()
-		if _, err := smart.OverlapSearch(q, 10); err != nil {
+		if _, err := smart.OverlapSearch(context.Background(), q, 10); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := naive.OverlapSearch(q, 10); err != nil {
+		if _, err := naive.OverlapSearch(context.Background(), q, 10); err != nil {
 			t.Fatal(err)
 		}
 		if smart.Metrics.BytesSent() > naive.Metrics.BytesSent() {
@@ -222,7 +223,7 @@ func TestFederatedCoverageMatchesPooled(t *testing.T) {
 		for _, delta := range []float64{0, 2, 6} {
 			for _, k := range []int{1, 4} {
 				want := sg.Search(qNode, delta, k)
-				got, err := center.CoverageSearch(q, delta, k)
+				got, err := center.CoverageSearch(context.Background(), q, delta, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -259,11 +260,11 @@ func TestTCPFederationMatchesInProc(t *testing.T) {
 
 	for trial := 0; trial < 10; trial++ {
 		q := randomQuery(rng)
-		a, err := inproc.OverlapSearch(q, 8)
+		a, err := inproc.OverlapSearch(context.Background(), q, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := tcpCenter.OverlapSearch(q, 8)
+		b, err := tcpCenter.OverlapSearch(context.Background(), q, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,11 +276,11 @@ func TestTCPFederationMatchesInProc(t *testing.T) {
 				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, a[i], b[i])
 			}
 		}
-		ca, err := inproc.CoverageSearch(q, 2, 4)
+		ca, err := inproc.CoverageSearch(context.Background(), q, 2, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cb, err := tcpCenter.CoverageSearch(q, 2, 4)
+		cb, err := tcpCenter.CoverageSearch(context.Background(), q, 2, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,7 +293,7 @@ func TestTCPFederationMatchesInProc(t *testing.T) {
 // failingPeer always errors, for failure injection.
 type failingPeer struct{}
 
-func (failingPeer) Call(string, []byte) ([]byte, error) {
+func (failingPeer) Call(context.Context, string, []byte) ([]byte, error) {
 	return nil, errors.New("link down")
 }
 func (failingPeer) Close() error { return nil }
@@ -306,10 +307,10 @@ func TestSourceFailurePropagates(t *testing.T) {
 	center.Register(srv.Summary(), &transport.InProc{Name: "ok", Handler: srv.Handler(), Metrics: center.Metrics})
 	center.Register(dits.SourceSummary{Name: "zz-bad", Rect: geo.Rect{MaxX: 1, MaxY: 1}}, failingPeer{})
 
-	if _, err := center.OverlapSearch(cellset.New(geo.ZEncode(3, 3)), 3); err == nil {
+	if _, err := center.OverlapSearch(context.Background(), cellset.New(geo.ZEncode(3, 3)), 3); err == nil {
 		t.Error("overlap with failing source should error")
 	}
-	if _, err := center.CoverageSearch(cellset.New(geo.ZEncode(3, 3)), 1, 3); err == nil {
+	if _, err := center.CoverageSearch(context.Background(), cellset.New(geo.ZEncode(3, 3)), 1, 3); err == nil {
 		t.Error("coverage with failing source should error")
 	}
 }
@@ -326,14 +327,14 @@ func TestEmptySourceNeverAnswersButDoesNotPoison(t *testing.T) {
 	full := NewSourceServerWithGrid("full", dits.Build(g, []*dataset.Node{nd}, 4))
 	center.Register(full.Summary(), &transport.InProc{Name: "full", Handler: full.Handler(), Metrics: center.Metrics})
 
-	rs, err := center.OverlapSearch(cellset.New(geo.ZEncode(7, 7)), 5)
+	rs, err := center.OverlapSearch(context.Background(), cellset.New(geo.ZEncode(7, 7)), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rs) != 1 || rs[0].Source != "full" || rs[0].ID != 1 {
 		t.Fatalf("results = %v, want the one dataset from 'full'", rs)
 	}
-	cov, err := center.CoverageSearch(cellset.New(geo.ZEncode(8, 7)), 2, 3)
+	cov, err := center.CoverageSearch(context.Background(), cellset.New(geo.ZEncode(8, 7)), 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,19 +345,19 @@ func TestEmptySourceNeverAnswersButDoesNotPoison(t *testing.T) {
 
 func TestEmptyFederationAndQueries(t *testing.T) {
 	center := NewCenter(worldGrid(), DefaultOptions())
-	if rs, err := center.OverlapSearch(cellset.New(1), 3); err != nil || rs != nil {
+	if rs, err := center.OverlapSearch(context.Background(), cellset.New(1), 3); err != nil || rs != nil {
 		t.Errorf("empty federation: %v %v", rs, err)
 	}
-	res, err := center.CoverageSearch(nil, 1, 3)
+	res, err := center.CoverageSearch(context.Background(), nil, 1, 3)
 	if err != nil || len(res.Picked) != 0 {
 		t.Errorf("empty query coverage: %+v %v", res, err)
 	}
 	rng := rand.New(rand.NewSource(6))
 	c2, _, _ := buildFederation(rng, 2, 10, DefaultOptions())
-	if rs, err := c2.OverlapSearch(nil, 3); err != nil || rs != nil {
+	if rs, err := c2.OverlapSearch(context.Background(), nil, 3); err != nil || rs != nil {
 		t.Errorf("nil query: %v %v", rs, err)
 	}
-	if rs, err := c2.OverlapSearch(cellset.New(1), 0); err != nil || rs != nil {
+	if rs, err := c2.OverlapSearch(context.Background(), cellset.New(1), 0); err != nil || rs != nil {
 		t.Errorf("k=0: %v %v", rs, err)
 	}
 	if c2.NumSources() != 2 {

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -55,12 +56,12 @@ func TestFederatedMutationInvalidatesCache(t *testing.T) {
 	center.SetCache(cache.New(128))
 
 	query := randomQuery(rng)
-	before, err := center.OverlapSearch(query, 5)
+	before, err := center.OverlapSearch(context.Background(), query, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Prime the cache and prove the second read hits it.
-	if _, err := center.OverlapSearch(query, 5); err != nil {
+	if _, err := center.OverlapSearch(context.Background(), query, 5); err != nil {
 		t.Fatal(err)
 	}
 	if hits := center.Cache().Stats().Hits; hits == 0 {
@@ -70,7 +71,7 @@ func TestFederatedMutationInvalidatesCache(t *testing.T) {
 	// Insert, at the lexicographically first source, a dataset that covers
 	// the query exactly: it must dethrone every cached result.
 	target := servers[0].Name
-	res, err := center.PutDataset(target, 777777, "fresh", query)
+	res, err := center.PutDataset(context.Background(), target, 777777, "fresh", query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFederatedMutationInvalidatesCache(t *testing.T) {
 		t.Fatal("mutation must count as a cache invalidation")
 	}
 
-	after, err := center.OverlapSearch(query, 5)
+	after, err := center.OverlapSearch(context.Background(), query, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +97,14 @@ func TestFederatedMutationInvalidatesCache(t *testing.T) {
 	}
 
 	// Deleting it restores the original answer — again through the cache.
-	del, err := center.DeleteDataset(target, 777777)
+	del, err := center.DeleteDataset(context.Background(), target, 777777)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !del.Found {
 		t.Fatal("delete of a live dataset must report Found")
 	}
-	restored, err := center.OverlapSearch(query, 5)
+	restored, err := center.OverlapSearch(context.Background(), query, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFederatedMutationInvalidatesCache(t *testing.T) {
 
 	// Deletes are idempotent at the protocol level: a second delete of the
 	// same ID reports Found=false without erroring or mutating anything.
-	if del, err = center.DeleteDataset(target, 777777); err != nil || del.Found {
+	if del, err = center.DeleteDataset(context.Background(), target, 777777); err != nil || del.Found {
 		t.Fatalf("double delete: res=%+v err=%v (must be Found=false, nil)", del, err)
 	}
 
@@ -133,15 +134,15 @@ func TestFederatedMutationInvalidatesCache(t *testing.T) {
 func TestMutationAtUnknownOrReadOnlySource(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	center, _, _ := buildFederation(rng, 2, 10, DefaultOptions())
-	if _, err := center.PutDataset("nope", 1, "x", cellsNear(3, 3, 4)); !errors.Is(err, ErrUnknownSource) {
+	if _, err := center.PutDataset(context.Background(), "nope", 1, "x", cellsNear(3, 3, 4)); !errors.Is(err, ErrUnknownSource) {
 		t.Fatalf("unknown source: err = %v, want ErrUnknownSource", err)
 	}
 	// Sources built without EnableIngest are read-only.
-	if _, err := center.PutDataset("a", 1, "x", cellsNear(3, 3, 4)); err == nil {
+	if _, err := center.PutDataset(context.Background(), "a", 1, "x", cellsNear(3, 3, 4)); err == nil {
 		t.Fatal("mutation at a read-only source must fail")
 	}
 	var re *transport.RemoteError
-	if _, err := center.DeleteDataset("a", 1); !errors.As(err, &re) {
+	if _, err := center.DeleteDataset(context.Background(), "a", 1); !errors.As(err, &re) {
 		t.Fatalf("read-only delete: err = %v, want RemoteError", err)
 	}
 }
@@ -175,7 +176,7 @@ func TestMutationGrowsSummary(t *testing.T) {
 	// A far-corner query: the source's summary cannot reach it yet.
 	side := 1 << theta
 	far := cellsNear(side-8, side-8, 12)
-	rs, err := center.OverlapSearch(far, 3)
+	rs, err := center.OverlapSearch(context.Background(), far, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,13 +184,13 @@ func TestMutationGrowsSummary(t *testing.T) {
 		t.Fatalf("far corner answered %v before any data lives there", rs)
 	}
 
-	if _, err := center.PutDataset("a", 888888, "corner", far); err != nil {
+	if _, err := center.PutDataset(context.Background(), "a", 888888, "corner", far); err != nil {
 		t.Fatal(err)
 	}
 	if center.Generation() == gen {
 		t.Fatal("a summary-moving mutation must advance the membership epoch")
 	}
-	rs, err = center.OverlapSearch(far, 3)
+	rs, err = center.OverlapSearch(context.Background(), far, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestMutationGrowsSummary(t *testing.T) {
 	// A mutation strictly inside the (now grown) extent must NOT advance
 	// the epoch — only the version vector moves.
 	gen = center.Generation()
-	if _, err := center.PutDataset("a", 888889, "inner", cellsNear(10, 10, 6)); err != nil {
+	if _, err := center.PutDataset(context.Background(), "a", 888889, "inner", cellsNear(10, 10, 6)); err != nil {
 		t.Fatal(err)
 	}
 	if center.Generation() != gen {
@@ -214,7 +215,7 @@ func TestSourceVersionRPC(t *testing.T) {
 	srv := servers[0]
 	peer := &transport.InProc{Name: srv.Name, Handler: srv.Handler()}
 	call := func() VersionResponse {
-		body, err := peer.Call(MethodSourceVersion, nil)
+		body, err := peer.Call(context.Background(), MethodSourceVersion, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,14 +229,14 @@ func TestSourceVersionRPC(t *testing.T) {
 	if !v0.Durable || v0.Version != 0 || v0.Name != srv.Name {
 		t.Fatalf("initial version = %+v", v0)
 	}
-	if _, err := center.PutDataset(srv.Name, 42424242, "v", cellsNear(5, 5, 4)); err != nil {
+	if _, err := center.PutDataset(context.Background(), srv.Name, 42424242, "v", cellsNear(5, 5, 4)); err != nil {
 		t.Fatal(err)
 	}
 	if v1 := call(); v1.Version != 1 {
 		t.Fatalf("version after one mutation = %d, want 1", v1.Version)
 	}
 	// Stats carries the same counters.
-	body, err := peer.Call(MethodStats, nil)
+	body, err := peer.Call(context.Background(), MethodStats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,15 +269,15 @@ func TestConcurrentMutationsAndQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				q := queries[(w*20+i)%len(queries)]
-				if _, err := center.OverlapSearch(q, 5); err != nil {
+				if _, err := center.OverlapSearch(context.Background(), q, 5); err != nil {
 					errCh <- err
 					return
 				}
-				if _, err := center.CoverageSearch(q, 6, 3); err != nil {
+				if _, err := center.CoverageSearch(context.Background(), q, 6, 3); err != nil {
 					errCh <- err
 					return
 				}
-				if _, err := center.OverlapSearchBatch([]BatchQuery{{Cells: q, K: 3}, {Cells: queries[i%len(queries)], K: 2}}); err != nil {
+				if _, err := center.OverlapSearchBatch(context.Background(), []BatchQuery{{Cells: q, K: 3}, {Cells: queries[i%len(queries)], K: 2}}); err != nil {
 					errCh <- err
 					return
 				}
@@ -290,12 +291,12 @@ func TestConcurrentMutationsAndQueries(t *testing.T) {
 		for i := 0; i < 60; i++ {
 			src := servers[mrng.Intn(len(servers))].Name
 			id := 500000 + i
-			if _, err := center.PutDataset(src, id, "churn", cellsNear(mrng.Intn(1<<theta), mrng.Intn(1<<theta), 5)); err != nil {
+			if _, err := center.PutDataset(context.Background(), src, id, "churn", cellsNear(mrng.Intn(1<<theta), mrng.Intn(1<<theta), 5)); err != nil {
 				errCh <- err
 				return
 			}
 			if i%3 == 0 {
-				if _, err := center.DeleteDataset(src, id); err != nil {
+				if _, err := center.DeleteDataset(context.Background(), src, id); err != nil {
 					errCh <- err
 					return
 				}

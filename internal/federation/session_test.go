@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -41,11 +42,11 @@ func TestSessionStatelessParity(t *testing.T) {
 		q := randomQuery(rng)
 		for _, delta := range []float64{0, 2, 6} {
 			for _, k := range []int{1, 3, 7} {
-				want, err := stateless.CoverageSearch(q, delta, k)
+				want, err := stateless.CoverageSearch(context.Background(), q, delta, k)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := session.CoverageSearch(q, delta, k)
+				got, err := session.CoverageSearch(context.Background(), q, delta, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -80,11 +81,11 @@ func TestSessionCutsCoverageBytes(t *testing.T) {
 	picks := 0
 	for trial := 0; trial < 15; trial++ {
 		q := randomQuery(rng)
-		a, err := stateless.CoverageSearch(q, 4, 6)
+		a, err := stateless.CoverageSearch(context.Background(), q, 4, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := session.CoverageSearch(q, 4, 6); err != nil {
+		if _, err := session.CoverageSearch(context.Background(), q, 4, 6); err != nil {
 			t.Fatal(err)
 		}
 		picks += len(a.Picked)
@@ -122,7 +123,7 @@ type droppingPeer struct {
 	mode  string // method whose sessions get dropped first
 }
 
-func (p *droppingPeer) Call(method string, body []byte) ([]byte, error) {
+func (p *droppingPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
 	if method == p.mode {
 		var sess uint64
 		switch method {
@@ -139,7 +140,7 @@ func (p *droppingPeer) Call(method string, body []byte) ([]byte, error) {
 		}
 		p.srv.handleSessionClose(SessionCloseRequest{Session: sess})
 	}
-	return p.inner.Call(method, body)
+	return p.inner.Call(ctx, method, body)
 }
 
 func (p *droppingPeer) Close() error { return p.inner.Close() }
@@ -165,11 +166,11 @@ func TestSessionMissFallback(t *testing.T) {
 		}
 		for trial := 0; trial < 12; trial++ {
 			q := randomQuery(rng)
-			want, err := stateless.CoverageSearch(q, 3, 5)
+			want, err := stateless.CoverageSearch(context.Background(), q, 3, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := center.CoverageSearch(q, 3, 5)
+			got, err := center.CoverageSearch(context.Background(), q, 3, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +195,7 @@ func TestSourceSessionEviction(t *testing.T) {
 
 	base := cellset.New(geo.ZEncode(3, 3), geo.ZEncode(4, 4))
 	for id := uint64(1); id <= 10; id++ {
-		resp := srv.handleCoverageRound(CoverageRoundRequest{Session: id, Base: base, Delta: 2})
+		resp := srv.handleCoverageRound(context.Background(), CoverageRoundRequest{Session: id, Base: base, Delta: 2})
 		if wantStateless := id > 4; resp.Stateless != wantStateless {
 			t.Errorf("session %d: Stateless = %v, want %v", id, resp.Stateless, wantStateless)
 		}
@@ -208,14 +209,14 @@ func TestSourceSessionEviction(t *testing.T) {
 
 	// All sessions idle past the TTL are reclaimed on the next insert.
 	now = now.Add(2 * time.Minute)
-	srv.handleCoverageRound(CoverageRoundRequest{Session: 99, Base: base, Delta: 2})
+	srv.handleCoverageRound(context.Background(), CoverageRoundRequest{Session: 99, Base: base, Delta: 2})
 	if n := srv.NumSessions(); n != 1 {
 		t.Errorf("TTL sweep left %d sessions, want 1", n)
 	}
 
 	// A round against an evicted session reports the miss instead of
 	// silently answering from stale state.
-	resp := srv.handleCoverageRound(CoverageRoundRequest{Session: 1, Added: base, Delta: 2})
+	resp := srv.handleCoverageRound(context.Background(), CoverageRoundRequest{Session: 1, Added: base, Delta: 2})
 	if !resp.SessionMiss {
 		t.Error("round against evicted session should report SessionMiss")
 	}
@@ -236,12 +237,12 @@ type flakyPeer struct {
 	failAfter int
 }
 
-func (p *flakyPeer) Call(method string, body []byte) ([]byte, error) {
+func (p *flakyPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
 	p.calls++
 	if p.calls > p.failAfter {
 		return nil, &transport.RemoteError{Source: "flaky", Msg: "link down"}
 	}
-	return p.inner.Call(method, body)
+	return p.inner.Call(ctx, method, body)
 }
 
 func (p *flakyPeer) Close() error { return p.inner.Close() }
@@ -265,14 +266,14 @@ func TestDegradedSkipFailed(t *testing.T) {
 
 	for _, sessions := range []bool{true, false} {
 		c := build(SkipFailed, sessions)
-		rs, err := c.OverlapSearch(q, 3)
+		rs, err := c.OverlapSearch(context.Background(), q, 3)
 		if err != nil {
 			t.Fatalf("sessions=%v: tolerant overlap errored: %v", sessions, err)
 		}
 		if len(rs) != 1 || rs[0].Source != "ok" {
 			t.Fatalf("sessions=%v: overlap results = %v", sessions, rs)
 		}
-		cov, err := c.CoverageSearch(q, 2, 3)
+		cov, err := c.CoverageSearch(context.Background(), q, 2, 3)
 		if err != nil {
 			t.Fatalf("sessions=%v: tolerant coverage errored: %v", sessions, err)
 		}
@@ -284,10 +285,10 @@ func TestDegradedSkipFailed(t *testing.T) {
 		}
 
 		strict := build(FailFast, sessions)
-		if _, err := strict.OverlapSearch(q, 3); err == nil {
+		if _, err := strict.OverlapSearch(context.Background(), q, 3); err == nil {
 			t.Errorf("sessions=%v: fail-fast overlap should error", sessions)
 		}
-		if _, err := strict.CoverageSearch(q, 2, 3); err == nil {
+		if _, err := strict.CoverageSearch(context.Background(), q, 2, 3); err == nil {
 			t.Errorf("sessions=%v: fail-fast coverage should error", sessions)
 		}
 	}
@@ -312,7 +313,7 @@ func TestDegradedMidSession(t *testing.T) {
 	sawFailure := false
 	for trial := 0; trial < 8; trial++ {
 		q := randomQuery(rng)
-		if _, err := center.CoverageSearch(q, 3, 5); err != nil {
+		if _, err := center.CoverageSearch(context.Background(), q, 3, 5); err != nil {
 			t.Fatalf("trial %d: tolerant search errored: %v", trial, err)
 		}
 		if center.Metrics.Failures()[servers[0].Name] > 0 {
@@ -332,12 +333,12 @@ type recoveringPeer struct {
 	failFirst int
 }
 
-func (p *recoveringPeer) Call(method string, body []byte) ([]byte, error) {
+func (p *recoveringPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
 	p.calls++
 	if p.calls <= p.failFirst {
 		return nil, &transport.RemoteError{Source: "recovering", Msg: "transient outage"}
 	}
-	return p.inner.Call(method, body)
+	return p.inner.Call(ctx, method, body)
 }
 
 func (p *recoveringPeer) Close() error { return p.inner.Close() }
@@ -361,14 +362,14 @@ func TestDegradedResultsAreNotCached(t *testing.T) {
 	})
 
 	q := cellset.New(geo.ZEncode(7, 7), geo.ZEncode(9, 9))
-	first, err := center.OverlapSearch(q, 5)
+	first, err := center.OverlapSearch(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(first) != 1 || first[0].Source != "aa-ok" {
 		t.Fatalf("degraded query = %v, want aa-ok only", first)
 	}
-	second, err := center.OverlapSearch(q, 5)
+	second, err := center.OverlapSearch(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestDegradedResultsAreNotCached(t *testing.T) {
 		t.Fatalf("post-recovery query = %v — the degraded answer was cached", second)
 	}
 	// The healthy answer is cached from here on.
-	third, err := center.OverlapSearch(q, 5)
+	third, err := center.OverlapSearch(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,12 +396,12 @@ type churningPeer struct {
 	done   bool
 }
 
-func (p *churningPeer) Call(method string, body []byte) ([]byte, error) {
+func (p *churningPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
 	if !p.done {
 		p.done = true
 		p.center.Unregister(p.victim)
 	}
-	return p.inner.Call(method, body)
+	return p.inner.Call(ctx, method, body)
 }
 
 func (p *churningPeer) Close() error { return p.inner.Close() }
@@ -433,11 +434,11 @@ func TestEpochPinningMidQuery(t *testing.T) {
 	for s := range servers {
 		q = q.Union(pooled[s*perSource].Cells)
 	}
-	during, err := center.OverlapSearch(q, 40)
+	during, err := center.OverlapSearch(context.Background(), q, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, err := center.OverlapSearch(q, 40)
+	after, err := center.OverlapSearch(context.Background(), q, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,11 +484,11 @@ func TestCoverageEpochPinningMidQuery(t *testing.T) {
 	}
 
 	q := randomQuery(rng)
-	want, err := baseline.CoverageSearch(q, 3, 5)
+	want, err := baseline.CoverageSearch(context.Background(), q, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := center.CoverageSearch(q, 3, 5)
+	got, err := center.CoverageSearch(context.Background(), q, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

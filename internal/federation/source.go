@@ -157,6 +157,10 @@ func (s *SourceServer) EnableIngest(st *ingest.Store) {
 	s.Index = st.Index()
 }
 
+// Store returns the durable ingest store attached with EnableIngest, or
+// nil for a read-only source. Callers use it to expose the store's metrics.
+func (s *SourceServer) Store() *ingest.Store { return s.store }
+
 // view runs fn with shared access to the index, honoring the store's
 // mutation lock when the source is mutable.
 func (s *SourceServer) view(fn func(idx *dits.Local)) {
@@ -192,34 +196,36 @@ func (s *SourceServer) NumSessions() int {
 	return len(s.sessions)
 }
 
-// Handler returns the transport.Handler serving this source.
+// Handler returns the transport.Handler serving this source. The context
+// carries the center's propagated deadline; search handlers pass it to the
+// cancellable executor so abandoned queries stop consuming the source.
 func (s *SourceServer) Handler() transport.Handler {
-	return func(method string, body []byte) ([]byte, error) {
+	return func(ctx context.Context, method string, body []byte) ([]byte, error) {
 		switch method {
 		case MethodOverlap:
 			var req OverlapRequest
 			if err := transport.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleOverlap(req))
+			return transport.Encode(s.handleOverlap(ctx, req))
 		case MethodSearchBatch:
 			var req SearchBatchRequest
 			if err := transport.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleSearchBatch(req))
+			return transport.Encode(s.handleSearchBatch(ctx, req))
 		case MethodCoverage:
 			var req CoverageRequest
 			if err := transport.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleCoverage(req))
+			return transport.Encode(s.handleCoverage(ctx, req))
 		case MethodCoverageRound:
 			var req CoverageRoundRequest
 			if err := transport.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleCoverageRound(req))
+			return transport.Encode(s.handleCoverageRound(ctx, req))
 		case MethodFetchCells:
 			var req FetchCellsRequest
 			if err := transport.Decode(body, &req); err != nil {
@@ -338,7 +344,7 @@ func (s *SourceServer) mutateResponse(found bool, version uint64) MutateResponse
 
 // handleOverlap runs the local OverlapSearch (Algorithm 2), parallelizing
 // the traversal across the configured worker pool.
-func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
+func (s *SourceServer) handleOverlap(ctx context.Context, req OverlapRequest) OverlapResponse {
 	q := dataset.NewNodeFromCells(-1, "query", req.Cells)
 	if q == nil || req.K <= 0 {
 		return OverlapResponse{}
@@ -346,7 +352,7 @@ func (s *SourceServer) handleOverlap(req OverlapRequest) OverlapResponse {
 	var rs []overlap.Result
 	s.view(func(idx *dits.Local) {
 		if s.Workers > 1 {
-			rs, _ = s.executor().OverlapTopK(context.Background(), idx, q, req.K)
+			rs, _ = s.executor().OverlapTopK(ctx, idx, q, req.K)
 		} else {
 			rs = (&overlap.DITSSearcher{Index: idx}).TopK(q, req.K)
 		}
@@ -366,14 +372,14 @@ func overlapResponse(rs []overlap.Result) OverlapResponse {
 // handleSearchBatch answers a batch of OJSP queries in one shared pass
 // over the tree (search/exec): node summaries and compact leaf sets are
 // visited once per batch, and verification runs on the worker pool.
-func (s *SourceServer) handleSearchBatch(req SearchBatchRequest) SearchBatchResponse {
+func (s *SourceServer) handleSearchBatch(ctx context.Context, req SearchBatchRequest) SearchBatchResponse {
 	batch := make([]exec.BatchQuery, len(req.Queries))
 	for i, q := range req.Queries {
 		batch[i] = exec.BatchQuery{Q: dataset.NewNodeFromCells(-1, "query", q.Cells), K: q.K}
 	}
 	var outs [][]overlap.Result
 	s.view(func(idx *dits.Local) {
-		outs, _ = s.executor().OverlapTopKBatch(context.Background(), idx, batch)
+		outs, _ = s.executor().OverlapTopKBatch(ctx, idx, batch)
 	})
 	resp := SearchBatchResponse{Results: make([]OverlapResponse, len(req.Queries))}
 	for i, rs := range outs {
@@ -387,14 +393,14 @@ func (s *SourceServer) handleSearchBatch(req SearchBatchRequest) SearchBatchResp
 // datasets (Algorithm 3's per-iteration body). Kept as the fallback and
 // comparison protocol; the session path below answers the same question
 // from accumulated per-session state.
-func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
+func (s *SourceServer) handleCoverage(ctx context.Context, req CoverageRequest) CoverageCandidate {
 	merged := dataset.NewNodeFromCells(-1, "merged", req.Merged)
 	if merged == nil {
 		return CoverageCandidate{}
 	}
 	var out CoverageCandidate
 	s.view(func(idx *dits.Local) {
-		cands := s.findConnectSet(idx, merged, req.Delta, cellset.NewDistIndex(req.Merged, req.Delta))
+		cands := s.findConnectSet(ctx, idx, merged, req.Delta, cellset.NewDistIndex(req.Merged, req.Delta))
 		best, bestGain := s.pickBest(cands, merged.CompactCells(), req.Exclude)
 		if best == nil {
 			return
@@ -413,9 +419,9 @@ func (s *SourceServer) handleCoverage(req CoverageRequest) CoverageCandidate {
 // findConnectSet runs the connectivity walk, on the worker pool when the
 // server is configured for parallel execution. Both paths return the same
 // datasets in the same order. The caller holds the index's shared lock.
-func (s *SourceServer) findConnectSet(idx *dits.Local, qn *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+func (s *SourceServer) findConnectSet(ctx context.Context, idx *dits.Local, qn *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
 	if s.Workers > 1 {
-		return s.executor().FindConnectSet(context.Background(), idx.Root, qn, delta, qIdx)
+		return s.executor().FindConnectSet(ctx, idx.Root, qn, delta, qIdx)
 	}
 	return coverage.FindConnectSetWithIndex(idx.Root, qn, delta, qIdx)
 }
@@ -450,7 +456,7 @@ func (s *SourceServer) pickBest(cands []*dataset.Node, mergedC *cellset.Compact,
 
 // handleCoverageRound answers one session round: update the session state
 // from Base/Added, then offer the best candidate as (ID, Gain) only.
-func (s *SourceServer) handleCoverageRound(req CoverageRoundRequest) CoverageRoundResponse {
+func (s *SourceServer) handleCoverageRound(ctx context.Context, req CoverageRoundRequest) CoverageRoundResponse {
 	s.mu.Lock()
 	now := s.clock()
 	s.sweepLocked(now)
@@ -489,7 +495,7 @@ func (s *SourceServer) handleCoverageRound(req CoverageRoundRequest) CoverageRou
 	}
 	out := CoverageRoundResponse{Stateless: stateless}
 	s.view(func(idx *dits.Local) {
-		cands := s.findConnectSet(idx, qn, delta, qIdx)
+		cands := s.findConnectSet(ctx, idx, qn, delta, qIdx)
 		best, bestGain := s.pickBest(cands, merged, req.Exclude)
 		if best == nil {
 			return

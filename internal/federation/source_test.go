@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"testing"
 
 	"dits/internal/cellset"
@@ -23,7 +24,7 @@ func testServer(t *testing.T) *SourceServer {
 
 func TestHandlerStats(t *testing.T) {
 	srv := testServer(t)
-	body, err := srv.Handler()(MethodStats, nil)
+	body, err := srv.Handler()(context.Background(), MethodStats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestHandlerStats(t *testing.T) {
 
 func TestHandlerSummary(t *testing.T) {
 	srv := testServer(t)
-	body, err := srv.Handler()(MethodSummary, nil)
+	body, err := srv.Handler()(context.Background(), MethodSummary, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,13 +61,13 @@ func TestHandlerSummary(t *testing.T) {
 func TestHandlerErrors(t *testing.T) {
 	srv := testServer(t)
 	h := srv.Handler()
-	if _, err := h("no.such.method", nil); err == nil {
+	if _, err := h(context.Background(), "no.such.method", nil); err == nil {
 		t.Error("unknown method should error")
 	}
-	if _, err := h(MethodOverlap, []byte("garbage")); err == nil {
+	if _, err := h(context.Background(), MethodOverlap, []byte("garbage")); err == nil {
 		t.Error("garbage overlap body should error")
 	}
-	if _, err := h(MethodCoverage, []byte("garbage")); err == nil {
+	if _, err := h(context.Background(), MethodCoverage, []byte("garbage")); err == nil {
 		t.Error("garbage coverage body should error")
 	}
 }
@@ -77,7 +78,7 @@ func TestHandlerOverlapEmptyQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	respBody, err := srv.Handler()(MethodOverlap, body)
+	respBody, err := srv.Handler()(context.Background(), MethodOverlap, body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestHandlerCoverageExcludes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		respBody, err := srv.Handler()(MethodCoverage, body)
+		respBody, err := srv.Handler()(context.Background(), MethodCoverage, body)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func TestHandlerCoverageExcludes(t *testing.T) {
 	// RegisterRemote round-trips the summary over a peer.
 	center := NewCenter(geo.NewGrid(6, geo.Rect{MaxX: 64, MaxY: 64}), DefaultOptions())
 	peer := &transport.InProc{Name: "src", Handler: srv.Handler(), Metrics: center.Metrics}
-	summary, err := center.RegisterRemote(peer)
+	summary, err := center.RegisterRemote(context.Background(), peer)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 //	POST   /ingest/dataset   {"source":"Transit", "id":7001, "name":"...", "points":[[x,y],...]}
 //	DELETE /ingest/dataset   ?source=Transit&id=7001
 //	GET    /stats            gateway, cache, ingest, and transport counters
+//	GET    /metrics          Prometheus text exposition of every counter
 //	GET    /healthz          200 when ≥1 source is registered, else 503
 //
 // /search/batch executes many overlap queries as ONE federated batch:
@@ -25,21 +26,31 @@
 // invalidated by data version, so no subsequent search can return a
 // pre-mutation answer for data the mutation touched.
 //
-// See docs/PROTOCOL.md for the full payload specification.
+// The gateway defends itself under load (Options.Admission): per-client
+// token buckets, a bounded admission queue that sheds with 429 +
+// Retry-After once full, and a per-request deadline that rides the request
+// context through the federation layer onto the wire, so an abandoned
+// query stops consuming source CPU. See docs/OPERATIONS.md for the
+// load-shedding semantics and the /metrics name reference, and
+// docs/PROTOCOL.md for the full payload specification.
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"dits/internal/admission"
 	"dits/internal/cellset"
 	"dits/internal/federation"
 	"dits/internal/geo"
+	"dits/internal/metrics"
 	"dits/internal/transport"
 )
 
@@ -60,10 +71,27 @@ const maxK = 1000
 // maxBatchQueries bounds the queries of one POST /search/batch.
 const maxBatchQueries = 256
 
+// Options configure the gateway's self-protection and observability.
+// The zero value admits everything, applies no deadline, and leaves the
+// pprof endpoints off; /metrics is always served.
+type Options struct {
+	// Admission tunes overload protection; see admission.Config.
+	Admission admission.Config
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
 // Gateway serves the HTTP API over one federation center.
 type Gateway struct {
 	center *federation.Center
+	opts   Options
+	ctl    *admission.Controller
+	reg    *metrics.Registry
 	start  time.Time
+
+	// latency records per-endpoint request durations in seconds, for the
+	// p50/p99/p999 the load harness asserts against.
+	latency *metrics.HistogramVec
 
 	overlapQueries  atomic.Int64
 	coverageQueries atomic.Int64
@@ -74,21 +102,86 @@ type Gateway struct {
 	serverErrors    atomic.Int64
 }
 
-// New creates a gateway over the center.
+// New creates a gateway over the center with zero Options.
 func New(center *federation.Center) *Gateway {
-	return &Gateway{center: center, start: time.Now()}
+	return NewWithOptions(center, Options{})
 }
 
-// Handler returns the gateway's HTTP handler.
+// NewWithOptions creates a gateway with admission control and
+// observability configured.
+func NewWithOptions(center *federation.Center, opts Options) *Gateway {
+	g := &Gateway{
+		center:  center,
+		opts:    opts,
+		ctl:     admission.New(opts.Admission),
+		reg:     metrics.NewRegistry(),
+		start:   time.Now(),
+		latency: metrics.NewHistogramVec(metrics.DefLatencyBuckets()),
+	}
+	g.register()
+	return g
+}
+
+// Admission exposes the gateway's admission controller, e.g. for tests and
+// the stats endpoint.
+func (g *Gateway) Admission() *admission.Controller { return g.ctl }
+
+// Registry exposes the gateway's metrics registry so embedders (ditsgate,
+// the soak harness) can hang extra collectors — an ingest store's WAL
+// gauges, say — off the same /metrics page.
+func (g *Gateway) Registry() *metrics.Registry { return g.reg }
+
+// register wires every subsystem's counters into the /metrics exposition.
+func (g *Gateway) register() {
+	gw := func(name, help string, v *atomic.Int64) {
+		g.reg.RegisterCounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	gw("dits_gateway_overlap_queries_total", "POST /search/overlap requests accepted", &g.overlapQueries)
+	gw("dits_gateway_coverage_queries_total", "POST /search/coverage requests accepted", &g.coverageQueries)
+	gw("dits_gateway_batch_requests_total", "POST /search/batch requests accepted", &g.batchRequests)
+	gw("dits_gateway_batch_queries_total", "Queries inside accepted batch requests", &g.batchQueries)
+	gw("dits_gateway_ingest_mutations_total", "Acknowledged ingest mutations", &g.ingestMutations)
+	gw("dits_gateway_client_errors_total", "Requests rejected as client errors (4xx)", &g.clientErrors)
+	gw("dits_gateway_server_errors_total", "Requests failed as server errors (5xx)", &g.serverErrors)
+	g.reg.RegisterGaugeFunc("dits_gateway_sources", "Registered federation sources",
+		func() float64 { return float64(g.center.NumSources()) })
+	g.reg.RegisterCounterFunc("dits_cache_invalidations_total",
+		"Cache-invalidation events (mutations + membership changes)",
+		func() float64 { return float64(g.center.CacheInvalidations()) })
+	g.reg.RegisterHistogramVec("dits_gateway_request_seconds",
+		"Request latency by endpoint", "endpoint", g.latency)
+	g.center.Metrics.Register(g.reg)
+	g.center.Cache().Register(g.reg)
+	g.ctl.Register(g.reg)
+}
+
+// observe records one request's latency under its endpoint label.
+func (g *Gateway) observe(endpoint string, start time.Time) {
+	g.latency.With(endpoint).Observe(time.Since(start).Seconds())
+}
+
+// Handler returns the gateway's HTTP handler. The query and mutation
+// endpoints sit behind the admission middleware; the observability
+// endpoints (/stats, /metrics, /healthz, pprof) bypass it so an overloaded
+// gateway can still be inspected.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /search/overlap", g.handleOverlap)
-	mux.HandleFunc("POST /search/coverage", g.handleCoverage)
-	mux.HandleFunc("POST /search/batch", g.handleBatch)
-	mux.HandleFunc("POST /ingest/dataset", g.handleIngestPut)
-	mux.HandleFunc("DELETE /ingest/dataset", g.handleIngestDelete)
+	guard := func(h http.HandlerFunc) http.Handler { return g.ctl.Middleware(h) }
+	mux.Handle("POST /search/overlap", guard(g.handleOverlap))
+	mux.Handle("POST /search/coverage", guard(g.handleCoverage))
+	mux.Handle("POST /search/batch", guard(g.handleBatch))
+	mux.Handle("POST /ingest/dataset", guard(g.handleIngestPut))
+	mux.Handle("DELETE /ingest/dataset", guard(g.handleIngestDelete))
 	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.Handle("GET /metrics", g.reg.Handler())
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	if g.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -172,6 +265,10 @@ type StatsResponse struct {
 	// by these versions, so the vector tells exactly which data any
 	// cached answer can be built from.
 	SourceVersions map[string]uint64 `json:"sourceVersions,omitempty"`
+
+	// Admission reports the overload-protection counters: admitted and
+	// shed requests, deadline hits, and the live in-flight/queued levels.
+	Admission admission.Stats `json:"admission"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -188,6 +285,37 @@ func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
 func (g *Gateway) badRequest(w http.ResponseWriter, format string, args ...any) {
 	g.clientErrors.Add(1)
 	g.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeError maps a body-decoding failure: an oversized body is 413 (the
+// client must not retry the same payload), anything else malformed is 400.
+func (g *Gateway) decodeError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		g.clientErrors.Add(1)
+		g.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit),
+		})
+		return
+	}
+	g.badRequest(w, "bad request body: %v", err)
+}
+
+// writeSearchError maps a federated search failure onto HTTP: a query that
+// ran out of its admission deadline is 504 (the gateway gave up, not the
+// federation), everything else is 502. The deadline may surface directly
+// (context.DeadlineExceeded) or laundered through the wire as a remote or
+// I/O-timeout error string — so an expired request context is checked
+// too; it is authoritative for "whose fault was this".
+func (g *Gateway) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+		g.ctl.RecordDeadlineExceeded()
+		g.serverErrors.Add(1)
+		g.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		return
+	}
+	g.serverErrors.Add(1)
+	g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 }
 
 // gridInput validates and grids a points-or-cells payload — shared by
@@ -240,7 +368,7 @@ func (g *Gateway) decodeQuery(w http.ResponseWriter, r *http.Request) (cellset.S
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		g.badRequest(w, "bad request body: %v", err)
+		g.decodeError(w, err)
 		return nil, req, false
 	}
 	cells, err := g.validateQuery(&req)
@@ -258,10 +386,10 @@ func (g *Gateway) handleOverlap(w http.ResponseWriter, r *http.Request) {
 	}
 	g.overlapQueries.Add(1)
 	start := time.Now()
-	rs, err := g.center.OverlapSearch(cells, req.K)
+	defer g.observe("overlap", start)
+	rs, err := g.center.OverlapSearch(r.Context(), cells, req.K)
 	if err != nil {
-		g.serverErrors.Add(1)
-		g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		g.writeSearchError(w, r, err)
 		return
 	}
 	resp := OverlapResponse{
@@ -285,10 +413,10 @@ func (g *Gateway) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	}
 	g.coverageQueries.Add(1)
 	start := time.Now()
-	res, err := g.center.CoverageSearch(cells, delta, req.K)
+	defer g.observe("coverage", start)
+	res, err := g.center.CoverageSearch(r.Context(), cells, delta, req.K)
 	if err != nil {
-		g.serverErrors.Add(1)
-		g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		g.writeSearchError(w, r, err)
 		return
 	}
 	resp := CoverageResponse{
@@ -323,7 +451,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		g.badRequest(w, "bad request body: %v", err)
+		g.decodeError(w, err)
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -350,10 +478,10 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	g.batchRequests.Add(1)
 	g.batchQueries.Add(int64(len(batch)))
 	start := time.Now()
-	outs, err := g.center.OverlapSearchBatch(batch)
+	defer g.observe("batch", start)
+	outs, err := g.center.OverlapSearchBatch(r.Context(), batch)
 	if err != nil {
-		g.serverErrors.Add(1)
-		g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		g.writeSearchError(w, r, err)
 		return
 	}
 	resp := BatchSearchResponse{
@@ -399,7 +527,7 @@ func (g *Gateway) handleIngestPut(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		g.badRequest(w, "bad request body: %v", err)
+		g.decodeError(w, err)
 		return
 	}
 	if req.Source == "" {
@@ -412,9 +540,10 @@ func (g *Gateway) handleIngestPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := g.center.PutDataset(req.Source, req.ID, req.Name, cells)
+	defer g.observe("ingest", start)
+	res, err := g.center.PutDataset(r.Context(), req.Source, req.ID, req.Name, cells)
 	if err != nil {
-		g.writeMutationError(w, err)
+		g.writeMutationError(w, r, err)
 		return
 	}
 	g.ingestMutations.Add(1)
@@ -438,9 +567,10 @@ func (g *Gateway) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := g.center.DeleteDataset(source, id)
+	defer g.observe("ingest", start)
+	res, err := g.center.DeleteDataset(r.Context(), source, id)
 	if err != nil {
-		g.writeMutationError(w, err)
+		g.writeMutationError(w, r, err)
 		return
 	}
 	if !res.Found {
@@ -459,16 +589,15 @@ func (g *Gateway) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeMutationError maps a center mutation failure onto HTTP: an unknown
-// source name is the client's mistake (404), everything else is a
-// federation failure (502).
-func (g *Gateway) writeMutationError(w http.ResponseWriter, err error) {
+// source name is the client's mistake (404), a deadline overrun is 504,
+// everything else is a federation failure (502).
+func (g *Gateway) writeMutationError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, federation.ErrUnknownSource) {
 		g.clientErrors.Add(1)
 		g.writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
 	}
-	g.serverErrors.Add(1)
-	g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+	g.writeSearchError(w, r, err)
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -497,6 +626,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 
 		CacheInvalidations: g.center.CacheInvalidations(),
 		SourceVersions:     g.center.SourceVersions(),
+		Admission:          g.ctl.Stats(),
 	}
 	g.writeJSON(w, http.StatusOK, resp)
 }

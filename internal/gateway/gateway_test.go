@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -62,7 +63,7 @@ func newTestGateway(t *testing.T) (*httptest.Server, *federation.Center, [][2]fl
 		t.Cleanup(func() { ts.Close() })
 		pool := transport.DialPool(srv.Name, ts.Addr(), 4, center.Metrics)
 		t.Cleanup(func() { pool.Close() })
-		if _, err := center.RegisterRemote(pool); err != nil {
+		if _, err := center.RegisterRemote(context.Background(), pool); err != nil {
 			t.Fatal(err)
 		}
 	}

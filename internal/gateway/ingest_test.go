@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -65,7 +66,7 @@ func newMutableGateway(t *testing.T) (*httptest.Server, []uint64) {
 		t.Cleanup(func() { ts.Close() })
 		pool := transport.DialPool(srv.Name, ts.Addr(), 4, center.Metrics)
 		t.Cleanup(func() { pool.Close() })
-		if _, err := center.RegisterRemote(pool); err != nil {
+		if _, err := center.RegisterRemote(context.Background(), pool); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"dits/internal/cellset"
 	"dits/internal/dataset"
 	"dits/internal/index/dits"
+	"dits/internal/metrics"
 )
 
 // DefaultSnapshotEvery is the number of mutations between automatic
@@ -390,6 +391,25 @@ func (st *Store) Stats() Stats {
 		s.LastError = st.lastErr.Error()
 	}
 	return s
+}
+
+// Register exposes the store's durability counters on a metrics registry
+// under the dits_ingest_* names. The function-backed instruments read the
+// same state Stats does, so exposition and the JSON stats never disagree.
+func (st *Store) Register(r *metrics.Registry) {
+	r.RegisterCounterFunc("dits_ingest_mutations_total",
+		"Mutations applied over the store's lifetime", func() float64 {
+			return float64(st.version.Load())
+		})
+	r.RegisterCounterFunc("dits_ingest_snapshots_total",
+		"Snapshots committed since open", func() float64 {
+			return float64(st.snapshots.Load())
+		})
+	r.RegisterGaugeFunc("dits_ingest_wal_bytes", "Current WAL file size",
+		func() float64 { return float64(st.Stats().WALBytes) })
+	r.RegisterGaugeFunc("dits_ingest_wal_tail_mutations",
+		"Mutations in the WAL tail not yet covered by a snapshot",
+		func() float64 { return float64(st.Stats().SinceSnapshot) })
 }
 
 // Close flushes and closes the WAL after waiting out any background

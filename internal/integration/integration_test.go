@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -127,7 +128,7 @@ func TestFederationSourceChurn(t *testing.T) {
 	reg(b)
 
 	q := cellset.New(geo.ZEncode(4, 5), geo.ZEncode(5, 5))
-	rs, err := center.OverlapSearch(q, 50)
+	rs, err := center.OverlapSearch(context.Background(), q, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFederationSourceChurn(t *testing.T) {
 	}
 
 	center.Unregister("b")
-	rs, err = center.OverlapSearch(q, 50)
+	rs, err = center.OverlapSearch(context.Background(), q, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestFederationSourceChurn(t *testing.T) {
 	}
 
 	reg(b)
-	rs, err = center.OverlapSearch(q, 50)
+	rs, err = center.OverlapSearch(context.Background(), q, 50)
 	if err != nil {
 		t.Fatal(err)
 	}

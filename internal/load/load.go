@@ -1,0 +1,473 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op names one kind of generated request.
+type Op string
+
+// The four traffic classes of the mixed workload.
+const (
+	OpOverlap  Op = "overlap"  // POST /search/overlap (OJSP)
+	OpCoverage Op = "coverage" // POST /search/coverage (CJSP)
+	OpBatch    Op = "batch"    // POST /search/batch
+	OpIngest   Op = "ingest"   // POST /ingest/dataset (upsert)
+)
+
+// ops is the fixed iteration order of the traffic classes.
+var ops = []Op{OpOverlap, OpCoverage, OpBatch, OpIngest}
+
+// Mix weights the traffic classes; weights are relative, not normalized.
+// The zero Mix is invalid — use DefaultMix.
+type Mix struct {
+	Overlap  float64
+	Coverage float64
+	Batch    float64
+	Ingest   float64
+}
+
+// DefaultMix is a search-heavy production-ish blend: mostly cheap OJSP,
+// some expensive CJSP, occasional batches and writes.
+func DefaultMix() Mix { return Mix{Overlap: 0.70, Coverage: 0.15, Batch: 0.10, Ingest: 0.05} }
+
+func (m Mix) weight(op Op) float64 {
+	switch op {
+	case OpOverlap:
+		return m.Overlap
+	case OpCoverage:
+		return m.Coverage
+	case OpBatch:
+		return m.Batch
+	default:
+		return m.Ingest
+	}
+}
+
+// pick draws one op proportionally to the weights.
+func (m Mix) pick(rng *rand.Rand) Op {
+	total := m.Overlap + m.Coverage + m.Batch + m.Ingest
+	if total <= 0 {
+		return OpOverlap
+	}
+	v := rng.Float64() * total
+	for _, op := range ops {
+		if w := m.weight(op); v < w {
+			return op
+		} else {
+			v -= w
+		}
+	}
+	return OpOverlap
+}
+
+// ParseMix parses "overlap=70,coverage=15,batch=10,ingest=5" (weights are
+// relative; omitted classes get weight 0).
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, found := strings.Cut(part, "=")
+		w, err := strconv.ParseFloat(val, 64)
+		if !found || err != nil || w < 0 {
+			return m, fmt.Errorf("load: bad mix component %q (want class=weight)", part)
+		}
+		switch name {
+		case "overlap":
+			m.Overlap = w
+		case "coverage":
+			m.Coverage = w
+		case "batch":
+			m.Batch = w
+		case "ingest":
+			m.Ingest = w
+		default:
+			return m, fmt.Errorf("load: unknown traffic class %q", name)
+		}
+	}
+	if m.Overlap+m.Coverage+m.Batch+m.Ingest <= 0 {
+		return m, fmt.Errorf("load: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// Options configure one load run. Target and Duration are required;
+// everything else has a usable default.
+type Options struct {
+	// Target is the gateway base URL, e.g. "http://127.0.0.1:8080".
+	Target string
+	// Mode is "open" (paced arrivals at Rate/sec regardless of responses)
+	// or "closed" (Clients concurrent clients, back-to-back requests).
+	Mode string
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64
+	// Clients is the closed-loop concurrency (also bounds open-loop
+	// outstanding requests at 16*Clients when set; default unbounded).
+	Clients int
+	// Duration is how long to offer load.
+	Duration time.Duration
+	// Mix weights the traffic classes (zero value → DefaultMix).
+	Mix Mix
+	// K, Delta, PointsPerQuery, BatchSize shape the generated queries.
+	K              int
+	Delta          float64
+	PointsPerQuery int
+	BatchSize      int
+	// Bounds is the world rectangle queries are drawn from
+	// (minX, minY, maxX, maxY); zero value → (-180,-90,180,90).
+	Bounds [4]float64
+	// IngestSource is the source name ingest upserts target; when empty
+	// the ingest weight is dropped from the mix.
+	IngestSource string
+	// IngestIDs is the upsert ID range (IDs cycle in
+	// [1e6, 1e6+IngestIDs)); default 512.
+	IngestIDs int
+	// Seed makes the generated traffic reproducible.
+	Seed int64
+	// ClientID is the X-Client-ID header prefix; closed-loop clients
+	// append their index. Empty sends no header.
+	ClientID string
+	// HTTPClient overrides the HTTP client (tests inject one; the default
+	// allows Clients+Rate-scaled idle connections).
+	HTTPClient *http.Client
+}
+
+func (o *Options) defaults() {
+	if o.Mode == "" {
+		o.Mode = "closed"
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if (o.Mix == Mix{}) {
+		o.Mix = DefaultMix()
+	}
+	if o.IngestSource == "" {
+		o.Mix.Ingest = 0
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Delta <= 0 {
+		o.Delta = 10
+	}
+	if o.PointsPerQuery <= 0 {
+		o.PointsPerQuery = 16
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.Bounds == [4]float64{} {
+		o.Bounds = [4]float64{-180, -90, 180, 90}
+	}
+	if o.IngestIDs <= 0 {
+		o.IngestIDs = 512
+	}
+	if o.HTTPClient == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		}
+		o.HTTPClient = &http.Client{Transport: tr}
+	}
+}
+
+// OpCount is the per-class outcome tally of a run.
+type OpCount struct {
+	Sent int64 `json:"sent"`
+	OK   int64 `json:"ok"`
+	Shed int64 `json:"shed"` // HTTP 429
+	Err  int64 `json:"err"`  // everything else non-2xx + transport errors
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Mode    string  `json:"mode"`
+	Rate    float64 `json:"rate,omitempty"`    // open loop: offered req/s
+	Clients int     `json:"clients,omitempty"` // closed loop: concurrency
+	Seconds float64 `json:"seconds"`           // measured wall clock
+
+	Sent         int64 `json:"sent"`
+	OK           int64 `json:"ok"`
+	Shed         int64 `json:"shed"`         // HTTP 429 (admission)
+	ClientErrors int64 `json:"clientErrors"` // other 4xx
+	ServerErrors int64 `json:"serverErrors"` // 5xx
+	NetErrors    int64 `json:"netErrors"`    // transport failures
+
+	Throughput float64 `json:"throughput"` // OK responses per second
+	ShedRate   float64 `json:"shedRate"`   // shed / sent
+	ErrorRate  float64 `json:"errorRate"`  // (server+net errors) / sent
+
+	// Latency quantiles in milliseconds over ALL completed requests
+	// (including shed ones — a fast 429 is part of the service the client
+	// sees). Open-loop latencies are measured from the intended arrival.
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+	MeanMs float64 `json:"meanMs"`
+
+	PerOp map[string]OpCount `json:"perOp"`
+}
+
+// runner is the shared state of one run.
+type runner struct {
+	o    Options
+	hist Hist
+
+	sent, ok, shed, clientErr, serverErr, netErr atomic.Int64
+
+	// perOp counters are updated atomically; the map itself is fixed at
+	// construction.
+	perOp map[Op]*OpCount
+}
+
+// Run offers load per the options until the duration elapses or ctx is
+// cancelled, then reports. The error covers misconfiguration only —
+// request failures are part of the Result.
+func Run(ctx context.Context, o Options) (Result, error) {
+	o.defaults()
+	if o.Target == "" {
+		return Result{}, fmt.Errorf("load: Target is required")
+	}
+	switch o.Mode {
+	case "open":
+		if o.Rate <= 0 {
+			return Result{}, fmt.Errorf("load: open-loop mode needs Rate > 0")
+		}
+	case "closed":
+	default:
+		return Result{}, fmt.Errorf("load: mode must be open or closed, got %q", o.Mode)
+	}
+	r := &runner{o: o, perOp: make(map[Op]*OpCount, len(ops))}
+	for _, op := range ops {
+		r.perOp[op] = &OpCount{}
+	}
+
+	start := time.Now()
+	if o.Mode == "open" {
+		r.runOpen(ctx, start)
+	} else {
+		r.runClosed(ctx, start)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	res := Result{
+		Mode:         o.Mode,
+		Seconds:      elapsed,
+		Sent:         r.sent.Load(),
+		OK:           r.ok.Load(),
+		Shed:         r.shed.Load(),
+		ClientErrors: r.clientErr.Load(),
+		ServerErrors: r.serverErr.Load(),
+		NetErrors:    r.netErr.Load(),
+		P50Ms:        ms(r.hist.Quantile(0.50)),
+		P99Ms:        ms(r.hist.Quantile(0.99)),
+		P999Ms:       ms(r.hist.Quantile(0.999)),
+		MaxMs:        ms(r.hist.Max()),
+		MeanMs:       ms(r.hist.Mean()),
+		PerOp:        make(map[string]OpCount, len(ops)),
+	}
+	if o.Mode == "open" {
+		res.Rate = o.Rate
+	} else {
+		res.Clients = o.Clients
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.OK) / elapsed
+	}
+	if res.Sent > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Sent)
+		res.ErrorRate = float64(res.ServerErrors+res.NetErrors) / float64(res.Sent)
+	}
+	for op, c := range r.perOp {
+		res.PerOp[string(op)] = *c
+	}
+	return res, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// runOpen paces arrivals at o.Rate and measures from the intended start:
+// a slow server makes latencies climb, not the offered rate drop.
+func (r *runner) runOpen(ctx context.Context, start time.Time) {
+	interval := time.Duration(float64(time.Second) / r.o.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	deadline := start.Add(r.o.Duration)
+	var wg sync.WaitGroup
+	n := int64(0)
+	for intended := start; intended.Before(deadline); intended = intended.Add(interval) {
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(intended time.Time, seq int64) {
+			defer wg.Done()
+			r.doOne(ctx, rand.New(rand.NewSource(r.o.Seed+seq)), intended, r.o.ClientID)
+		}(intended, n)
+		n++
+	}
+	wg.Wait()
+}
+
+// runClosed runs o.Clients workers back-to-back until the deadline.
+func (r *runner) runClosed(ctx context.Context, start time.Time) {
+	deadline := start.Add(r.o.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < r.o.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.o.Seed + int64(i)*7919))
+			id := r.o.ClientID
+			if id != "" {
+				id = fmt.Sprintf("%s-%d", id, i)
+			}
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				r.doOne(ctx, rng, time.Now(), id)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// doOne issues one generated request and records its outcome. intended is
+// the latency epoch (the arrival the schedule planned, for the open loop).
+func (r *runner) doOne(ctx context.Context, rng *rand.Rand, intended time.Time, clientID string) {
+	op := r.o.Mix.pick(rng)
+	method, path, body := r.genRequest(op, rng)
+	r.sent.Add(1)
+	pc := r.perOp[op]
+	atomic.AddInt64(&pc.Sent, 1)
+
+	req, err := http.NewRequestWithContext(ctx, method, r.o.Target+path, bytes.NewReader(body))
+	if err != nil {
+		r.netErr.Add(1)
+		atomic.AddInt64(&pc.Err, 1)
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if clientID != "" {
+		req.Header.Set("X-Client-ID", clientID)
+	}
+	resp, err := r.o.HTTPClient.Do(req)
+	lat := time.Since(intended)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown race, not a server failure
+		}
+		r.hist.Observe(lat)
+		r.netErr.Add(1)
+		atomic.AddInt64(&pc.Err, 1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	r.hist.Observe(lat)
+	switch {
+	case resp.StatusCode < 300:
+		r.ok.Add(1)
+		atomic.AddInt64(&pc.OK, 1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		r.shed.Add(1)
+		atomic.AddInt64(&pc.Shed, 1)
+	case resp.StatusCode < 500:
+		r.clientErr.Add(1)
+		atomic.AddInt64(&pc.Err, 1)
+	default:
+		r.serverErr.Add(1)
+		atomic.AddInt64(&pc.Err, 1)
+	}
+}
+
+// genRequest builds one request of the class: clustered random points so
+// queries resemble real hot-region traffic rather than uniform noise.
+func (r *runner) genRequest(op Op, rng *rand.Rand) (method, path string, body []byte) {
+	switch op {
+	case OpCoverage:
+		b, _ := json.Marshal(map[string]any{
+			"points": r.genPoints(rng, r.o.PointsPerQuery),
+			"k":      1 + rng.Intn(r.o.K),
+			"delta":  r.o.Delta,
+		})
+		return http.MethodPost, "/search/coverage", b
+	case OpBatch:
+		qs := make([]map[string]any, r.o.BatchSize)
+		for i := range qs {
+			qs[i] = map[string]any{
+				"points": r.genPoints(rng, r.o.PointsPerQuery),
+				"k":      1 + rng.Intn(r.o.K),
+			}
+		}
+		b, _ := json.Marshal(map[string]any{"queries": qs})
+		return http.MethodPost, "/search/batch", b
+	case OpIngest:
+		b, _ := json.Marshal(map[string]any{
+			"source": r.o.IngestSource,
+			"id":     1_000_000 + rng.Intn(r.o.IngestIDs),
+			"name":   "load-upsert",
+			"points": r.genPoints(rng, r.o.PointsPerQuery),
+		})
+		return http.MethodPost, "/ingest/dataset", b
+	default:
+		b, _ := json.Marshal(map[string]any{
+			"points": r.genPoints(rng, r.o.PointsPerQuery),
+			"k":      1 + rng.Intn(r.o.K),
+		})
+		return http.MethodPost, "/search/overlap", b
+	}
+}
+
+// genPoints draws n points clustered around a random center: a tight blob
+// spanning ~2% of the world per axis.
+func (r *runner) genPoints(rng *rand.Rand, n int) [][2]float64 {
+	b := r.o.Bounds
+	w, h := b[2]-b[0], b[3]-b[1]
+	cx := b[0] + rng.Float64()*w
+	cy := b[1] + rng.Float64()*h
+	pts := make([][2]float64, n)
+	for i := range pts {
+		x := cx + (rng.Float64()-0.5)*w*0.02
+		y := cy + (rng.Float64()-0.5)*h*0.02
+		pts[i] = [2]float64{clamp(x, b[0], b[2]), clamp(y, b[1], b[3])}
+	}
+	return pts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

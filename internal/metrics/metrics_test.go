@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+	var v *CounterVec
+	v.With("x").Inc()
+	if v.Total() != 0 {
+		t.Fatal("nil vec must read 0")
+	}
+	var hv *HistogramVec
+	hv.With("x").Observe(1)
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%16) + 0.5) // uniform over [0.5, 15.5]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	med := h.Quantile(0.5)
+	if med < 2 || med > 12 {
+		t.Fatalf("median %.2f implausible for uniform [0.5,15.5]", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 8 || p99 > 16 {
+		t.Fatalf("p99 %.2f out of range", p99)
+	}
+	if q := h.Quantile(1); q > 16 {
+		t.Fatalf("q1 %.2f beyond last bound", q)
+	}
+	// 6 full cycles of 0.5..15.5 (sum 128) plus 0.5+1.5+2.5+3.5.
+	if math.Abs(h.Sum()-776) > 1e-6 {
+		t.Fatalf("sum = %.2f, want 776", h.Sum())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100)
+	if q := h.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound 2", q)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	var v CounterVec
+	var wg sync.WaitGroup
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.With(labels[j%len(labels)]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", v.Total())
+	}
+	snap := v.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("labels = %d, want 3", len(snap))
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(3)
+	r.RegisterCounter("dits_test_total", "a test counter", &c)
+	var g Gauge
+	g.Set(-2)
+	r.RegisterGauge("dits_test_gauge", "a test gauge", &g)
+	var v CounterVec
+	v.With("overlap.search").Add(5)
+	v.With("coverage.round").Add(1)
+	r.RegisterCounterVec("dits_test_method_total", "per method", "method", &v)
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.RegisterHistogram("dits_test_seconds", "latency", h)
+	r.RegisterGaugeFunc("dits_test_fn", "from func", func() float64 { return 1.5 })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP dits_test_total a test counter",
+		"# TYPE dits_test_total counter",
+		"dits_test_total 3",
+		"dits_test_gauge -2",
+		`dits_test_method_total{method="coverage.round"} 1`,
+		`dits_test_method_total{method="overlap.search"} 5`,
+		"# TYPE dits_test_seconds histogram",
+		`dits_test_seconds_bucket{le="0.1"} 1`,
+		`dits_test_seconds_bucket{le="1"} 2`,
+		`dits_test_seconds_bucket{le="+Inf"} 3`,
+		"dits_test_seconds_count 3",
+		"dits_test_fn 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := NewHistogramVec([]float64{1})
+	hv.With("overlap").Observe(0.5)
+	hv.With("batch").Observe(2)
+	r.RegisterHistogramVec("dits_req_seconds", "per endpoint", "endpoint", hv)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`dits_req_seconds_bucket{endpoint="batch",le="1"} 0`,
+		`dits_req_seconds_bucket{endpoint="overlap",le="1"} 1`,
+		`dits_req_seconds_count{endpoint="batch"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscape(t *testing.T) {
+	long := strings.Repeat("x", 500)
+	if got := LabelEscape(long); len(got) != 120 {
+		t.Fatalf("len = %d, want 120", len(got))
+	}
+	if got := LabelEscape("ok\xffname"); !strings.Contains(got, "?") {
+		t.Fatalf("invalid UTF-8 not replaced: %q", got)
+	}
+}

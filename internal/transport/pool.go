@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -91,10 +92,16 @@ func (p *Pool) Stats() PoolStats {
 }
 
 // get checks a connection out of the pool, blocking while all size
-// connections are in use. fromIdle reports whether the connection was
-// parked (and may therefore have gone stale).
-func (p *Pool) get() (peer Peer, fromIdle bool, err error) {
-	p.sem <- struct{}{}
+// connections are in use — but no longer than the caller's context allows,
+// so a deadlined request queued behind a saturated pool gives up instead of
+// waiting for capacity it can no longer use. fromIdle reports whether the
+// connection was parked (and may therefore have gone stale).
+func (p *Pool) get(ctx context.Context) (peer Peer, fromIdle bool, err error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -137,13 +144,13 @@ func (p *Pool) put(peer Peer, healthy bool) {
 
 // Call implements Peer. It is safe for concurrent use by any number of
 // goroutines; at most Size calls are in flight at once and the rest queue.
-func (p *Pool) Call(method string, body []byte) ([]byte, error) {
-	peer, fromIdle, err := p.get()
+func (p *Pool) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	peer, fromIdle, err := p.get(ctx)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := p.callOn(peer, method, body)
-	if err == nil || !fromIdle || isRemote(err) {
+	resp, err := p.callOn(ctx, peer, method, body)
+	if err == nil || !fromIdle || isRemote(err) || ctx.Err() != nil {
 		return resp, err
 	}
 	// The parked connection had gone stale underneath us; the request never
@@ -152,13 +159,15 @@ func (p *Pool) Call(method string, body []byte) ([]byte, error) {
 	if derr != nil {
 		return nil, err // report the original failure
 	}
-	return p.callOn(peer, method, body)
+	return p.callOn(ctx, peer, method, body)
 }
 
 // callOn runs one call and checks the connection back in with the right
-// health verdict.
-func (p *Pool) callOn(peer Peer, method string, body []byte) ([]byte, error) {
-	resp, err := peer.Call(method, body)
+// health verdict. A call cut short by the context deadline may have left
+// half a frame on the wire, so !isRemote errors (including deadline ones)
+// discard the connection as usual.
+func (p *Pool) callOn(ctx context.Context, peer Peer, method string, body []byte) ([]byte, error) {
+	resp, err := peer.Call(ctx, method, body)
 	p.put(peer, err == nil || isRemote(err))
 	return resp, err
 }

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRoundTrip(t *testing.T) {
@@ -19,7 +21,7 @@ func TestPoolRoundTrip(t *testing.T) {
 	pool := DialPool("s1", srv.Addr(), 4, m)
 	defer pool.Close()
 
-	resp, err := pool.Call("m", []byte("payload"))
+	resp, err := pool.Call(context.Background(), "m", []byte("payload"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestPoolRemoteErrorKeepsConnection(t *testing.T) {
 	pool := DialPool("s1", srv.Addr(), 2, &Metrics{})
 	defer pool.Close()
 
-	if _, err := pool.Call("fail", nil); err == nil {
+	if _, err := pool.Call(context.Background(), "fail", nil); err == nil {
 		t.Fatal("remote error not propagated")
 	} else {
 		var re *RemoteError
@@ -58,7 +60,7 @@ func TestPoolRemoteErrorKeepsConnection(t *testing.T) {
 	if st := pool.Stats(); st.Idle != 1 || st.Discards != 0 {
 		t.Fatalf("stats after remote error = %+v", st)
 	}
-	if _, err := pool.Call("m", []byte("x")); err != nil {
+	if _, err := pool.Call(context.Background(), "m", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	if st := pool.Stats(); st.Dials != 1 {
@@ -76,7 +78,7 @@ func TestPoolRetriesStaleIdleConnection(t *testing.T) {
 	pool := DialPool("s1", addr, 2, &Metrics{})
 	defer pool.Close()
 
-	if _, err := pool.Call("m", []byte("a")); err != nil {
+	if _, err := pool.Call(context.Background(), "m", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the server underneath the parked connection, then restart on the
@@ -88,7 +90,7 @@ func TestPoolRetriesStaleIdleConnection(t *testing.T) {
 	}
 	defer srv2.Close()
 
-	resp, err := pool.Call("m", []byte("b"))
+	resp, err := pool.Call(context.Background(), "m", []byte("b"))
 	if err != nil {
 		t.Fatalf("stale connection not retried: %v", err)
 	}
@@ -102,7 +104,7 @@ func TestPoolRetriesStaleIdleConnection(t *testing.T) {
 
 func TestPoolBoundsConnections(t *testing.T) {
 	var inFlight, peak atomic.Int64
-	srv, err := Serve("127.0.0.1:0", func(method string, body []byte) ([]byte, error) {
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, method string, body []byte) ([]byte, error) {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -128,7 +130,7 @@ func TestPoolBoundsConnections(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := pool.Call("m", []byte("x")); err != nil {
+				if _, err := pool.Call(context.Background(), "m", []byte("x")); err != nil {
 					t.Error(err)
 					return
 				}
@@ -159,7 +161,7 @@ func TestPoolConcurrentCallsAndClose(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 50; i++ {
-				resp, err := pool.Call("m", []byte(fmt.Sprintf("%d-%d", c, i)))
+				resp, err := pool.Call(context.Background(), "m", []byte(fmt.Sprintf("%d-%d", c, i)))
 				if err != nil {
 					if errors.Is(err, ErrPoolClosed) {
 						return // expected once Close lands
@@ -182,9 +184,46 @@ func TestPoolConcurrentCallsAndClose(t *testing.T) {
 		pool.Close()
 	}()
 	wg.Wait()
-	if _, err := pool.Call("m", nil); !errors.Is(err, ErrPoolClosed) {
+	if _, err := pool.Call(context.Background(), "m", nil); !errors.Is(err, ErrPoolClosed) {
 		t.Errorf("Call after Close = %v, want ErrPoolClosed", err)
 	}
+}
+
+// TestPoolSaturatedRespectsDeadline: a caller queued behind a saturated pool
+// must give up when its context expires instead of waiting for capacity.
+func TestPoolSaturatedRespectsDeadline(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, method string, body []byte) ([]byte, error) {
+		if method == "block" {
+			<-release
+		}
+		return body, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool := DialPool("s1", srv.Addr(), 1, &Metrics{})
+	defer pool.Close()
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		pool.Call(context.Background(), "block", nil) // occupies the only slot
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the blocking call take the slot
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := pool.Call(ctx, "m", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("saturated pool call = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	<-done
 }
 
 func TestPoolSizeFloor(t *testing.T) {
@@ -193,7 +232,7 @@ func TestPoolSizeFloor(t *testing.T) {
 	if pool.Size() != 1 {
 		t.Errorf("Size = %d, want 1", pool.Size())
 	}
-	if _, err := pool.Call("m", nil); err == nil {
+	if _, err := pool.Call(context.Background(), "m", nil); err == nil {
 		t.Error("dial failure not propagated")
 	}
 }

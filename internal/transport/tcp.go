@@ -2,23 +2,30 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // The TCP wire format frames each request as
 //
-//	uint32 method length | method | uint32 body length | body
+//	uint32 method length | method | uint64 deadline ms | uint32 body length | body
 //
 // and each response as
 //
 //	uint8 status (0 ok, 1 error) | uint32 payload length | payload
 //
-// where an error payload is the error text.
+// where an error payload is the error text. The deadline field is the
+// caller's REMAINING time budget in milliseconds (0 = none): shipping a
+// relative budget rather than an absolute wall-clock instant keeps the
+// propagation correct across machines with skewed clocks. The server
+// derives the handler's context from it, so a query that ran out of time
+// is abandoned at the source too.
 
 // maxFrame caps a frame payload to guard against corrupt length prefixes.
 const maxFrame = 1 << 30
@@ -109,11 +116,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		var deadlineMs uint64
+		if err := binary.Read(r, binary.BigEndian, &deadlineMs); err != nil {
+			return
+		}
 		body, err := readFrame(r)
 		if err != nil {
 			return
 		}
-		resp, herr := s.handler(string(method), body)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if deadlineMs > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMs)*time.Millisecond)
+		}
+		resp, herr := s.handler(ctx, string(method), body)
+		cancel()
 		if herr != nil {
 			if err := writeResponse(w, 1, []byte(herr.Error())); err != nil {
 				return
@@ -185,9 +202,33 @@ func Dial(name, addr string, metrics *Metrics) (*TCPPeer, error) {
 	}, nil
 }
 
-// Call implements Peer.
-func (p *TCPPeer) Call(method string, body []byte) ([]byte, error) {
+// Call implements Peer. A context deadline bounds the whole exchange (the
+// connection's read/write deadlines are set from it) and its remaining
+// budget is shipped in the request frame so the source abandons work the
+// caller will never wait for. A deadline failure poisons the connection's
+// framing, so the peer must be discarded afterwards — exactly what Pool's
+// health-aware checkin does.
+func (p *TCPPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	var deadlineMs uint64
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("transport: call %s: %w", p.Name, context.DeadlineExceeded)
+		}
+		ms := remaining.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		deadlineMs = uint64(ms)
+		p.conn.SetDeadline(dl)
+		defer p.conn.SetDeadline(time.Time{})
+	} else if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: call %s: %w", p.Name, err)
+	}
 	if err := writeFrame(p.w, []byte(method)); err != nil {
+		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+	}
+	if err := binary.Write(p.w, binary.BigEndian, deadlineMs); err != nil {
 		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
 	if err := writeFrame(p.w, body); err != nil {

@@ -6,19 +6,30 @@
 // deployments, and a connection pool multiplexing concurrent calls over
 // several TCP connections to one source. Transmission time over a given
 // bandwidth follows the paper's model: time = bytes / bandwidth.
+//
+// Every Call carries a context: a deadline set by the caller (the
+// gateway's per-request admission deadline, typically) propagates over
+// the wire to the source, which runs its handler under the same deadline
+// — a query that can no longer be answered in time is abandoned at every
+// layer instead of completing uselessly.
 package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
-	"sync"
 	"time"
+
+	"dits/internal/metrics"
 )
 
 // Handler serves one source's requests: it receives a method name and a
-// gob-encoded request body and returns a gob-encoded response body.
-type Handler func(method string, body []byte) ([]byte, error)
+// gob-encoded request body and returns a gob-encoded response body. The
+// context carries the caller's remaining deadline (propagated over the
+// wire for TCP transports); handlers pass it to cancellable work like the
+// parallel executor.
+type Handler func(ctx context.Context, method string, body []byte) ([]byte, error)
 
 // RemoteError is an application-level error returned by a source's handler.
 // The request/response exchange itself succeeded, so the connection that
@@ -36,8 +47,9 @@ func (e *RemoteError) Error() string {
 
 // Peer is a connection to one data source.
 type Peer interface {
-	// Call sends a request and waits for the response.
-	Call(method string, body []byte) ([]byte, error)
+	// Call sends a request and waits for the response. The context's
+	// deadline bounds the whole exchange and is shipped to the source.
+	Call(ctx context.Context, method string, body []byte) ([]byte, error)
 	// Close releases the connection.
 	Close() error
 }
@@ -61,14 +73,20 @@ func Decode(body []byte, v any) error {
 
 // Metrics accumulates the communication cost of a search: messages
 // exchanged and payload bytes in both directions, broken down per protocol
-// method, plus per-source failure counts. It is safe for concurrent use.
+// method, plus per-source failure counts. It is built on the lock-free
+// metrics primitives — Record is a handful of atomic adds, so the hottest
+// fan-out paths never serialize on a stats mutex — and registers its
+// counters for Prometheus exposition via Register. The zero value is
+// ready to use and all methods are safe for concurrent use.
 type Metrics struct {
-	mu            sync.Mutex
-	messages      int64
-	bytesSent     int64
-	bytesReceived int64
-	perMethod     map[string]MethodStats
-	failures      map[string]int64
+	messages      metrics.Counter
+	bytesSent     metrics.Counter
+	bytesReceived metrics.Counter
+
+	methodCalls    metrics.CounterVec // by federation method
+	methodSent     metrics.CounterVec
+	methodReceived metrics.CounterVec
+	failures       metrics.CounterVec // by source name
 }
 
 // MethodStats is the per-method slice of the counters: how many exchanges
@@ -84,19 +102,12 @@ func (m *Metrics) Record(method string, sent, received int) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	m.messages++
-	m.bytesSent += int64(sent)
-	m.bytesReceived += int64(received)
-	if m.perMethod == nil {
-		m.perMethod = make(map[string]MethodStats)
-	}
-	ms := m.perMethod[method]
-	ms.Calls++
-	ms.BytesSent += int64(sent)
-	ms.BytesReceived += int64(received)
-	m.perMethod[method] = ms
-	m.mu.Unlock()
+	m.messages.Inc()
+	m.bytesSent.Add(int64(sent))
+	m.bytesReceived.Add(int64(received))
+	m.methodCalls.With(method).Inc()
+	m.methodSent.With(method).Add(int64(sent))
+	m.methodReceived.With(method).Add(int64(received))
 }
 
 // RecordFailure counts one failed exchange against the named source — how
@@ -105,81 +116,83 @@ func (m *Metrics) RecordFailure(source string) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	if m.failures == nil {
-		m.failures = make(map[string]int64)
-	}
-	m.failures[source]++
-	m.mu.Unlock()
+	m.failures.With(source).Inc()
 }
 
 // PerMethod returns a copy of the per-method counters.
 func (m *Metrics) PerMethod() map[string]MethodStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]MethodStats, len(m.perMethod))
-	for k, v := range m.perMethod {
-		out[k] = v
+	if m == nil {
+		return nil
+	}
+	calls := m.methodCalls.Snapshot()
+	sent := m.methodSent.Snapshot()
+	recv := m.methodReceived.Snapshot()
+	out := make(map[string]MethodStats, len(calls))
+	for method, c := range calls {
+		out[method] = MethodStats{Calls: c, BytesSent: sent[method], BytesReceived: recv[method]}
 	}
 	return out
 }
 
 // Failures returns a copy of the per-source failure counts.
 func (m *Metrics) Failures() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.failures))
-	for k, v := range m.failures {
-		out[k] = v
+	if m == nil {
+		return nil
 	}
-	return out
+	return m.failures.Snapshot()
 }
 
 // TotalFailures returns the number of failed exchanges recorded.
 func (m *Metrics) TotalFailures() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n int64
-	for _, v := range m.failures {
-		n += v
+	if m == nil {
+		return 0
 	}
-	return n
+	return m.failures.Total()
 }
 
 // Messages returns the number of exchanges recorded.
-func (m *Metrics) Messages() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.messages
-}
+func (m *Metrics) Messages() int64 { return m.messages.Value() }
 
 // Bytes returns total payload bytes transferred in both directions.
-func (m *Metrics) Bytes() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytesSent + m.bytesReceived
-}
+func (m *Metrics) Bytes() int64 { return m.BytesSent() + m.BytesReceived() }
 
 // BytesSent returns request payload bytes (center -> sources).
-func (m *Metrics) BytesSent() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytesSent
-}
+func (m *Metrics) BytesSent() int64 { return m.bytesSent.Value() }
 
 // BytesReceived returns response payload bytes (sources -> center).
-func (m *Metrics) BytesReceived() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytesReceived
-}
+func (m *Metrics) BytesReceived() int64 { return m.bytesReceived.Value() }
 
 // Reset zeroes the counters.
 func (m *Metrics) Reset() {
-	m.mu.Lock()
-	m.messages, m.bytesSent, m.bytesReceived = 0, 0, 0
-	m.perMethod, m.failures = nil, nil
-	m.mu.Unlock()
+	if m == nil {
+		return
+	}
+	m.messages.Reset()
+	m.bytesSent.Reset()
+	m.bytesReceived.Reset()
+	m.methodCalls.Reset()
+	m.methodSent.Reset()
+	m.methodReceived.Reset()
+	m.failures.Reset()
+}
+
+// Register exposes the transport counters on a metrics registry under the
+// dits_transport_* names (see docs/OPERATIONS.md for the full reference).
+func (m *Metrics) Register(r *metrics.Registry) {
+	r.RegisterCounter("dits_transport_messages_total",
+		"Federation request/response exchanges", &m.messages)
+	r.RegisterCounter("dits_transport_sent_bytes_total",
+		"Request payload bytes, center to sources", &m.bytesSent)
+	r.RegisterCounter("dits_transport_received_bytes_total",
+		"Response payload bytes, sources to center", &m.bytesReceived)
+	r.RegisterCounterVec("dits_transport_method_calls_total",
+		"Exchanges per federation method", "method", &m.methodCalls)
+	r.RegisterCounterVec("dits_transport_method_sent_bytes_total",
+		"Request bytes per federation method", "method", &m.methodSent)
+	r.RegisterCounterVec("dits_transport_method_received_bytes_total",
+		"Response bytes per federation method", "method", &m.methodReceived)
+	r.RegisterCounterVec("dits_transport_source_failures_total",
+		"Failed exchanges per source", "source", &m.failures)
 }
 
 // TransmissionTime models the network time to move the recorded bytes over
@@ -202,8 +215,11 @@ type InProc struct {
 }
 
 // Call implements Peer.
-func (p *InProc) Call(method string, body []byte) ([]byte, error) {
-	resp, err := p.Handler(method, body)
+func (p *InProc) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: call %s: %w", p.Name, err)
+	}
+	resp, err := p.Handler(ctx, method, body)
 	if err != nil {
 		return nil, &RemoteError{Source: p.Name, Msg: err.Error()}
 	}

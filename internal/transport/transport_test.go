@@ -1,14 +1,17 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"dits/internal/metrics"
 )
 
-func echoHandler(method string, body []byte) ([]byte, error) {
+func echoHandler(ctx context.Context, method string, body []byte) ([]byte, error) {
 	if method == "fail" {
 		return nil, errors.New("boom")
 	}
@@ -42,7 +45,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestInProcCountsBytes(t *testing.T) {
 	m := &Metrics{}
 	p := &InProc{Name: "s1", Handler: echoHandler, Metrics: m}
-	resp, err := p.Call("hello", []byte("world"))
+	resp, err := p.Call(context.Background(), "hello", []byte("world"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +61,7 @@ func TestInProcCountsBytes(t *testing.T) {
 	if m.BytesReceived() != int64(len("hello:world")) {
 		t.Errorf("BytesReceived = %d", m.BytesReceived())
 	}
-	if _, err := p.Call("fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := p.Call(context.Background(), "fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("error not propagated: %v", err)
 	}
 	// Errors do not count as delivered traffic.
@@ -66,6 +69,15 @@ func TestInProcCountsBytes(t *testing.T) {
 		t.Errorf("failed call counted: %d", m.Messages())
 	}
 	p.Close()
+}
+
+func TestInProcHonorsCancelledContext(t *testing.T) {
+	p := &InProc{Name: "s1", Handler: echoHandler, Metrics: &Metrics{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Call(ctx, "m", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Call on cancelled ctx = %v, want context.Canceled", err)
+	}
 }
 
 func TestMetricsTransmissionTime(t *testing.T) {
@@ -95,6 +107,27 @@ func TestMetricsTransmissionTime(t *testing.T) {
 	nilM.RecordFailure("x") // must not panic
 }
 
+func TestMetricsRegisterExposes(t *testing.T) {
+	m := &Metrics{}
+	m.Record("overlap.search", 100, 50)
+	m.RecordFailure("src-b")
+	r := metrics.NewRegistry()
+	m.Register(r)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"dits_transport_messages_total 1",
+		"dits_transport_sent_bytes_total 100",
+		`dits_transport_method_calls_total{method="overlap.search"} 1`,
+		`dits_transport_source_failures_total{source="src-b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestTCPRoundTrip(t *testing.T) {
 	srv, err := Serve("127.0.0.1:0", echoHandler)
 	if err != nil {
@@ -110,7 +143,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer peer.Close()
 
 	for i := 0; i < 10; i++ {
-		resp, err := peer.Call("m", []byte("payload"))
+		resp, err := peer.Call(context.Background(), "m", []byte("payload"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,8 +154,62 @@ func TestTCPRoundTrip(t *testing.T) {
 	if m.Messages() != 10 {
 		t.Errorf("Messages = %d, want 10", m.Messages())
 	}
-	if _, err := peer.Call("fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := peer.Call(context.Background(), "fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("remote error not propagated: %v", err)
+	}
+}
+
+// TestTCPDeadlinePropagates checks both halves of the deadline contract: the
+// client call fails once the budget runs out, and the server-side handler's
+// context expires (so the source abandons the work too).
+func TestTCPDeadlinePropagates(t *testing.T) {
+	handlerCtxExpired := make(chan bool, 1)
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, method string, body []byte) ([]byte, error) {
+		if _, ok := ctx.Deadline(); !ok {
+			handlerCtxExpired <- false
+			return body, nil
+		}
+		select {
+		case <-ctx.Done():
+			handlerCtxExpired <- true
+		case <-time.After(2 * time.Second):
+			handlerCtxExpired <- false
+		}
+		// Reply well after the caller's deadline so the client-side failure
+		// is deterministic, not a race against the in-flight response.
+		time.Sleep(200 * time.Millisecond)
+		return body, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	peer, err := Dial("s1", srv.Addr(), &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := peer.Call(ctx, "m", []byte("x")); err == nil {
+		t.Fatal("call past deadline should error")
+	}
+	select {
+	case expired := <-handlerCtxExpired:
+		if !expired {
+			t.Fatal("handler context did not carry the caller's deadline")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never observed the request")
+	}
+
+	// An already-expired context fails before touching the wire.
+	expiredCtx, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := peer.Call(expiredCtx, "m", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx = %v, want DeadlineExceeded", err)
 	}
 }
 
@@ -147,7 +234,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			}
 			defer peer.Close()
 			for i := 0; i < 50; i++ {
-				if _, err := peer.Call("x", []byte("y")); err != nil {
+				if _, err := peer.Call(context.Background(), "x", []byte("y")); err != nil {
 					errs <- err
 					return
 				}
@@ -173,7 +260,7 @@ func TestTCPServerClosedRejects(t *testing.T) {
 	}
 	srv.Close()
 	// The in-flight connection is closed by the server; calls now fail.
-	if _, err := peer.Call("m", []byte("b")); err == nil {
+	if _, err := peer.Call(context.Background(), "m", []byte("b")); err == nil {
 		t.Error("Call after server close should error")
 	}
 	peer.Close()
