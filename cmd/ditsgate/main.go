@@ -58,6 +58,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max requests queued for an in-flight slot before shedding")
 	deadline := flag.Duration("deadline", 0, "per-request deadline propagated to the sources (0 = none)")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	codecFlag := flag.String("codec", "", "force one wire codec by name instead of negotiating the best (empty = negotiate)")
+	noCompress := flag.Bool("no-compress", false, "do not offer gzip compression when dialing sources")
 	flag.Parse()
 
 	if *remote == "" {
@@ -78,14 +80,23 @@ func main() {
 	center := federation.NewCenter(geo.NewGrid(*theta, bounds), opts)
 	center.SetCache(cache.New(*cacheSize))
 
+	dialCfg := transport.DialConfig{Codec: *codecFlag, NoCompress: *noCompress}
+	if *codecFlag != "" {
+		if _, ok := transport.LookupCodec(*codecFlag); !ok {
+			fail(fmt.Errorf("-codec: unknown codec %q (registered: %s)",
+				*codecFlag, strings.Join(transport.CodecNames(), ", ")))
+		}
+	}
 	for _, a := range strings.Split(*remote, ",") {
 		a = strings.TrimSpace(a)
-		pool := transport.DialPool(a, a, *poolSize, center.Metrics)
+		pool := transport.DialPoolWith(a, a, *poolSize, center.Metrics, dialCfg)
 		summary, err := center.RegisterRemote(context.Background(), pool)
 		if err != nil {
 			fail(fmt.Errorf("register %s: %w", a, err))
 		}
-		fmt.Printf("registered source %q at %s (pool=%d)\n", summary.Name, a, *poolSize)
+		wi := pool.WireInfo()
+		fmt.Printf("registered source %q at %s (pool=%d, codec=%s, compression=%v)\n",
+			summary.Name, a, *poolSize, wi.Codec, wi.Compression)
 	}
 
 	gw := gateway.NewWithOptions(center, gateway.Options{

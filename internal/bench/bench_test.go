@@ -76,8 +76,12 @@ func TestFedcommSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) == 0 || len(report.Results) != 4 {
+	// 2 queries × 2 protocols × 2 wire codecs.
+	if len(tables) == 0 || len(report.Results) != 8 {
 		t.Fatalf("unexpected shape: %d tables, %d results", len(tables), len(report.Results))
+	}
+	if report.CodecBytesReduction <= 1 {
+		t.Errorf("binary codec should ship fewer bytes than gob, reduction = %.2f", report.CodecBytesReduction)
 	}
 	path := filepath.Join(t.TempDir(), "fedcomm.json")
 	if err := WriteFedcomm(path, report); err != nil {
@@ -128,7 +132,7 @@ func TestCompareExecWarnsAcrossBases(t *testing.T) {
 	if !strings.Contains(joined, "WARNING") || !strings.Contains(joined, "not directly comparable") {
 		t.Fatalf("cross-basis compare must warn, notes:\n%s", joined)
 	}
-	if !strings.Contains(joined, "snapshot host CPUs: 8, current host CPUs: 1") {
+	if !strings.Contains(joined, "snapshot CPUs: 8 (physical 8), current CPUs: 1 (physical 1)") {
 		t.Fatalf("compare must surface both hosts' CPU counts, notes:\n%s", joined)
 	}
 	if got := tbl.Rows[0][len(tbl.Rows[0])-1]; got != "wall-clock vs modeled" {

@@ -73,13 +73,20 @@ const (
 
 // ExecReport is the machine-readable result of one exec run.
 type ExecReport struct {
-	Schema    string      `json:"schema"`
-	Generated string      `json:"generated,omitempty"`
-	Theta     int         `json:"theta"`
-	Seed      int64       `json:"seed"`
-	Scale     float64     `json:"scale"`
-	NumCPU    int         `json:"num_cpu"`
-	Results   []ExecEntry `json:"results"`
+	Schema    string  `json:"schema"`
+	Generated string  `json:"generated,omitempty"`
+	Theta     int     `json:"theta"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	// NumCPU is the number of CPUs the Go scheduler could actually spend
+	// (GOMAXPROCS at run time) — the provenance gate for wall-clock
+	// speedups: a parallel row is stamped BasisWallClock only when NumCPU
+	// covers its worker count. PhysCPU records the host's physical CPU
+	// count alongside, so a snapshot taken with an inflated GOMAXPROCS on
+	// a smaller box is honest about it.
+	NumCPU  int         `json:"num_cpu"`
+	PhysCPU int         `json:"phys_cpu,omitempty"`
+	Results []ExecEntry `json:"results"`
 	// ParallelSpeedupMaxW is the headline single-query speedup at the
 	// largest measured worker count (8 by default).
 	ParallelSpeedupMaxW float64 `json:"parallel_speedup_max_workers"`
@@ -142,7 +149,7 @@ func execMeasure(fn func()) float64 { return measure(fn) }
 func RunExec(cfg Config) (ExecReport, []Table, error) {
 	report := ExecReport{
 		Schema: ExecSchema, Theta: cfg.Theta, Seed: cfg.Seed,
-		Scale: overlapCfg(cfg).Scale, NumCPU: runtime.NumCPU(),
+		Scale: overlapCfg(cfg).Scale, NumCPU: runtime.GOMAXPROCS(0), PhysCPU: runtime.NumCPU(),
 	}
 	idx, heavy, batchQs := execWorkload(cfg)
 	if len(heavy) == 0 || len(batchQs) == 0 {
@@ -210,8 +217,10 @@ func RunExec(cfg Config) (ExecReport, []Table, error) {
 		if modeled[w] > 0 {
 			e.ModeledSpeedup = seqNs / modeled[w]
 		}
+		// Provenance gate: wall-clock is only an honest basis when the
+		// scheduler could actually run w workers at once.
 		e.Speedup, e.Basis = e.WallSpeedup, BasisWallClock
-		if runtime.NumCPU() < w {
+		if runtime.GOMAXPROCS(0) < w {
 			e.Speedup, e.Basis = e.ModeledSpeedup, BasisModeled
 		}
 		report.Results = append(report.Results, e)
@@ -260,8 +269,8 @@ func RunExec(cfg Config) (ExecReport, []Table, error) {
 			e.Speedup = e.WallSpeedup
 		}
 		report.Results = append(report.Results, e)
-		// Headline: the best configuration the host can actually spend.
-		if e.Speedup > report.BatchPerQuerySpeedup && (w == 1 || runtime.NumCPU() >= w) {
+		// Headline: the best configuration the scheduler can actually spend.
+		if e.Speedup > report.BatchPerQuerySpeedup && (w == 1 || runtime.GOMAXPROCS(0) >= w) {
 			report.BatchPerQuerySpeedup = e.Speedup
 		}
 	}
@@ -273,8 +282,9 @@ func RunExec(cfg Config) (ExecReport, []Table, error) {
 			"op", "workers", "q", "seq ns/query", "exec ns/query", "modeled ns/q", "speedup", "basis",
 		},
 		Notes: []string{
-			fmt.Sprintf("host CPUs: %d; parity with the sequential searcher enforced on every configuration.", runtime.NumCPU()),
-			"basis=modeled: work-span model of the real schedule (exec.TraceOverlap), used when workers exceed host CPUs.",
+			fmt.Sprintf("schedulable CPUs (GOMAXPROCS): %d, physical CPUs: %d; parity with the sequential searcher enforced on every configuration.",
+				runtime.GOMAXPROCS(0), runtime.NumCPU()),
+			"basis=modeled: work-span model of the real schedule (exec.TraceOverlap), used when workers exceed GOMAXPROCS.",
 			fmt.Sprintf("headline: parallel %0.2fx at %d workers, batched %0.2fx per query.",
 				report.ParallelSpeedupMaxW, maxW, report.BatchPerQuerySpeedup),
 		},
@@ -351,7 +361,8 @@ func CompareExec(base, cur ExecReport) Table {
 			"op", "workers", "base ns/q", "now ns/q", "drift", "base speedup", "now speedup", "basis",
 		},
 		Notes: []string{
-			fmt.Sprintf("snapshot host CPUs: %d, current host CPUs: %d.", base.NumCPU, cur.NumCPU),
+			fmt.Sprintf("snapshot CPUs: %d (physical %d), current CPUs: %d (physical %d).",
+				base.NumCPU, cpuOr(base.PhysCPU, base.NumCPU), cur.NumCPU, cpuOr(cur.PhysCPU, cur.NumCPU)),
 			"drift = now/base exec ns per query: < 1.00x is faster than the snapshot.",
 			fmt.Sprintf("headline now: parallel %.2fx, batch %.2fx (snapshot %.2fx / %.2fx).",
 				cur.ParallelSpeedupMaxW, cur.BatchPerQuerySpeedup,
@@ -391,6 +402,14 @@ func CompareExec(base, cur ExecReport) Table {
 		})
 	}
 	return t
+}
+
+// cpuOr substitutes a fallback for snapshots predating the phys_cpu field.
+func cpuOr(v, fallback int) int {
+	if v > 0 {
+		return v
+	}
+	return fallback
 }
 
 func execGeneratedSuffix(base ExecReport) string {

@@ -22,13 +22,16 @@ import (
 	"dits/internal/transport"
 )
 
-// FedcommSchema identifies the snapshot format.
-const FedcommSchema = "dits-bench-fedcomm/1"
+// FedcommSchema identifies the snapshot format. v2 adds the wire-codec
+// dimension: every entry is additionally keyed by the codec the peers
+// spoke, and the report carries the gob-vs-binary bytes headline.
+const FedcommSchema = "dits-bench-fedcomm/2"
 
-// FedcommEntry is one protocol × query-type measurement.
+// FedcommEntry is one protocol × query-type × codec measurement.
 type FedcommEntry struct {
 	Query         string                           `json:"query"`    // OJSP or CJSP
 	Protocol      string                           `json:"protocol"` // stateless or session
+	Codec         string                           `json:"codec"`    // wire codec the peers spoke
 	Queries       int                              `json:"queries"`
 	K             int                              `json:"k"`
 	Delta         float64                          `json:"delta,omitempty"`
@@ -50,16 +53,21 @@ type FedcommReport struct {
 	Scale     float64        `json:"scale"`
 	Results   []FedcommEntry `json:"results"`
 	// CJSPBytesReduction is stateless bytes-per-query divided by session
-	// bytes-per-query — the headline number of the session protocol.
+	// bytes-per-query under the binary codec — the headline number of the
+	// session protocol.
 	CJSPBytesReduction float64 `json:"cjsp_bytes_reduction"`
 	// CJSPMsgsReduction is the same ratio for round-trips.
 	CJSPMsgsReduction float64 `json:"cjsp_msgs_reduction"`
+	// CodecBytesReduction is total gob bytes divided by total binary-codec
+	// bytes over the identical workload — the headline number of the
+	// binary wire codec.
+	CodecBytesReduction float64 `json:"codec_bytes_reduction"`
 }
 
 // fedcommEntry snapshots a center's metrics into one entry.
-func fedcommEntry(query, protocol string, q, k int, delta float64, m *transport.Metrics) FedcommEntry {
+func fedcommEntry(query, protocol, codec string, q, k int, delta float64, m *transport.Metrics) FedcommEntry {
 	e := FedcommEntry{
-		Query: query, Protocol: protocol, Queries: q, K: k, Delta: delta,
+		Query: query, Protocol: protocol, Codec: codec, Queries: q, K: k, Delta: delta,
 		Bytes:         m.Bytes(),
 		BytesSent:     m.BytesSent(),
 		BytesReceived: m.BytesReceived(),
@@ -81,68 +89,105 @@ func RunFedcomm(cfg Config) (FedcommReport, []Table, error) {
 		Schema: FedcommSchema, Theta: cfg.Theta, Seed: cfg.Seed, Scale: cfg.Scale,
 	}
 	servers, g, sds := buildSourceServers(cfg)
-	stateless := newFederation(g, servers, federation.Options{GlobalFilter: true, ClipQuery: true})
-	session := newFederation(g, servers, federation.DefaultOptions())
 	queries := federationQueries(sds, g, cfg.Q, cfg.Seed)
 
-	// OJSP: a single fan-out either way; measured for completeness so the
-	// snapshot covers the full protocol surface.
-	for _, p := range []struct {
-		name   string
-		center *federation.Center
-	}{{"stateless", stateless}, {"session", session}} {
-		p.center.Metrics.Reset()
-		for _, q := range queries {
-			if _, err := p.center.OverlapSearch(context.Background(), q, cfg.K); err != nil {
-				return report, nil, fmt.Errorf("bench: fedcomm OJSP (%s): %w", p.name, err)
+	// The same workload runs under both wire codecs; answers must agree
+	// across codecs (differential check) and, per codec, across the
+	// stateless and session CJSP protocols (protocol parity).
+	codecs := []transport.Codec{federation.BinaryCodec, transport.GobCodec}
+	var ojspWant, cjspWant []any // answers recorded under the first codec
+	var gobBytes, binBytes int64
+	for ci, codec := range codecs {
+		stateless := newFederation(g, servers, federation.Options{GlobalFilter: true, ClipQuery: true}, codec)
+		session := newFederation(g, servers, federation.DefaultOptions(), codec)
+
+		// OJSP: a single fan-out either way; measured for completeness so
+		// the snapshot covers the full protocol surface.
+		for _, p := range []struct {
+			name   string
+			center *federation.Center
+		}{{"stateless", stateless}, {"session", session}} {
+			p.center.Metrics.Reset()
+			for i, q := range queries {
+				rs, err := p.center.OverlapSearch(context.Background(), q, cfg.K)
+				if err != nil {
+					return report, nil, fmt.Errorf("bench: fedcomm OJSP (%s/%s): %w", p.name, codec.Name(), err)
+				}
+				if ci == 0 && p.name == "stateless" {
+					ojspWant = append(ojspWant, rs)
+				} else if !reflect.DeepEqual(any(rs), ojspWant[i]) {
+					return report, nil, fmt.Errorf(
+						"bench: fedcomm OJSP divergence on query %d (%s/%s)", i, p.name, codec.Name())
+				}
+			}
+			report.Results = append(report.Results,
+				fedcommEntry("OJSP", p.name, codec.Name(), len(queries), cfg.K, 0, p.center.Metrics))
+		}
+
+		// CJSP: run every query under both protocols with enforced parity.
+		stateless.Metrics.Reset()
+		session.Metrics.Reset()
+		for i, q := range queries {
+			a, err := stateless.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K)
+			if err != nil {
+				return report, nil, fmt.Errorf("bench: fedcomm CJSP (stateless/%s): %w", codec.Name(), err)
+			}
+			b, err := session.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K)
+			if err != nil {
+				return report, nil, fmt.Errorf("bench: fedcomm CJSP (session/%s): %w", codec.Name(), err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				return report, nil, fmt.Errorf(
+					"bench: fedcomm parity violation on query %d (%s): stateless %+v, session %+v",
+					i, codec.Name(), a, b)
+			}
+			if ci == 0 {
+				cjspWant = append(cjspWant, a)
+			} else if !reflect.DeepEqual(any(a), cjspWant[i]) {
+				return report, nil, fmt.Errorf(
+					"bench: fedcomm CJSP codec divergence on query %d (%s)", i, codec.Name())
 			}
 		}
-		report.Results = append(report.Results,
-			fedcommEntry("OJSP", p.name, len(queries), cfg.K, 0, p.center.Metrics))
-	}
-
-	// CJSP: run every query under both protocols with enforced parity.
-	stateless.Metrics.Reset()
-	session.Metrics.Reset()
-	for i, q := range queries {
-		a, err := stateless.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K)
-		if err != nil {
-			return report, nil, fmt.Errorf("bench: fedcomm CJSP (stateless): %w", err)
-		}
-		b, err := session.CoverageSearch(context.Background(), q, cfg.Delta, cfg.K)
-		if err != nil {
-			return report, nil, fmt.Errorf("bench: fedcomm CJSP (session): %w", err)
-		}
-		if !reflect.DeepEqual(a, b) {
-			return report, nil, fmt.Errorf(
-				"bench: fedcomm parity violation on query %d: stateless %+v, session %+v", i, a, b)
+		st := fedcommEntry("CJSP", "stateless", codec.Name(), len(queries), cfg.K, cfg.Delta, stateless.Metrics)
+		se := fedcommEntry("CJSP", "session", codec.Name(), len(queries), cfg.K, cfg.Delta, session.Metrics)
+		report.Results = append(report.Results, st, se)
+		if ci == 0 { // headline protocol reductions come from the binary codec
+			if se.BytesPerQuery > 0 {
+				report.CJSPBytesReduction = st.BytesPerQuery / se.BytesPerQuery
+			}
+			if se.MsgsPerQuery > 0 {
+				report.CJSPMsgsReduction = st.MsgsPerQuery / se.MsgsPerQuery
+			}
 		}
 	}
-	st := fedcommEntry("CJSP", "stateless", len(queries), cfg.K, cfg.Delta, stateless.Metrics)
-	se := fedcommEntry("CJSP", "session", len(queries), cfg.K, cfg.Delta, session.Metrics)
-	report.Results = append(report.Results, st, se)
-	if se.BytesPerQuery > 0 {
-		report.CJSPBytesReduction = st.BytesPerQuery / se.BytesPerQuery
+	for _, e := range report.Results {
+		switch e.Codec {
+		case transport.CodecGob:
+			gobBytes += e.Bytes
+		default:
+			binBytes += e.Bytes
+		}
 	}
-	if se.MsgsPerQuery > 0 {
-		report.CJSPMsgsReduction = st.MsgsPerQuery / se.MsgsPerQuery
+	if binBytes > 0 {
+		report.CodecBytesReduction = float64(gobBytes) / float64(binBytes)
 	}
 
 	t := Table{
 		ID:    "fedcomm",
-		Title: "Federation protocol: stateless broadcast vs session (delta rounds + two-phase fetch)",
+		Title: "Federation protocol: stateless broadcast vs session, gob vs binary wire codec",
 		Header: []string{
-			"query", "protocol", "q", "k", "bytes/query", "msgs/query", "bytes total",
+			"query", "protocol", "codec", "q", "k", "bytes/query", "msgs/query", "bytes total",
 		},
 		Notes: []string{
 			fmt.Sprintf("CJSP bytes reduction: %.2fx, round-trip reduction: %.2fx (k=%d, δ=%v, parity enforced).",
 				report.CJSPBytesReduction, report.CJSPMsgsReduction, cfg.K, cfg.Delta),
-			"Parity: every CJSP query must produce identical Picked/Coverage under both protocols.",
+			fmt.Sprintf("Codec bytes reduction (gob/binary, same workload): %.2fx.", report.CodecBytesReduction),
+			"Parity: identical answers required across both protocols and both wire codecs.",
 		},
 	}
 	for _, e := range report.Results {
 		t.Rows = append(t.Rows, []string{
-			e.Query, e.Protocol, itoa(e.Queries), itoa(e.K),
+			e.Query, e.Protocol, e.Codec, itoa(e.Queries), itoa(e.K),
 			fmt.Sprintf("%.0f", e.BytesPerQuery),
 			fmt.Sprintf("%.1f", e.MsgsPerQuery),
 			i64toa(e.Bytes),
@@ -178,29 +223,31 @@ func ReadFedcomm(path string) (FedcommReport, error) {
 }
 
 // CompareFedcomm diffs a current run against a snapshot: per (query,
-// protocol) pair, the snapshot and current bytes per query and the drift —
-// the regression signal for protocol changes.
+// protocol, codec) triple, the snapshot and current bytes per query and
+// the drift — the regression signal for protocol and codec changes.
 func CompareFedcomm(base, cur FedcommReport) Table {
 	t := Table{
 		ID:    "fedcomm-compare",
 		Title: "Federation protocol vs baseline snapshot" + fedcommGeneratedSuffix(base),
 		Header: []string{
-			"query", "protocol", "base bytes/q", "now bytes/q", "drift", "base msgs/q", "now msgs/q",
+			"query", "protocol", "codec", "base bytes/q", "now bytes/q", "drift", "base msgs/q", "now msgs/q",
 		},
 		Notes: []string{
 			"drift = now/base bytes per query: < 1.00x ships fewer bytes than the snapshot.",
 			fmt.Sprintf("CJSP bytes reduction now %.2fx (snapshot %.2fx).",
 				cur.CJSPBytesReduction, base.CJSPBytesReduction),
+			fmt.Sprintf("Codec bytes reduction (gob/binary) now %.2fx (snapshot %.2fx).",
+				cur.CodecBytesReduction, base.CodecBytesReduction),
 		},
 	}
 	baseBy := make(map[string]FedcommEntry, len(base.Results))
 	for _, e := range base.Results {
-		baseBy[e.Query+"|"+e.Protocol] = e
+		baseBy[e.Query+"|"+e.Protocol+"|"+e.Codec] = e
 	}
 	for _, e := range cur.Results {
-		b, ok := baseBy[e.Query+"|"+e.Protocol]
+		b, ok := baseBy[e.Query+"|"+e.Protocol+"|"+e.Codec]
 		if !ok {
-			t.Notes = append(t.Notes, fmt.Sprintf("no baseline entry for %s/%s", e.Query, e.Protocol))
+			t.Notes = append(t.Notes, fmt.Sprintf("no baseline entry for %s/%s/%s", e.Query, e.Protocol, e.Codec))
 			continue
 		}
 		drift := "-"
@@ -208,7 +255,7 @@ func CompareFedcomm(base, cur FedcommReport) Table {
 			drift = fmt.Sprintf("%.2fx", e.BytesPerQuery/b.BytesPerQuery)
 		}
 		t.Rows = append(t.Rows, []string{
-			e.Query, e.Protocol,
+			e.Query, e.Protocol, e.Codec,
 			fmt.Sprintf("%.0f", b.BytesPerQuery),
 			fmt.Sprintf("%.0f", e.BytesPerQuery),
 			drift,

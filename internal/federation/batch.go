@@ -201,20 +201,13 @@ func (c *Center) callSearchBatch(ctx context.Context, m *member, entries []subEn
 	for i, e := range entries {
 		req.Queries[i] = OverlapRequest{Cells: e.clip, K: queries[e.qi].K}
 	}
-	body, err := transport.Encode(req)
-	if err != nil {
-		return nil, err
-	}
-	respBody, err := m.peer.Call(ctx, MethodSearchBatch, body)
+	var resp SearchBatchResponse
+	err := m.peer.Call(ctx, MethodSearchBatch, &req, &resp)
 	if isUnknownMethod(err) {
 		return c.perQueryFallback(ctx, m, entries, queries)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("federation: search batch at %s: %w", m.summary.Name, err)
-	}
-	var resp SearchBatchResponse
-	if err := transport.Decode(respBody, &resp); err != nil {
-		return nil, err
 	}
 	if len(resp.Results) != len(entries) {
 		return nil, fmt.Errorf("federation: search batch at %s: %d answers for %d queries",
@@ -229,16 +222,9 @@ func (c *Center) callSearchBatch(ctx context.Context, m *member, entries []subEn
 func (c *Center) perQueryFallback(ctx context.Context, m *member, entries []subEntry, queries []BatchQuery) ([]OverlapResponse, error) {
 	resps := make([]OverlapResponse, len(entries))
 	for i, e := range entries {
-		body, err := transport.Encode(OverlapRequest{Cells: e.clip, K: queries[e.qi].K})
-		if err != nil {
-			return nil, err
-		}
-		respBody, err := m.peer.Call(ctx, MethodOverlap, body)
-		if err != nil {
+		req := OverlapRequest{Cells: e.clip, K: queries[e.qi].K}
+		if err := m.peer.Call(ctx, MethodOverlap, &req, &resps[i]); err != nil {
 			return nil, fmt.Errorf("federation: overlap at %s: %w", m.summary.Name, err)
-		}
-		if err := transport.Decode(respBody, &resps[i]); err != nil {
-			return nil, err
 		}
 	}
 	return resps, nil

@@ -152,11 +152,11 @@ type legacyPeer struct {
 	transport.Peer
 }
 
-func (p *legacyPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *legacyPeer) Call(ctx context.Context, method string, req, resp any) error {
 	if method == MethodSearchBatch {
-		return nil, &transport.RemoteError{Source: "legacy", Msg: `federation: unknown method "search.batch"`}
+		return &transport.RemoteError{Source: "legacy", Msg: `federation: unknown method "search.batch"`}
 	}
-	return p.Peer.Call(ctx, method, body)
+	return p.Peer.Call(ctx, method, req, resp)
 }
 
 // TestOverlapSearchBatchLegacyFallback: a source rejecting search.batch is
@@ -193,11 +193,11 @@ type failingBatchPeer struct {
 	fail bool
 }
 
-func (p *failingBatchPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *failingBatchPeer) Call(ctx context.Context, method string, req, resp any) error {
 	if p.fail {
-		return nil, fmt.Errorf("peer down")
+		return fmt.Errorf("peer down")
 	}
-	return p.Peer.Call(ctx, method, body)
+	return p.Peer.Call(ctx, method, req, resp)
 }
 
 // TestOverlapSearchBatchFailurePolicies: FailFast aborts the whole batch;
@@ -268,18 +268,8 @@ func TestSearchBatchSourceHandler(t *testing.T) {
 		{Cells: q2, K: 0},  // k=0: empty aligned answer
 		{Cells: q2, K: 5},
 	}}
-	body, err := transport.Encode(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	respBody, err := h(context.Background(), MethodSearchBatch, body)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var resp SearchBatchResponse
-	if err := transport.Decode(respBody, &resp); err != nil {
-		t.Fatal(err)
-	}
+	callHandler(t, h, MethodSearchBatch, &req, &resp)
 	if len(resp.Results) != 4 {
 		t.Fatalf("got %d results, want 4", len(resp.Results))
 	}
@@ -287,20 +277,32 @@ func TestSearchBatchSourceHandler(t *testing.T) {
 		t.Fatal("degenerate entries must answer empty")
 	}
 	for _, i := range []int{0, 3} {
-		single, err := transport.Encode(OverlapRequest{Cells: req.Queries[i].Cells, K: req.Queries[i].K})
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantBody, err := h(context.Background(), MethodOverlap, single)
-		if err != nil {
-			t.Fatal(err)
-		}
 		var want OverlapResponse
-		if err := transport.Decode(wantBody, &want); err != nil {
-			t.Fatal(err)
-		}
+		callHandler(t, h, MethodOverlap, &OverlapRequest{Cells: req.Queries[i].Cells, K: req.Queries[i].K}, &want)
 		if !reflect.DeepEqual(resp.Results[i], want) {
 			t.Fatalf("entry %d: batch %v != single %v", i, resp.Results[i], want)
 		}
+	}
+}
+
+// callHandler drives a source handler at the wire level through gob: the
+// request is encoded, dispatched, and the handler's answer decoded into
+// resp, exactly as an unnegotiated connection would carry it.
+func callHandler(t *testing.T, h transport.Handler, method string, req, resp any) {
+	t.Helper()
+	body, err := transport.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := h(context.Background(), transport.GobCodec, method, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := transport.GobCodec.Append(nil, ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.Decode(payload, resp); err != nil {
+		t.Fatal(err)
 	}
 }

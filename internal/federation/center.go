@@ -223,16 +223,27 @@ func (c *Center) dropVersionLocked(name string) {
 // (MethodSummary) and registers it — how a data center bootstraps against
 // already-running source servers.
 func (c *Center) RegisterRemote(ctx context.Context, peer transport.Peer) (dits.SourceSummary, error) {
-	body, err := peer.Call(ctx, MethodSummary, nil)
-	if err != nil {
-		return dits.SourceSummary{}, fmt.Errorf("federation: fetch summary: %w", err)
-	}
 	var summary dits.SourceSummary
-	if err := transport.Decode(body, &summary); err != nil {
-		return dits.SourceSummary{}, err
+	if err := peer.Call(ctx, MethodSummary, nil, &summary); err != nil {
+		return dits.SourceSummary{}, fmt.Errorf("federation: fetch summary: %w", err)
 	}
 	c.Register(summary, peer)
 	return summary, nil
+}
+
+// PeerWire reports the negotiated wire parameters of every registered
+// source whose peer knows them (transport.Wired), keyed by source name —
+// the observability surface a mixed-codec rolling upgrade is watched
+// through (GET /stats).
+func (c *Center) PeerWire() map[string]transport.WireInfo {
+	ep := c.epoch.Load()
+	out := make(map[string]transport.WireInfo, len(ep.ordered))
+	for _, m := range ep.ordered {
+		if w, ok := m.peer.(transport.Wired); ok {
+			out[m.summary.Name] = w.WireInfo()
+		}
+	}
+	return out
 }
 
 // Unregister removes a source (its peer is not closed). In-flight queries
@@ -428,17 +439,10 @@ func (c *Center) OverlapSearch(ctx context.Context, queryCells cellset.Set, k in
 		if cells.IsEmpty() {
 			return nil, nil
 		}
-		body, err := transport.Encode(OverlapRequest{Cells: cells, K: k})
-		if err != nil {
-			return nil, err
-		}
-		respBody, err := m.peer.Call(ctx, MethodOverlap, body)
-		if err != nil {
-			return nil, fmt.Errorf("federation: overlap at %s: %w", m.summary.Name, err)
-		}
+		req := OverlapRequest{Cells: cells, K: k}
 		var resp OverlapResponse
-		if err := transport.Decode(respBody, &resp); err != nil {
-			return nil, err
+		if err := m.peer.Call(ctx, MethodOverlap, &req, &resp); err != nil {
+			return nil, fmt.Errorf("federation: overlap at %s: %w", m.summary.Name, err)
 		}
 		rs := make([]SourceResult, len(resp.Results))
 		for i, r := range resp.Results {
@@ -560,21 +564,14 @@ func (c *Center) coverageStateless(ctx context.Context, ep *epochSnap, queryCell
 			if cells.IsEmpty() {
 				return nil, nil
 			}
-			body, err := transport.Encode(CoverageRequest{
+			req := CoverageRequest{
 				Merged:  cells,
 				Delta:   delta,
 				Exclude: excluded[m.summary.Name],
-			})
-			if err != nil {
-				return nil, err
-			}
-			respBody, err := m.peer.Call(ctx, MethodCoverage, body)
-			if err != nil {
-				return nil, fmt.Errorf("federation: coverage at %s: %w", m.summary.Name, err)
 			}
 			var cand CoverageCandidate
-			if err := transport.Decode(respBody, &cand); err != nil {
-				return nil, err
+			if err := m.peer.Call(ctx, MethodCoverage, &req, &cand); err != nil {
+				return nil, fmt.Errorf("federation: coverage at %s: %w", m.summary.Name, err)
 			}
 			if !cand.Found {
 				return nil, nil
@@ -811,29 +808,20 @@ rounds:
 // callRound performs one coverage.round exchange.
 func (c *Center) callRound(ctx context.Context, m *member, req CoverageRoundRequest) (CoverageRoundResponse, error) {
 	var resp CoverageRoundResponse
-	body, err := transport.Encode(req)
-	if err != nil {
-		return resp, err
-	}
-	respBody, err := m.peer.Call(ctx, MethodCoverageRound, body)
-	if err != nil {
+	if err := m.peer.Call(ctx, MethodCoverageRound, &req, &resp); err != nil {
 		return resp, fmt.Errorf("federation: coverage round at %s: %w", m.summary.Name, err)
 	}
-	return resp, transport.Decode(respBody, &resp)
+	return resp, nil
 }
 
 // fetchCells performs the second-phase coverage.fetch exchange.
 func (c *Center) fetchCells(ctx context.Context, m *member, sess uint64, id int) (FetchCellsResponse, error) {
 	var resp FetchCellsResponse
-	body, err := transport.Encode(FetchCellsRequest{Session: sess, ID: id})
-	if err != nil {
-		return resp, err
-	}
-	respBody, err := m.peer.Call(ctx, MethodFetchCells, body)
-	if err != nil {
+	req := FetchCellsRequest{Session: sess, ID: id}
+	if err := m.peer.Call(ctx, MethodFetchCells, &req, &resp); err != nil {
 		return resp, fmt.Errorf("federation: fetch cells at %s: %w", m.summary.Name, err)
 	}
-	return resp, transport.Decode(respBody, &resp)
+	return resp, nil
 }
 
 // closeSessions releases every open session at the end of a coverage
@@ -841,10 +829,7 @@ func (c *Center) fetchCells(ctx context.Context, m *member, sess uint64, id int)
 // on a fresh context — the query's own deadline may already have expired,
 // and cleanup should still go out.
 func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
-	body, err := transport.Encode(SessionCloseRequest{Session: sessID})
-	if err != nil {
-		return
-	}
+	req := SessionCloseRequest{Session: sessID}
 	var open []*member
 	for _, st := range states {
 		if st.open && !st.failed {
@@ -852,7 +837,7 @@ func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
 		}
 	}
 	fanOut(open, func(m *member) (struct{}, error) {
-		m.peer.Call(context.Background(), MethodSessionClose, body)
+		m.peer.Call(context.Background(), MethodSessionClose, &req, nil)
 		return struct{}{}, nil
 	})
 }
@@ -876,39 +861,27 @@ func (c *Center) PutDataset(ctx context.Context, source string, id int, name str
 	if cells.IsEmpty() {
 		return MutateResult{}, fmt.Errorf("federation: dataset %d has no cells", id)
 	}
-	body, err := transport.Encode(DatasetPutRequest{ID: id, Name: name, Cells: cells})
-	if err != nil {
-		return MutateResult{}, err
-	}
-	return c.mutate(ctx, source, id, MethodDatasetPut, body)
+	return c.mutate(ctx, source, id, MethodDatasetPut, &DatasetPutRequest{ID: id, Name: name, Cells: cells})
 }
 
 // DeleteDataset durably removes one dataset at the named source (method
 // dataset.delete). Deleting an ID the source does not hold returns
 // Found=false and mutates nothing.
 func (c *Center) DeleteDataset(ctx context.Context, source string, id int) (MutateResult, error) {
-	body, err := transport.Encode(DatasetDeleteRequest{ID: id})
-	if err != nil {
-		return MutateResult{}, err
-	}
-	return c.mutate(ctx, source, id, MethodDatasetDelete, body)
+	return c.mutate(ctx, source, id, MethodDatasetDelete, &DatasetDeleteRequest{ID: id})
 }
 
 // mutate routes one mutation to its source and folds the response into
 // the center's version vector and (when the summary moved) DITS-G.
-func (c *Center) mutate(ctx context.Context, source string, id int, method string, body []byte) (MutateResult, error) {
+func (c *Center) mutate(ctx context.Context, source string, id int, method string, req any) (MutateResult, error) {
 	ep := c.epoch.Load()
 	m, ok := ep.members[source]
 	if !ok {
 		return MutateResult{}, fmt.Errorf("%w: %q", ErrUnknownSource, source)
 	}
-	respBody, err := m.peer.Call(ctx, method, body)
-	if err != nil {
-		return MutateResult{}, fmt.Errorf("federation: %s at %s: %w", method, source, err)
-	}
 	var resp MutateResponse
-	if err := transport.Decode(respBody, &resp); err != nil {
-		return MutateResult{}, err
+	if err := m.peer.Call(ctx, method, req, &resp); err != nil {
+		return MutateResult{}, fmt.Errorf("federation: %s at %s: %w", method, source, err)
 	}
 	res := MutateResult{
 		Source: source, ID: id,

@@ -1,0 +1,535 @@
+package federation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dits/internal/cellset"
+	"dits/internal/geo"
+	"dits/internal/index/dits"
+	"dits/internal/transport"
+)
+
+// The versioned binary wire codec for the federation protocol —
+// negotiated per connection by the transport.hello handshake (wire name
+// BinaryCodecName), with gob remaining the fallback for legacy peers.
+//
+// Every payload opens with one content tag: tagBin means a hand-written
+// binary message follows — a message-type byte (so a frame decoded as the
+// wrong type errors instead of misparsing) and then the message fields in
+// struct order — while tagGob means a gob stream follows, which is how
+// the binary codec carries any message type it has no native encoding
+// for (a method added later still works over a binary connection).
+//
+// Field primitives: unsigned ints are uvarints, signed ints are zigzag
+// varints, floats are 8 little-endian bytes of their IEEE-754 bits,
+// bools are one byte, strings are uvarint length + bytes, slices are
+// uvarint length + elements, and cell sets use the cellset wire form
+// (delta-varint cell IDs or Compact containers as raw little-endian
+// words — see cellset/wire.go and docs/PROTOCOL.md).
+//
+// The decoder is defensive end to end: every length is validated against
+// the remaining input before allocation and corrupt or truncated frames
+// return errors, never panic (FuzzCodec exercises exactly this).
+
+// BinaryCodecName is the binary codec's wire name. The trailing /1
+// versions the encoding itself: an incompatible revision would register
+// under /2 and negotiate independently.
+const BinaryCodecName = "dits-bin/1"
+
+const (
+	tagBin = 'B'
+	tagGob = 'G'
+)
+
+// Message-type bytes, one per wire struct. Append-only: reusing a
+// retired value would let two builds misparse each other's frames.
+const (
+	msgOverlapReq byte = iota + 1
+	msgOverlapResp
+	msgSearchBatchReq
+	msgSearchBatchResp
+	msgCoverageReq
+	msgCoverageCand
+	msgCoverageRoundReq
+	msgCoverageRoundResp
+	msgFetchCellsReq
+	msgFetchCellsResp
+	msgSessionCloseReq
+	msgSessionCloseResp
+	msgStatsResp
+	msgDatasetPutReq
+	msgDatasetDeleteReq
+	msgMutateResp
+	msgVersionReq
+	msgVersionResp
+	msgSourceSummary
+)
+
+// BinaryCodec is the federation's binary wire codec.
+var BinaryCodec transport.Codec = binCodec{}
+
+func init() { transport.RegisterCodec(BinaryCodec) }
+
+type binCodec struct{}
+
+func (binCodec) Name() string { return BinaryCodecName }
+
+// maxWireSlice caps decoded slice lengths as a pre-allocation sanity
+// bound; every element costs at least one byte on the wire, so the
+// per-call check against the remaining input is the real guard.
+const maxWireSlice = 1 << 24
+
+func (binCodec) Append(dst []byte, v any) ([]byte, error) {
+	switch m := v.(type) {
+	case nil:
+		return dst, nil
+	case *OverlapRequest:
+		dst = append(dst, tagBin, msgOverlapReq)
+		dst = m.Cells.AppendWire(dst)
+		return binary.AppendVarint(dst, int64(m.K)), nil
+	case *OverlapResponse:
+		dst = append(dst, tagBin, msgOverlapResp)
+		return appendOverlapItems(dst, m.Results), nil
+	case *SearchBatchRequest:
+		dst = append(dst, tagBin, msgSearchBatchReq)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Queries)))
+		for i := range m.Queries {
+			dst = m.Queries[i].Cells.AppendWire(dst)
+			dst = binary.AppendVarint(dst, int64(m.Queries[i].K))
+		}
+		return dst, nil
+	case *SearchBatchResponse:
+		dst = append(dst, tagBin, msgSearchBatchResp)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Results)))
+		for i := range m.Results {
+			dst = appendOverlapItems(dst, m.Results[i].Results)
+		}
+		return dst, nil
+	case *CoverageRequest:
+		dst = append(dst, tagBin, msgCoverageReq)
+		dst = m.Merged.AppendWire(dst)
+		dst = appendF64(dst, m.Delta)
+		return appendInts(dst, m.Exclude), nil
+	case *CoverageCandidate:
+		dst = append(dst, tagBin, msgCoverageCand)
+		dst = appendBool(dst, m.Found)
+		dst = binary.AppendVarint(dst, int64(m.ID))
+		dst = appendString(dst, m.Name)
+		dst = binary.AppendVarint(dst, int64(m.Gain))
+		return m.Cells.AppendWire(dst), nil
+	case *CoverageRoundRequest:
+		dst = append(dst, tagBin, msgCoverageRoundReq)
+		dst = binary.AppendUvarint(dst, m.Session)
+		dst = m.Base.AppendWire(dst)
+		dst = m.Added.AppendWire(dst)
+		dst = appendF64(dst, m.Delta)
+		return appendInts(dst, m.Exclude), nil
+	case *CoverageRoundResponse:
+		dst = append(dst, tagBin, msgCoverageRoundResp)
+		dst = appendBool(dst, m.SessionMiss)
+		dst = appendBool(dst, m.Stateless)
+		dst = appendBool(dst, m.Found)
+		dst = binary.AppendVarint(dst, int64(m.ID))
+		dst = appendString(dst, m.Name)
+		return binary.AppendVarint(dst, int64(m.Gain)), nil
+	case *FetchCellsRequest:
+		dst = append(dst, tagBin, msgFetchCellsReq)
+		dst = binary.AppendUvarint(dst, m.Session)
+		return binary.AppendVarint(dst, int64(m.ID)), nil
+	case *FetchCellsResponse:
+		dst = append(dst, tagBin, msgFetchCellsResp)
+		dst = appendBool(dst, m.Found)
+		dst = appendBool(dst, m.Committed)
+		return m.Cells.AppendWire(dst), nil
+	case *SessionCloseRequest:
+		dst = append(dst, tagBin, msgSessionCloseReq)
+		return binary.AppendUvarint(dst, m.Session), nil
+	case *SessionCloseResponse:
+		dst = append(dst, tagBin, msgSessionCloseResp)
+		return appendBool(dst, m.Closed), nil
+	case *StatsResponse:
+		dst = append(dst, tagBin, msgStatsResp)
+		dst = appendString(dst, m.Name)
+		dst = binary.AppendVarint(dst, int64(m.NumDatasets))
+		dst = binary.AppendVarint(dst, int64(m.TreeNodes))
+		dst = binary.AppendVarint(dst, int64(m.Height))
+		dst = binary.AppendVarint(dst, int64(m.Sessions))
+		dst = binary.AppendUvarint(dst, m.DataVersion)
+		return appendBool(dst, m.Durable), nil
+	case *DatasetPutRequest:
+		dst = append(dst, tagBin, msgDatasetPutReq)
+		dst = binary.AppendVarint(dst, int64(m.ID))
+		dst = appendString(dst, m.Name)
+		return m.Cells.AppendWire(dst), nil
+	case *DatasetDeleteRequest:
+		dst = append(dst, tagBin, msgDatasetDeleteReq)
+		return binary.AppendVarint(dst, int64(m.ID)), nil
+	case *MutateResponse:
+		dst = append(dst, tagBin, msgMutateResp)
+		dst = appendBool(dst, m.Found)
+		dst = binary.AppendUvarint(dst, m.Version)
+		dst = binary.AppendVarint(dst, int64(m.NumDatasets))
+		return appendSummary(dst, &m.Summary), nil
+	case *VersionRequest:
+		return append(dst, tagBin, msgVersionReq), nil
+	case *VersionResponse:
+		dst = append(dst, tagBin, msgVersionResp)
+		dst = appendString(dst, m.Name)
+		dst = binary.AppendUvarint(dst, m.Version)
+		return appendBool(dst, m.Durable), nil
+	case *dits.SourceSummary:
+		dst = append(dst, tagBin, msgSourceSummary)
+		return appendSummary(dst, m), nil
+	default:
+		// No native encoding: carry the value as a tagged gob stream so
+		// new message types keep working over binary connections.
+		return transport.GobCodec.Append(append(dst, tagGob), v)
+	}
+}
+
+func (binCodec) Decode(data []byte, v any) error {
+	if v == nil {
+		return nil
+	}
+	if len(data) < 1 {
+		return errors.New("federation: codec: empty payload")
+	}
+	tag, data := data[0], data[1:]
+	if tag == tagGob {
+		return transport.GobCodec.Decode(data, v)
+	}
+	if tag != tagBin {
+		return fmt.Errorf("federation: codec: unknown content tag %d", tag)
+	}
+	if len(data) < 1 {
+		return errors.New("federation: codec: missing message type")
+	}
+	msg, data := data[0], data[1:]
+	r := wireReader{data: data}
+	switch m := v.(type) {
+	case *OverlapRequest:
+		r.expect(msg, msgOverlapReq)
+		m.Cells = r.set()
+		m.K = r.int()
+	case *OverlapResponse:
+		r.expect(msg, msgOverlapResp)
+		m.Results = r.overlapItems()
+	case *SearchBatchRequest:
+		r.expect(msg, msgSearchBatchReq)
+		n := r.sliceLen()
+		m.Queries = nil
+		if r.err == nil && n > 0 {
+			m.Queries = make([]OverlapRequest, n)
+			for i := range m.Queries {
+				m.Queries[i].Cells = r.set()
+				m.Queries[i].K = r.int()
+			}
+		}
+	case *SearchBatchResponse:
+		r.expect(msg, msgSearchBatchResp)
+		n := r.sliceLen()
+		m.Results = nil
+		if r.err == nil && n > 0 {
+			m.Results = make([]OverlapResponse, n)
+			for i := range m.Results {
+				m.Results[i].Results = r.overlapItems()
+			}
+		}
+	case *CoverageRequest:
+		r.expect(msg, msgCoverageReq)
+		m.Merged = r.set()
+		m.Delta = r.f64()
+		m.Exclude = r.ints()
+	case *CoverageCandidate:
+		r.expect(msg, msgCoverageCand)
+		m.Found = r.bool()
+		m.ID = r.int()
+		m.Name = r.string()
+		m.Gain = r.int()
+		m.Cells = r.set()
+	case *CoverageRoundRequest:
+		r.expect(msg, msgCoverageRoundReq)
+		m.Session = r.uvarint()
+		m.Base = r.set()
+		m.Added = r.set()
+		m.Delta = r.f64()
+		m.Exclude = r.ints()
+	case *CoverageRoundResponse:
+		r.expect(msg, msgCoverageRoundResp)
+		m.SessionMiss = r.bool()
+		m.Stateless = r.bool()
+		m.Found = r.bool()
+		m.ID = r.int()
+		m.Name = r.string()
+		m.Gain = r.int()
+	case *FetchCellsRequest:
+		r.expect(msg, msgFetchCellsReq)
+		m.Session = r.uvarint()
+		m.ID = r.int()
+	case *FetchCellsResponse:
+		r.expect(msg, msgFetchCellsResp)
+		m.Found = r.bool()
+		m.Committed = r.bool()
+		m.Cells = r.set()
+	case *SessionCloseRequest:
+		r.expect(msg, msgSessionCloseReq)
+		m.Session = r.uvarint()
+	case *SessionCloseResponse:
+		r.expect(msg, msgSessionCloseResp)
+		m.Closed = r.bool()
+	case *StatsResponse:
+		r.expect(msg, msgStatsResp)
+		m.Name = r.string()
+		m.NumDatasets = r.int()
+		m.TreeNodes = r.int()
+		m.Height = r.int()
+		m.Sessions = r.int()
+		m.DataVersion = r.uvarint()
+		m.Durable = r.bool()
+	case *DatasetPutRequest:
+		r.expect(msg, msgDatasetPutReq)
+		m.ID = r.int()
+		m.Name = r.string()
+		m.Cells = r.set()
+	case *DatasetDeleteRequest:
+		r.expect(msg, msgDatasetDeleteReq)
+		m.ID = r.int()
+	case *MutateResponse:
+		r.expect(msg, msgMutateResp)
+		m.Found = r.bool()
+		m.Version = r.uvarint()
+		m.NumDatasets = r.int()
+		r.summary(&m.Summary)
+	case *VersionRequest:
+		r.expect(msg, msgVersionReq)
+	case *VersionResponse:
+		r.expect(msg, msgVersionResp)
+		m.Name = r.string()
+		m.Version = r.uvarint()
+		m.Durable = r.bool()
+	case *dits.SourceSummary:
+		r.expect(msg, msgSourceSummary)
+		r.summary(m)
+	default:
+		return fmt.Errorf("federation: codec: no binary decoding for %T", v)
+	}
+	if r.err != nil {
+		return fmt.Errorf("federation: codec: %w", r.err)
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("federation: codec: %d trailing bytes", len(r.data))
+	}
+	return nil
+}
+
+// Encode-side helpers. All are append-style and allocation-free beyond
+// dst's growth, so the encode path stays zero-alloc with a pooled buffer.
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendInts(dst []byte, xs []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = binary.AppendVarint(dst, int64(x))
+	}
+	return dst
+}
+
+func appendOverlapItems(dst []byte, items []OverlapItem) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for i := range items {
+		dst = binary.AppendVarint(dst, int64(items[i].ID))
+		dst = appendString(dst, items[i].Name)
+		dst = binary.AppendVarint(dst, int64(items[i].Overlap))
+	}
+	return dst
+}
+
+func appendSummary(dst []byte, s *dits.SourceSummary) []byte {
+	dst = appendString(dst, s.Name)
+	dst = appendF64(dst, s.Rect.MinX)
+	dst = appendF64(dst, s.Rect.MinY)
+	dst = appendF64(dst, s.Rect.MaxX)
+	dst = appendF64(dst, s.Rect.MaxY)
+	dst = appendF64(dst, s.O.X)
+	dst = appendF64(dst, s.O.Y)
+	dst = appendF64(dst, s.R)
+	return binary.AppendVarint(dst, int64(s.Theta))
+}
+
+// wireReader is the decode-side cursor: reads are sticky-error, so a
+// decode body reads every field unconditionally and checks err once.
+type wireReader struct {
+	data []byte
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+		r.data = nil
+	}
+}
+
+func (r *wireReader) expect(got, want byte) {
+	if got != want {
+		r.fail("message type %d, want %d", got, want)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *wireReader) int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return int(v)
+}
+
+func (r *wireReader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.data) < 1 {
+		r.fail("truncated bool")
+		return false
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	if b > 1 {
+		r.fail("bool byte %d", b)
+		return false
+	}
+	return b == 1
+}
+
+func (r *wireReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *wireReader) string() string {
+	if r.err != nil {
+		return ""
+	}
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail("string length %d exceeds input", n)
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+// sliceLen reads a slice length, bounds-checked against the remaining
+// input (one byte per element minimum).
+func (r *wireReader) sliceLen() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > maxWireSlice || n > uint64(len(r.data)) {
+		r.fail("slice length %d out of range", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) ints() []int {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = r.int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return xs
+}
+
+func (r *wireReader) set() cellset.Set {
+	if r.err != nil {
+		return nil
+	}
+	s, rest, err := cellset.DecodeWireSet(r.data)
+	if err != nil {
+		r.fail("%v", err)
+		return nil
+	}
+	r.data = rest
+	return s
+}
+
+func (r *wireReader) overlapItems() []OverlapItem {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	items := make([]OverlapItem, n)
+	for i := range items {
+		items[i].ID = r.int()
+		items[i].Name = r.string()
+		items[i].Overlap = r.int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return items
+}
+
+func (r *wireReader) summary(s *dits.SourceSummary) {
+	s.Name = r.string()
+	s.Rect = geo.Rect{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+	s.O = geo.Point{X: r.f64(), Y: r.f64()}
+	s.R = r.f64()
+	s.Theta = r.int()
+}

@@ -215,12 +215,8 @@ func TestSourceVersionRPC(t *testing.T) {
 	srv := servers[0]
 	peer := &transport.InProc{Name: srv.Name, Handler: srv.Handler()}
 	call := func() VersionResponse {
-		body, err := peer.Call(context.Background(), MethodSourceVersion, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
 		var resp VersionResponse
-		if err := transport.Decode(body, &resp); err != nil {
+		if err := peer.Call(context.Background(), MethodSourceVersion, nil, &resp); err != nil {
 			t.Fatal(err)
 		}
 		return resp
@@ -236,12 +232,8 @@ func TestSourceVersionRPC(t *testing.T) {
 		t.Fatalf("version after one mutation = %d, want 1", v1.Version)
 	}
 	// Stats carries the same counters.
-	body, err := peer.Call(context.Background(), MethodStats, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var stats StatsResponse
-	if err := transport.Decode(body, &stats); err != nil {
+	if err := peer.Call(context.Background(), MethodStats, nil, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.DataVersion != 1 || !stats.Durable {

@@ -123,24 +123,18 @@ type droppingPeer struct {
 	mode  string // method whose sessions get dropped first
 }
 
-func (p *droppingPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *droppingPeer) Call(ctx context.Context, method string, req, resp any) error {
 	if method == p.mode {
 		var sess uint64
-		switch method {
-		case MethodCoverageRound:
-			var req CoverageRoundRequest
-			if err := transport.Decode(body, &req); err == nil {
-				sess = req.Session
-			}
-		case MethodFetchCells:
-			var req FetchCellsRequest
-			if err := transport.Decode(body, &req); err == nil {
-				sess = req.Session
-			}
+		switch r := req.(type) {
+		case *CoverageRoundRequest:
+			sess = r.Session
+		case *FetchCellsRequest:
+			sess = r.Session
 		}
 		p.srv.handleSessionClose(SessionCloseRequest{Session: sess})
 	}
-	return p.inner.Call(ctx, method, body)
+	return p.inner.Call(ctx, method, req, resp)
 }
 
 func (p *droppingPeer) Close() error { return p.inner.Close() }
@@ -237,12 +231,12 @@ type flakyPeer struct {
 	failAfter int
 }
 
-func (p *flakyPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *flakyPeer) Call(ctx context.Context, method string, req, resp any) error {
 	p.calls++
 	if p.calls > p.failAfter {
-		return nil, &transport.RemoteError{Source: "flaky", Msg: "link down"}
+		return &transport.RemoteError{Source: "flaky", Msg: "link down"}
 	}
-	return p.inner.Call(ctx, method, body)
+	return p.inner.Call(ctx, method, req, resp)
 }
 
 func (p *flakyPeer) Close() error { return p.inner.Close() }
@@ -333,12 +327,12 @@ type recoveringPeer struct {
 	failFirst int
 }
 
-func (p *recoveringPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *recoveringPeer) Call(ctx context.Context, method string, req, resp any) error {
 	p.calls++
 	if p.calls <= p.failFirst {
-		return nil, &transport.RemoteError{Source: "recovering", Msg: "transient outage"}
+		return &transport.RemoteError{Source: "recovering", Msg: "transient outage"}
 	}
-	return p.inner.Call(ctx, method, body)
+	return p.inner.Call(ctx, method, req, resp)
 }
 
 func (p *recoveringPeer) Close() error { return p.inner.Close() }
@@ -396,12 +390,12 @@ type churningPeer struct {
 	done   bool
 }
 
-func (p *churningPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *churningPeer) Call(ctx context.Context, method string, req, resp any) error {
 	if !p.done {
 		p.done = true
 		p.center.Unregister(p.victim)
 	}
-	return p.inner.Call(ctx, method, body)
+	return p.inner.Call(ctx, method, req, resp)
 }
 
 func (p *churningPeer) Close() error { return p.inner.Close() }

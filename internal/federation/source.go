@@ -200,70 +200,76 @@ func (s *SourceServer) NumSessions() int {
 // carries the center's propagated deadline; search handlers pass it to the
 // cancellable executor so abandoned queries stop consuming the source.
 func (s *SourceServer) Handler() transport.Handler {
-	return func(ctx context.Context, method string, body []byte) ([]byte, error) {
+	return func(ctx context.Context, codec transport.Codec, method string, body []byte) (any, error) {
 		switch method {
 		case MethodOverlap:
 			var req OverlapRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleOverlap(ctx, req))
+			resp := s.handleOverlap(ctx, req)
+			return &resp, nil
 		case MethodSearchBatch:
 			var req SearchBatchRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleSearchBatch(ctx, req))
+			resp := s.handleSearchBatch(ctx, req)
+			return &resp, nil
 		case MethodCoverage:
 			var req CoverageRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleCoverage(ctx, req))
+			resp := s.handleCoverage(ctx, req)
+			return &resp, nil
 		case MethodCoverageRound:
 			var req CoverageRoundRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleCoverageRound(ctx, req))
+			resp := s.handleCoverageRound(ctx, req)
+			return &resp, nil
 		case MethodFetchCells:
 			var req FetchCellsRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleFetchCells(req))
+			resp := s.handleFetchCells(req)
+			return &resp, nil
 		case MethodSessionClose:
 			var req SessionCloseRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return transport.Encode(s.handleSessionClose(req))
+			resp := s.handleSessionClose(req)
+			return &resp, nil
 		case MethodDatasetPut:
 			var req DatasetPutRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
 			resp, err := s.handleDatasetPut(req)
 			if err != nil {
 				return nil, err
 			}
-			return transport.Encode(resp)
+			return &resp, nil
 		case MethodDatasetDelete:
 			var req DatasetDeleteRequest
-			if err := transport.Decode(body, &req); err != nil {
+			if err := codec.Decode(body, &req); err != nil {
 				return nil, err
 			}
 			resp, err := s.handleDatasetDelete(req)
 			if err != nil {
 				return nil, err
 			}
-			return transport.Encode(resp)
+			return &resp, nil
 		case MethodSourceVersion:
-			return transport.Encode(VersionResponse{
+			return &VersionResponse{
 				Name:    s.Name,
 				Version: s.DataVersion(),
 				Durable: s.store != nil,
-			})
+			}, nil
 		case MethodStats:
 			resp := StatsResponse{
 				Name:        s.Name,
@@ -276,12 +282,13 @@ func (s *SourceServer) Handler() transport.Handler {
 				resp.TreeNodes = idx.NumTreeNodes()
 				resp.Height = idx.Height()
 			})
-			return transport.Encode(resp)
+			return &resp, nil
 		case MethodSummary:
 			// Lets a data center bootstrap registration over the wire
 			// (§V-B: "each source sends its root node to the data
 			// center") instead of requiring out-of-band summaries.
-			return transport.Encode(s.Summary())
+			sum := s.Summary()
+			return &sum, nil
 		default:
 			return nil, fmt.Errorf("federation: unknown method %q", method)
 		}

@@ -24,14 +24,8 @@ func testServer(t *testing.T) *SourceServer {
 
 func TestHandlerStats(t *testing.T) {
 	srv := testServer(t)
-	body, err := srv.Handler()(context.Background(), MethodStats, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var stats StatsResponse
-	if err := transport.Decode(body, &stats); err != nil {
-		t.Fatal(err)
-	}
+	callHandler(t, srv.Handler(), MethodStats, nil, &stats)
 	if stats.Name != "src" || stats.NumDatasets != 12 {
 		t.Errorf("stats = %+v", stats)
 	}
@@ -42,14 +36,8 @@ func TestHandlerStats(t *testing.T) {
 
 func TestHandlerSummary(t *testing.T) {
 	srv := testServer(t)
-	body, err := srv.Handler()(context.Background(), MethodSummary, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var summary dits.SourceSummary
-	if err := transport.Decode(body, &summary); err != nil {
-		t.Fatal(err)
-	}
+	callHandler(t, srv.Handler(), MethodSummary, nil, &summary)
 	if summary.Name != "src" || summary.Rect.IsEmpty() {
 		t.Errorf("summary = %+v", summary)
 	}
@@ -61,31 +49,24 @@ func TestHandlerSummary(t *testing.T) {
 func TestHandlerErrors(t *testing.T) {
 	srv := testServer(t)
 	h := srv.Handler()
-	if _, err := h(context.Background(), "no.such.method", nil); err == nil {
+	if _, err := h(context.Background(), transport.GobCodec, "no.such.method", nil); err == nil {
 		t.Error("unknown method should error")
 	}
-	if _, err := h(context.Background(), MethodOverlap, []byte("garbage")); err == nil {
+	if _, err := h(context.Background(), transport.GobCodec, MethodOverlap, []byte("garbage")); err == nil {
 		t.Error("garbage overlap body should error")
 	}
-	if _, err := h(context.Background(), MethodCoverage, []byte("garbage")); err == nil {
+	if _, err := h(context.Background(), transport.GobCodec, MethodCoverage, []byte("garbage")); err == nil {
 		t.Error("garbage coverage body should error")
+	}
+	if _, err := h(context.Background(), BinaryCodec, MethodOverlap, []byte{'B', 99}); err == nil {
+		t.Error("wrong binary message type should error")
 	}
 }
 
 func TestHandlerOverlapEmptyQuery(t *testing.T) {
 	srv := testServer(t)
-	body, err := transport.Encode(OverlapRequest{Cells: nil, K: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	respBody, err := srv.Handler()(context.Background(), MethodOverlap, body)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var resp OverlapResponse
-	if err := transport.Decode(respBody, &resp); err != nil {
-		t.Fatal(err)
-	}
+	callHandler(t, srv.Handler(), MethodOverlap, &OverlapRequest{Cells: nil, K: 5}, &resp)
 	if len(resp.Results) != 0 {
 		t.Errorf("empty query returned %v", resp.Results)
 	}
@@ -96,18 +77,8 @@ func TestHandlerCoverageExcludes(t *testing.T) {
 	q := cellset.New(geo.ZEncode(0, 8))
 	// First call finds dataset 0 (closest); excluding it yields another.
 	call := func(exclude []int) CoverageCandidate {
-		body, err := transport.Encode(CoverageRequest{Merged: q, Delta: 4, Exclude: exclude})
-		if err != nil {
-			t.Fatal(err)
-		}
-		respBody, err := srv.Handler()(context.Background(), MethodCoverage, body)
-		if err != nil {
-			t.Fatal(err)
-		}
 		var cand CoverageCandidate
-		if err := transport.Decode(respBody, &cand); err != nil {
-			t.Fatal(err)
-		}
+		callHandler(t, srv.Handler(), MethodCoverage, &CoverageRequest{Merged: q, Delta: 4, Exclude: exclude}, &cand)
 		return cand
 	}
 	first := call(nil)

@@ -42,7 +42,7 @@ func newGuardedGateway(t *testing.T, opts Options, delay time.Duration) *httptes
 	}
 	srv := federation.NewSourceServerWithGrid("slow", dits.Build(grid, nodes, 8))
 	inner := srv.Handler()
-	handler := func(ctx context.Context, method string, body []byte) ([]byte, error) {
+	handler := func(ctx context.Context, codec transport.Codec, method string, body []byte) (any, error) {
 		if delay > 0 && (method == federation.MethodOverlap || method == federation.MethodCoverage) {
 			select {
 			case <-time.After(delay):
@@ -50,7 +50,7 @@ func newGuardedGateway(t *testing.T, opts Options, delay time.Duration) *httptes
 				return nil, ctx.Err()
 			}
 		}
-		return inner(ctx, method, body)
+		return inner(ctx, codec, method, body)
 	}
 	peer := &transport.InProc{Name: "slow", Handler: handler, Metrics: center.Metrics}
 	if _, err := center.RegisterRemote(context.Background(), peer); err != nil {

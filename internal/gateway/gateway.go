@@ -256,6 +256,17 @@ type StatsResponse struct {
 	// SourceFailures counts failed exchanges per source, populated when
 	// the center runs the skip-and-record failure policy.
 	SourceFailures map[string]int64 `json:"sourceFailures,omitempty"`
+	// PeerWire reports, per source, the wire parameters the connection
+	// negotiated (codec name and compression) — the surface to watch
+	// during a mixed-codec rolling upgrade.
+	PeerWire map[string]transport.WireInfo `json:"peerWire,omitempty"`
+	// PeerCompressRawBytes/PeerCompressWireBytes total payload bytes
+	// before and after compression framing on compression-negotiated
+	// connections; PeerCompressedMessages counts payloads that actually
+	// shipped gzipped.
+	PeerCompressRawBytes   int64 `json:"peerCompressRawBytes"`
+	PeerCompressWireBytes  int64 `json:"peerCompressWireBytes"`
+	PeerCompressedMessages int64 `json:"peerCompressedMessages"`
 
 	// CacheInvalidations counts cache-invalidation events — one per
 	// applied dataset mutation, one per membership epoch change.
@@ -623,11 +634,15 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		MembershipEpoch: g.center.Generation(),
 		PeerMethodStats: g.center.Metrics.PerMethod(),
 		SourceFailures:  g.center.Metrics.Failures(),
+		PeerWire:        g.center.PeerWire(),
+
+		PeerCompressedMessages: g.center.Metrics.CompressedMessages(),
 
 		CacheInvalidations: g.center.CacheInvalidations(),
 		SourceVersions:     g.center.SourceVersions(),
 		Admission:          g.ctl.Stats(),
 	}
+	resp.PeerCompressRawBytes, resp.PeerCompressWireBytes = g.center.Metrics.CompressionBytes()
 	g.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,53 @@
+package dits
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAppendOverlapCountsParity: the Append variants must equal the
+// allocating originals for every leaf, and reuse the scratch buffer.
+func TestAppendOverlapCountsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := Build(testGrid(8), randomNodes(rng, 300, 8), 10)
+	q := randomNodes(rng, 1, 8)[0]
+	qc := q.CompactCells()
+	var scratch []int
+	l.Root.visitLeaves(func(n *TreeNode) {
+		scratch = n.AppendOverlapCounts(q.Cells, scratch)
+		if want := n.OverlapCounts(q.Cells); !reflect.DeepEqual(scratch, want) {
+			t.Fatalf("AppendOverlapCounts diverged: %v != %v", scratch, want)
+		}
+		scratch = n.AppendOverlapCountsCompact(qc, scratch)
+		if want := n.OverlapCountsCompact(qc); !reflect.DeepEqual(scratch, want) {
+			t.Fatalf("AppendOverlapCountsCompact diverged: %v != %v", scratch, want)
+		}
+	})
+}
+
+// TestAppendOverlapCountsZeroAlloc: with a warm scratch buffer the leaf
+// counting kernels — the executor's inner loop — must not allocate.
+func TestAppendOverlapCountsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := Build(testGrid(8), randomNodes(rng, 300, 8), 10)
+	q := randomNodes(rng, 1, 8)[0]
+	qc := q.CompactCells()
+	var leaves []*TreeNode
+	l.Root.visitLeaves(func(n *TreeNode) { leaves = append(leaves, n) })
+	scratch := make([]int, 0, 64)
+	if allocs := testing.AllocsPerRun(50, func() {
+		for _, n := range leaves {
+			scratch = n.AppendOverlapCounts(q.Cells, scratch)
+		}
+	}); allocs != 0 {
+		t.Errorf("AppendOverlapCounts allocated %.1f times per sweep", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		for _, n := range leaves {
+			scratch = n.AppendOverlapCountsCompact(qc, scratch)
+		}
+	}); allocs != 0 {
+		t.Errorf("AppendOverlapCountsCompact allocated %.1f times per sweep", allocs)
+	}
+}

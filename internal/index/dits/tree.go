@@ -228,7 +228,15 @@ func (n *TreeNode) OverlapBounds(q cellset.Set) (lb, ub int) {
 // exact |S_Q ∩ S_D| for every dataset node in the leaf. The returned slice
 // is indexed like Children. This is the verification step of Algorithm 2.
 func (n *TreeNode) OverlapCounts(q cellset.Set) []int {
-	counts := make([]int, len(n.Children))
+	return n.AppendOverlapCounts(q, nil)
+}
+
+// AppendOverlapCounts is OverlapCounts writing into counts' backing array
+// when it has the capacity — the zero-alloc variant the executor's leaf
+// hot loop threads a per-worker scratch slice through. The returned slice
+// has exactly len(Children) entries and replaces counts.
+func (n *TreeNode) AppendOverlapCounts(q cellset.Set, counts []int) []int {
+	counts = resizeCounts(counts, len(n.Children))
 	if len(n.Inv) < len(q) {
 		for c, pl := range n.Inv {
 			if !q.Contains(c) {
@@ -272,10 +280,27 @@ func (n *TreeNode) OverlapUBCompact(q *cellset.Compact) int {
 // |S_Q ∩ S_D| for every dataset node in the leaf, one chunk-wise
 // intersection count per child. Results are identical to OverlapCounts.
 func (n *TreeNode) OverlapCountsCompact(q *cellset.Compact) []int {
-	counts := make([]int, len(n.Children))
+	return n.AppendOverlapCountsCompact(q, nil)
+}
+
+// AppendOverlapCountsCompact is OverlapCountsCompact reusing counts'
+// backing array when capacity allows; see AppendOverlapCounts.
+func (n *TreeNode) AppendOverlapCountsCompact(q *cellset.Compact, counts []int) []int {
+	counts = resizeCounts(counts, len(n.Children))
 	for i, d := range n.Children {
 		counts[i] = q.IntersectCount(d.CompactCells())
 	}
+	return counts
+}
+
+// resizeCounts returns counts resized to n and zeroed, reusing the
+// backing array when it is big enough.
+func resizeCounts(counts []int, n int) []int {
+	if cap(counts) < n {
+		return make([]int, n)
+	}
+	counts = counts[:n]
+	clear(counts)
 	return counts
 }
 

@@ -122,7 +122,10 @@ func TestFederationSourceChurn(t *testing.T) {
 	a := mk("a", 0)
 	b := mk("b", 3)
 	reg := func(s *federation.SourceServer) {
-		center.Register(s.Summary(), &transport.InProc{Name: s.Name, Handler: s.Handler(), Metrics: center.Metrics})
+		center.Register(s.Summary(), &transport.InProc{
+			Name: s.Name, Handler: s.Handler(), Metrics: center.Metrics,
+			Codec: federation.BinaryCodec,
+		})
 	}
 	reg(a)
 	reg(b)

@@ -114,7 +114,10 @@ func StartLocal(opts LocalOptions) (*LocalGateway, error) {
 			idx, _ := build()
 			srv = federation.NewSourceServerWithGrid(src.Name, idx)
 		}
-		peer := &transport.InProc{Name: src.Name, Handler: srv.Handler(), Metrics: center.Metrics}
+		peer := &transport.InProc{
+			Name: src.Name, Handler: srv.Handler(), Metrics: center.Metrics,
+			Codec: federation.BinaryCodec,
+		}
 		if _, err := center.RegisterRemote(context.Background(), peer); err != nil {
 			return fail(fmt.Errorf("load: register %s: %w", src.Name, err))
 		}

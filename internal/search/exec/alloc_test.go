@@ -1,0 +1,34 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestVerifyLoopZeroAlloc: after warm-up (scratch grown, stripe heap
+// sized) the per-leaf verification loop — bound check, counting kernel,
+// top-k offers — must run allocation-free. This is the loop every worker
+// spins in for the whole verification phase of a query.
+func TestVerifyLoopZeroAlloc(t *testing.T) {
+	idx, nodes := buildWorld(t, 200, 8, 6, 11)
+	q := queryFrom(rand.New(rand.NewSource(9)), nodes)
+	cands := sortLeaves(collectLeaves(idx.Root, q, nil))
+	if len(cands) == 0 {
+		t.Fatal("query reached no leaves")
+	}
+	qc := newQueryCtx(q)
+	topk := newStripedTopK(5, 1)
+	var scratch []int
+	// Warm-up sweep: grows the scratch to the widest leaf and fills the
+	// stripe heap to k.
+	for _, c := range cands {
+		scratch = verifyLeaf(topk, 0, c, qc, scratch)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		for _, c := range cands {
+			scratch = verifyLeaf(topk, 0, c, qc, scratch)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm verification sweep allocated %.1f times", allocs)
+	}
+}

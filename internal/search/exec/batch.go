@@ -127,6 +127,7 @@ func (e *Executor) OverlapTopKBatch(ctx context.Context, idx *dits.Local, batch 
 		w = 1
 	}
 	runWorkers(w, func(wk int) {
+		var scratch []int // per-worker count buffer, reused leaf to leaf
 		for !cancelled.Load() {
 			li := int(cursor.Add(1)) - 1
 			if li >= len(leaves) {
@@ -142,7 +143,7 @@ func (e *Executor) OverlapTopKBatch(ctx context.Context, idx *dits.Local, batch 
 				if int(bl.ubs[j]) < st.t.threshold() {
 					continue // this query can no longer gain from this leaf
 				}
-				verifyLeaf(st.t, 0, leafCand{leaf: bl.leaf, ub: int(bl.ubs[j])}, st.qc)
+				scratch = verifyLeaf(st.t, 0, leafCand{leaf: bl.leaf, ub: int(bl.ubs[j])}, st.qc, scratch)
 			}
 		}
 	})

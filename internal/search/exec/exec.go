@@ -28,7 +28,6 @@
 package exec
 
 import (
-	"container/heap"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,19 +71,47 @@ func runWorkers(n int, fn func(w int)) {
 }
 
 // resultHeap is a min-heap of overlap results whose head is the weakest
-// kept result, under the shared overlap.Better ranking.
+// kept result, under the shared overlap.Better ranking. The sift
+// operations are hand-rolled rather than container/heap so pushing a
+// result never boxes it into an interface — offer runs for every
+// positive count of every verified leaf, and with the stripe storage
+// pre-sized to k it allocates nothing.
 type resultHeap []overlap.Result
 
-func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return overlap.Better(h[j], h[i]) }
-func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x any)        { *h = append(*h, x.(overlap.Result)) }
-func (h *resultHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h resultHeap) less(i, j int) bool { return overlap.Better(h[j], h[i]) }
+
+func (h *resultHeap) push(r overlap.Result) {
+	*h = append(*h, r)
+	h.up(len(*h) - 1)
+}
+
+func (h resultHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h resultHeap) down(i int) {
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			return
+		}
+		if j2 := j + 1; j2 < n && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // topKStripe is one mutex-guarded shard of the shared top-k state.
@@ -133,14 +160,20 @@ func (t *stripedTopK) offer(w int, r overlap.Result) {
 	s.mu.Lock()
 	kth := 0
 	switch {
-	case s.h.Len() < t.k:
-		heap.Push(&s.h, r)
-		if s.h.Len() == t.k {
+	case len(s.h) < t.k:
+		if s.h == nil {
+			// Sized once so pushes never regrow, but capped: k is
+			// wire-supplied, and a hostile k must not pre-allocate.
+			c := min(t.k, 1024)
+			s.h = make(resultHeap, 0, c)
+		}
+		s.h.push(r)
+		if len(s.h) == t.k {
 			kth = s.h[0].Overlap
 		}
 	case overlap.Better(r, s.h[0]):
 		s.h[0] = r
-		heap.Fix(&s.h, 0)
+		s.h.down(0)
 		kth = s.h[0].Overlap
 	}
 	s.mu.Unlock()

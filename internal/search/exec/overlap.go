@@ -98,23 +98,25 @@ func newQueryCtx(q *dataset.Node) *queryCtx {
 // shared top-k. It is the unit of work a worker executes. The counting
 // kernel is chosen adaptively: sparse queries take the posting-list pass
 // (one min(|q|, |Inv|) sweep shared by every child), dense queries the
-// word-parallel chunk merge per child.
-func verifyLeaf(t *stripedTopK, w int, c leafCand, q *queryCtx) {
+// word-parallel chunk merge per child. The count buffer is the caller's
+// scratch, reused across every leaf a worker verifies (returned possibly
+// regrown) — after warm-up the loop allocates nothing.
+func verifyLeaf(t *stripedTopK, w int, c leafCand, q *queryCtx, scratch []int) []int {
 	th := t.threshold()
 	if ub := c.leaf.OverlapUBCompact(q.qc); ub == 0 || ub < th {
-		return
+		return scratch
 	}
-	var counts []int
 	if q.sparse && len(c.leaf.Children) >= minKernelChildren {
-		counts = c.leaf.OverlapCounts(q.flat)
+		scratch = c.leaf.AppendOverlapCounts(q.flat, scratch)
 	} else {
-		counts = c.leaf.OverlapCountsCompact(q.qc)
+		scratch = c.leaf.AppendOverlapCountsCompact(q.qc, scratch)
 	}
 	for i, d := range c.leaf.Children {
-		if counts[i] > 0 {
-			t.offer(w, overlap.Result{ID: d.ID, Name: d.Name, Overlap: counts[i]})
+		if scratch[i] > 0 {
+			t.offer(w, overlap.Result{ID: d.ID, Name: d.Name, Overlap: scratch[i]})
 		}
 	}
+	return scratch
 }
 
 // OverlapTopK answers one OJSP query (Algorithm 2) over the index,
@@ -151,6 +153,7 @@ func (e *Executor) verifyCands(ctx context.Context, cands []leafCand, qc *queryC
 		cancelled atomic.Bool
 	)
 	runWorkers(w, func(wk int) {
+		var scratch []int // per-worker count buffer, reused leaf to leaf
 		for !exhausted.Load() && !cancelled.Load() {
 			i := int(cursor.Add(1)) - 1
 			if i >= len(cands) {
@@ -167,7 +170,7 @@ func (e *Executor) verifyCands(ctx context.Context, cands []leafCand, qc *queryC
 				exhausted.Store(true)
 				return
 			}
-			verifyLeaf(t, wk, c, qc)
+			scratch = verifyLeaf(t, wk, c, qc, scratch)
 		}
 	})
 	if cancelled.Load() {
@@ -181,6 +184,7 @@ func (e *Executor) verifyCands(ctx context.Context, cands []leafCand, qc *queryC
 // stripe).
 func verifySequential(ctx context.Context, cands []leafCand, qc *queryCtx, k int) ([]overlap.Result, error) {
 	t := newStripedTopK(k, 1)
+	var scratch []int
 	for i, c := range cands {
 		if i%64 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -190,7 +194,7 @@ func verifySequential(ctx context.Context, cands []leafCand, qc *queryCtx, k int
 		if c.ub < t.threshold() {
 			break
 		}
-		verifyLeaf(t, 0, c, qc)
+		scratch = verifyLeaf(t, 0, c, qc, scratch)
 	}
 	return t.ranked(), nil
 }

@@ -33,12 +33,13 @@ func TraceOverlap(idx *dits.Local, q *dataset.Node, k int) OverlapTrace {
 	tr.SerialNs = float64(time.Since(start).Nanoseconds())
 	qc := newQueryCtx(q)
 	t := newStripedTopK(k, 1)
+	var scratch []int
 	for _, c := range cands {
 		if c.ub < t.threshold() {
 			break
 		}
 		ts := time.Now()
-		verifyLeaf(t, 0, c, qc)
+		scratch = verifyLeaf(t, 0, c, qc, scratch)
 		tr.TaskNs = append(tr.TaskNs, float64(time.Since(ts).Nanoseconds()))
 	}
 	start = time.Now()

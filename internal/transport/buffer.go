@@ -1,0 +1,33 @@
+package transport
+
+import "sync"
+
+// Encode/decode scratch buffers, shared by every peer in the process
+// (dtail's Turbo Boost idiom: direct calls writing into pooled buffers
+// instead of channel hops shuttling fresh allocations). Buffers start at
+// 64 KiB — large enough that typical clipped-query payloads never grow
+// them — and oversized outliers are dropped on the floor rather than
+// pinned in the pool forever.
+const (
+	bufSize    = 64 << 10
+	bufKeepMax = 4 << 20
+)
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, bufSize)
+	return &b
+}}
+
+// getBuf checks a scratch buffer out of the pool. The caller owns it
+// until putBuf and must not retain any slice of it afterwards.
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// putBuf returns a scratch buffer to the pool, keeping whatever capacity
+// it grew to (up to bufKeepMax) so steady-state traffic stops allocating.
+func putBuf(b *[]byte) {
+	if cap(*b) > bufKeepMax {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

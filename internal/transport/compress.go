@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// On a connection that negotiated compression, every request body and
+// every OK response payload is framed as one flag byte followed by the
+// payload: flagRaw means the payload follows verbatim, flagGzip means it
+// is gzip-compressed. Small payloads (under compressMin) and payloads
+// gzip cannot shrink ship raw, so compression never costs bytes — only
+// the one-byte flag, which the handshake opted into. Error payloads
+// (status 1) are always raw text, so failures stay debuggable on the
+// wire regardless of what was negotiated.
+const (
+	flagRaw  = 0
+	flagGzip = 1
+
+	// compressMin is the smallest payload worth running through gzip:
+	// below it the header/trailer overhead dominates any savings.
+	compressMin = 512
+)
+
+var gzWriters = sync.Pool{New: func() any {
+	return gzip.NewWriter(io.Discard)
+}}
+
+var gzReaders sync.Pool // of *gzip.Reader
+
+// appendCompressed appends the compression framing of body to dst:
+// flagGzip plus the gzip stream when that is smaller, flagRaw plus the
+// body verbatim otherwise.
+func appendCompressed(dst, body []byte) ([]byte, error) {
+	if len(body) >= compressMin {
+		scratch := getBuf()
+		buf := bytes.NewBuffer((*scratch)[:0])
+		zw := gzWriters.Get().(*gzip.Writer)
+		zw.Reset(buf)
+		_, werr := zw.Write(body)
+		cerr := zw.Close()
+		gzWriters.Put(zw)
+		if werr != nil || cerr != nil {
+			*scratch = buf.Bytes()
+			putBuf(scratch)
+			return dst, fmt.Errorf("transport: compress: %w", errors.Join(werr, cerr))
+		}
+		if buf.Len() < len(body) {
+			dst = append(append(dst, flagGzip), buf.Bytes()...)
+			*scratch = buf.Bytes()
+			putBuf(scratch)
+			return dst, nil
+		}
+		*scratch = buf.Bytes()
+		putBuf(scratch)
+	}
+	return append(append(dst, flagRaw), body...), nil
+}
+
+// decompressed undoes appendCompressed's framing. For raw payloads the
+// returned slice aliases data; for gzip payloads it is freshly inflated,
+// capped at maxFrame to keep a corrupt or hostile stream from ballooning.
+func decompressed(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, errors.New("transport: missing compression flag")
+	}
+	switch data[0] {
+	case flagRaw:
+		return data[1:], nil
+	case flagGzip:
+		var zr *gzip.Reader
+		if v := gzReaders.Get(); v != nil {
+			zr = v.(*gzip.Reader)
+			if err := zr.Reset(bytes.NewReader(data[1:])); err != nil {
+				return nil, fmt.Errorf("transport: decompress: %w", err)
+			}
+		} else {
+			var err error
+			if zr, err = gzip.NewReader(bytes.NewReader(data[1:])); err != nil {
+				return nil, fmt.Errorf("transport: decompress: %w", err)
+			}
+		}
+		out, err := io.ReadAll(io.LimitReader(zr, maxFrame+1))
+		zr.Close()
+		gzReaders.Put(zr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: decompress: %w", err)
+		}
+		if len(out) > maxFrame {
+			return nil, errors.New("transport: decompressed payload too large")
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown compression flag %d", data[0])
+	}
+}

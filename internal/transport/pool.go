@@ -38,6 +38,12 @@ type Pool struct {
 
 	dials    atomic.Int64
 	discards atomic.Int64
+
+	// wire is the negotiated wire info of the most recently dialed
+	// connection (nil until the first dial). All of a pool's connections
+	// negotiate against the same server, so they agree in steady state;
+	// during a rolling upgrade of the server a redial may change it.
+	wire atomic.Pointer[WireInfo]
 }
 
 // NewPool creates a pool of up to size connections produced by dial.
@@ -57,8 +63,14 @@ func NewPool(name string, size int, dial func() (Peer, error)) *Pool {
 // DialPool creates a pool of up to size TCP connections to a source server
 // at addr, all recording into the same Metrics.
 func DialPool(name, addr string, size int, metrics *Metrics) *Pool {
+	return DialPoolWith(name, addr, size, metrics, DialConfig{})
+}
+
+// DialPoolWith is DialPool with explicit negotiation preferences, applied
+// to every connection the pool opens.
+func DialPoolWith(name, addr string, size int, metrics *Metrics, cfg DialConfig) *Pool {
 	return NewPool(name, size, func() (Peer, error) {
-		return Dial(name, addr, metrics)
+		return DialWith(name, addr, metrics, cfg)
 	})
 }
 
@@ -121,7 +133,26 @@ func (p *Pool) get(ctx context.Context) (peer Peer, fromIdle bool, err error) {
 		return nil, false, err
 	}
 	p.dials.Add(1)
+	p.noteWire(peer)
 	return peer, false, nil
+}
+
+// noteWire records a freshly dialed connection's negotiated parameters
+// for observability.
+func (p *Pool) noteWire(peer Peer) {
+	if w, ok := peer.(Wired); ok {
+		info := w.WireInfo()
+		p.wire.Store(&info)
+	}
+}
+
+// WireInfo implements Wired: it reports the wire parameters of the most
+// recently dialed connection, or the zero WireInfo before the first dial.
+func (p *Pool) WireInfo() WireInfo {
+	if info := p.wire.Load(); info != nil {
+		return *info
+	}
+	return WireInfo{}
 }
 
 // put checks a connection back in. Unhealthy connections — and any
@@ -144,32 +175,32 @@ func (p *Pool) put(peer Peer, healthy bool) {
 
 // Call implements Peer. It is safe for concurrent use by any number of
 // goroutines; at most Size calls are in flight at once and the rest queue.
-func (p *Pool) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *Pool) Call(ctx context.Context, method string, req, resp any) error {
 	peer, fromIdle, err := p.get(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	resp, err := p.callOn(ctx, peer, method, body)
+	err = p.callOn(ctx, peer, method, req, resp)
 	if err == nil || !fromIdle || isRemote(err) || ctx.Err() != nil {
-		return resp, err
+		return err
 	}
 	// The parked connection had gone stale underneath us; the request never
 	// reached the source, so retrying on a fresh connection is safe.
 	peer, _, derr := p.getFresh()
 	if derr != nil {
-		return nil, err // report the original failure
+		return err // report the original failure
 	}
-	return p.callOn(ctx, peer, method, body)
+	return p.callOn(ctx, peer, method, req, resp)
 }
 
 // callOn runs one call and checks the connection back in with the right
 // health verdict. A call cut short by the context deadline may have left
 // half a frame on the wire, so !isRemote errors (including deadline ones)
 // discard the connection as usual.
-func (p *Pool) callOn(ctx context.Context, peer Peer, method string, body []byte) ([]byte, error) {
-	resp, err := peer.Call(ctx, method, body)
+func (p *Pool) callOn(ctx context.Context, peer Peer, method string, req, resp any) error {
+	err := peer.Call(ctx, method, req, resp)
 	p.put(peer, err == nil || isRemote(err))
-	return resp, err
+	return err
 }
 
 // getFresh checks out a freshly dialed connection for the stale-connection
@@ -199,6 +230,7 @@ func (p *Pool) getFresh() (Peer, bool, error) {
 		return nil, false, err
 	}
 	p.dials.Add(1)
+	p.noteWire(peer)
 	return peer, false, nil
 }
 

@@ -21,12 +21,8 @@ func TestPoolRoundTrip(t *testing.T) {
 	pool := DialPool("s1", srv.Addr(), 4, m)
 	defer pool.Close()
 
-	resp, err := pool.Call(context.Background(), "m", []byte("payload"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(resp) != "m:payload" {
-		t.Fatalf("resp = %q", resp)
+	if got := echo(t, pool, "m", "payload"); got != "m:payload" {
+		t.Fatalf("resp = %q", got)
 	}
 	if m.Messages() != 1 {
 		t.Errorf("Messages = %d, want 1", m.Messages())
@@ -34,6 +30,9 @@ func TestPoolRoundTrip(t *testing.T) {
 	st := pool.Stats()
 	if st.Dials != 1 || st.Idle != 1 || st.InUse != 0 {
 		t.Errorf("stats after one call = %+v", st)
+	}
+	if info := pool.WireInfo(); info.Codec == "" {
+		t.Error("pool did not surface its connections' WireInfo")
 	}
 }
 
@@ -47,7 +46,7 @@ func TestPoolRemoteErrorKeepsConnection(t *testing.T) {
 	pool := DialPool("s1", srv.Addr(), 2, &Metrics{})
 	defer pool.Close()
 
-	if _, err := pool.Call(context.Background(), "fail", nil); err == nil {
+	if err := pool.Call(context.Background(), "fail", nil, nil); err == nil {
 		t.Fatal("remote error not propagated")
 	} else {
 		var re *RemoteError
@@ -60,8 +59,8 @@ func TestPoolRemoteErrorKeepsConnection(t *testing.T) {
 	if st := pool.Stats(); st.Idle != 1 || st.Discards != 0 {
 		t.Fatalf("stats after remote error = %+v", st)
 	}
-	if _, err := pool.Call(context.Background(), "m", []byte("x")); err != nil {
-		t.Fatal(err)
+	if got := echo(t, pool, "m", "x"); got != "m:x" {
+		t.Fatalf("resp = %q", got)
 	}
 	if st := pool.Stats(); st.Dials != 1 {
 		t.Fatalf("redialed a healthy connection: %+v", st)
@@ -78,8 +77,8 @@ func TestPoolRetriesStaleIdleConnection(t *testing.T) {
 	pool := DialPool("s1", addr, 2, &Metrics{})
 	defer pool.Close()
 
-	if _, err := pool.Call(context.Background(), "m", []byte("a")); err != nil {
-		t.Fatal(err)
+	if got := echo(t, pool, "m", "a"); got != "m:a" {
+		t.Fatalf("resp = %q", got)
 	}
 	// Kill the server underneath the parked connection, then restart on the
 	// same address: the pool must notice the stale connection and retry.
@@ -90,12 +89,8 @@ func TestPoolRetriesStaleIdleConnection(t *testing.T) {
 	}
 	defer srv2.Close()
 
-	resp, err := pool.Call(context.Background(), "m", []byte("b"))
-	if err != nil {
-		t.Fatalf("stale connection not retried: %v", err)
-	}
-	if string(resp) != "m:b" {
-		t.Fatalf("resp = %q", resp)
+	if got := echo(t, pool, "m", "b"); got != "m:b" {
+		t.Fatalf("stale connection not retried, resp = %q", got)
 	}
 	if st := pool.Stats(); st.Discards != 1 || st.Dials != 2 {
 		t.Errorf("stats after retry = %+v", st)
@@ -104,7 +99,7 @@ func TestPoolRetriesStaleIdleConnection(t *testing.T) {
 
 func TestPoolBoundsConnections(t *testing.T) {
 	var inFlight, peak atomic.Int64
-	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, method string, body []byte) ([]byte, error) {
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, codec Codec, method string, body []byte) (any, error) {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -113,7 +108,7 @@ func TestPoolBoundsConnections(t *testing.T) {
 			}
 		}
 		defer inFlight.Add(-1)
-		return body, nil
+		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +125,8 @@ func TestPoolBoundsConnections(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := pool.Call(context.Background(), "m", []byte("x")); err != nil {
+				payload := "x"
+				if err := pool.Call(context.Background(), "m", &payload, nil); err != nil {
 					t.Error(err)
 					return
 				}
@@ -161,7 +157,9 @@ func TestPoolConcurrentCallsAndClose(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 50; i++ {
-				resp, err := pool.Call(context.Background(), "m", []byte(fmt.Sprintf("%d-%d", c, i)))
+				payload := fmt.Sprintf("%d-%d", c, i)
+				var resp string
+				err := pool.Call(context.Background(), "m", &payload, &resp)
 				if err != nil {
 					if errors.Is(err, ErrPoolClosed) {
 						return // expected once Close lands
@@ -170,7 +168,7 @@ func TestPoolConcurrentCallsAndClose(t *testing.T) {
 					// tears down in-flight connections.
 					return
 				}
-				if want := fmt.Sprintf("m:%d-%d", c, i); string(resp) != want {
+				if want := "m:" + payload; resp != want {
 					t.Errorf("resp = %q, want %q", resp, want)
 					return
 				}
@@ -184,7 +182,7 @@ func TestPoolConcurrentCallsAndClose(t *testing.T) {
 		pool.Close()
 	}()
 	wg.Wait()
-	if _, err := pool.Call(context.Background(), "m", nil); !errors.Is(err, ErrPoolClosed) {
+	if err := pool.Call(context.Background(), "m", nil, nil); !errors.Is(err, ErrPoolClosed) {
 		t.Errorf("Call after Close = %v, want ErrPoolClosed", err)
 	}
 }
@@ -193,11 +191,11 @@ func TestPoolConcurrentCallsAndClose(t *testing.T) {
 // must give up when its context expires instead of waiting for capacity.
 func TestPoolSaturatedRespectsDeadline(t *testing.T) {
 	release := make(chan struct{})
-	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, method string, body []byte) ([]byte, error) {
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, codec Codec, method string, body []byte) (any, error) {
 		if method == "block" {
 			<-release
 		}
-		return body, nil
+		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -212,14 +210,14 @@ func TestPoolSaturatedRespectsDeadline(t *testing.T) {
 	go func() {
 		defer close(done)
 		close(started)
-		pool.Call(context.Background(), "block", nil) // occupies the only slot
+		pool.Call(context.Background(), "block", nil, nil) // occupies the only slot
 	}()
 	<-started
 	time.Sleep(20 * time.Millisecond) // let the blocking call take the slot
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, err := pool.Call(ctx, "m", nil); !errors.Is(err, context.DeadlineExceeded) {
+	if err := pool.Call(ctx, "m", nil, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("saturated pool call = %v, want DeadlineExceeded", err)
 	}
 	close(release)
@@ -232,7 +230,7 @@ func TestPoolSizeFloor(t *testing.T) {
 	if pool.Size() != 1 {
 		t.Errorf("Size = %d, want 1", pool.Size())
 	}
-	if _, err := pool.Call(context.Background(), "m", nil); err == nil {
+	if err := pool.Call(context.Background(), "m", nil, nil); err == nil {
 		t.Error("dial failure not propagated")
 	}
 }

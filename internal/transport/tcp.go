@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -26,14 +27,68 @@ import (
 // propagation correct across machines with skewed clocks. The server
 // derives the handler's context from it, so a query that ran out of time
 // is abandoned at the source too.
+//
+// The first request a dialer sends is a transport.hello exchange that
+// negotiates the connection's codec and compression (see hello below);
+// everything after it is encoded with the negotiated codec, and on
+// compression-negotiated connections bodies and OK payloads carry the
+// one-byte compression flag (compress.go). A legacy server answers the
+// hello with status 1 ("unknown method"), which the dialer takes as
+// "speak gob, uncompressed" — and a legacy dialer never sends a hello,
+// which leaves the server side at the same default. Error payloads are
+// always raw text.
 
 // maxFrame caps a frame payload to guard against corrupt length prefixes.
 const maxFrame = 1 << 30
+
+// MethodHello is the reserved method name of the codec negotiation
+// exchange. Servers intercept it before application dispatch; it never
+// reaches a Handler on a server that understands it.
+const MethodHello = "transport.hello"
+
+// helloMagic versions the hello body format itself. The body is ASCII:
+//
+//	dits-hello/1 <codec1,codec2,...> <option1,option2,...|->
+//
+// and the reply payload is "<codec>" or "<codec> gzip". Unknown magics,
+// codecs, and options are ignored, so future dialers degrade gracefully
+// against this server.
+const helloMagic = "dits-hello/1"
+
+// ServeConfig tunes a server's negotiation behavior.
+type ServeConfig struct {
+	// Codecs is the allow-list of codec names offered to dialers; nil
+	// allows every registered codec. Gob is always allowed — it is the
+	// floor every peer can speak.
+	Codecs []string
+	// NoCompress refuses the compression option regardless of what
+	// dialers propose.
+	NoCompress bool
+	// NoNegotiate makes the server behave like a legacy build: hello
+	// requests fall through to the application handler (which rejects
+	// them as an unknown method), so dialers fall back to gob. It exists
+	// for interop tests and emergency rollback to the old wire behavior.
+	NoNegotiate bool
+}
+
+// allows reports whether the server may pick the named codec.
+func (cfg *ServeConfig) allows(name string) bool {
+	if name == CodecGob || cfg.Codecs == nil {
+		return true
+	}
+	for _, n := range cfg.Codecs {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // Server serves one data source's Handler over TCP.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	cfg     ServeConfig
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
@@ -41,13 +96,19 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 }
 
-// Serve starts a TCP server on addr (e.g. "127.0.0.1:0") for the handler.
+// Serve starts a TCP server on addr (e.g. "127.0.0.1:0") for the handler,
+// negotiating freely: every registered codec, compression allowed.
 func Serve(addr string, handler Handler) (*Server, error) {
+	return ServeWith(addr, handler, ServeConfig{})
+}
+
+// ServeWith starts a TCP server with explicit negotiation limits.
+func ServeWith(addr string, handler Handler, cfg ServeConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: handler, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -108,11 +169,20 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn runs one connection's request loop. All scratch buffers are
+// per-connection and reused across requests: after the first few frames a
+// steady-state connection reads, decodes, encodes, and writes without
+// allocating beyond what the handler itself needs.
 func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	codec := GobCodec
+	compress := false
+	var methodBuf, bodyBuf, respBuf, cmpBuf []byte
+	names := make(map[string]string, 8) // interned method names
 	for {
-		method, err := readFrame(r)
+		var err error
+		methodBuf, err = readFrameReuse(r, methodBuf)
 		if err != nil {
 			return
 		}
@@ -120,46 +190,124 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := binary.Read(r, binary.BigEndian, &deadlineMs); err != nil {
 			return
 		}
-		body, err := readFrame(r)
+		bodyBuf, err = readFrameReuse(r, bodyBuf)
 		if err != nil {
 			return
+		}
+		method, ok := names[string(methodBuf)]
+		if !ok {
+			method = string(methodBuf)
+			names[method] = method
+		}
+		if method == MethodHello && !s.cfg.NoNegotiate {
+			var reply []byte
+			reply, codec, compress = s.negotiate(bodyBuf)
+			if err := writeResponse(w, 0, reply); err != nil {
+				return
+			}
+			continue
+		}
+		body := bodyBuf
+		if compress {
+			if body, err = decompressed(body); err != nil {
+				if err := writeResponse(w, 1, []byte(err.Error())); err != nil {
+					return
+				}
+				continue
+			}
 		}
 		ctx := context.Background()
 		cancel := context.CancelFunc(func() {})
 		if deadlineMs > 0 {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMs)*time.Millisecond)
 		}
-		resp, herr := s.handler(ctx, string(method), body)
+		ret, herr := s.handler(ctx, codec, method, body)
 		cancel()
+		if herr == nil {
+			respBuf, herr = codec.Append(respBuf[:0], ret)
+		}
 		if herr != nil {
 			if err := writeResponse(w, 1, []byte(herr.Error())); err != nil {
 				return
 			}
 			continue
 		}
-		if err := writeResponse(w, 0, resp); err != nil {
+		payload := respBuf
+		if compress {
+			if cmpBuf, err = appendCompressed(cmpBuf[:0], respBuf); err != nil {
+				if err := writeResponse(w, 1, []byte(err.Error())); err != nil {
+					return
+				}
+				continue
+			}
+			payload = cmpBuf
+		}
+		if err := writeResponse(w, 0, payload); err != nil {
 			return
 		}
 	}
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
-	var n uint32
-	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return nil, err
+// negotiate picks the connection's codec and compression from a hello
+// body: the first proposed codec that is registered and allowed wins,
+// and compression turns on iff proposed and permitted. Anything
+// unparseable falls back to gob uncompressed — never an error, so a
+// malformed or future hello still yields a working connection.
+func (s *Server) negotiate(body []byte) (reply []byte, codec Codec, compress bool) {
+	codec = GobCodec
+	fields := strings.Fields(string(body))
+	if len(fields) >= 2 && fields[0] == helloMagic {
+		for _, name := range strings.Split(fields[1], ",") {
+			if !s.cfg.allows(name) {
+				continue
+			}
+			if c, ok := LookupCodec(name); ok {
+				codec = c
+				break
+			}
+		}
+		if len(fields) >= 3 && !s.cfg.NoCompress {
+			for _, opt := range strings.Split(fields[2], ",") {
+				if opt == "gzip" {
+					compress = true
+				}
+			}
+		}
 	}
+	resp := codec.Name()
+	if compress {
+		resp += " gzip"
+	}
+	return []byte(resp), codec, compress
+}
+
+// readFrameReuse reads one length-prefixed frame into buf, growing it
+// only when the frame exceeds its capacity, and returns the (possibly
+// reallocated) buffer sliced to the frame.
+func readFrameReuse(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, errors.New("transport: frame too large")
+		return buf, errors.New("transport: frame too large")
 	}
-	buf := make([]byte, n)
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+		return buf, err
 	}
 	return buf, nil
 }
 
 func writeFrame(w io.Writer, b []byte) error {
-	if err := binary.Write(w, binary.BigEndian, uint32(len(b))); err != nil {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(b)
@@ -176,30 +324,135 @@ func writeResponse(w *bufio.Writer, status byte, payload []byte) error {
 	return w.Flush()
 }
 
+// DialConfig tunes a dialer's negotiation behavior.
+type DialConfig struct {
+	// Codec proposes exactly one codec by name instead of the default
+	// preference list (every registered codec, gob last).
+	Codec string
+	// NoCompress withholds the gzip option from the handshake.
+	NoCompress bool
+	// NoNegotiate skips the handshake entirely and speaks legacy gob —
+	// how a pre-handshake dialer behaves. It exists for interop tests and
+	// emergency rollback to the old wire behavior.
+	NoNegotiate bool
+}
+
+// helloTimeout bounds the handshake exchange at dial time.
+const helloTimeout = 10 * time.Second
+
 // TCPPeer is a Peer over a TCP connection. It is safe for sequential use;
 // guard concurrent Calls externally or use one peer per goroutine.
 type TCPPeer struct {
 	Name    string
 	Metrics *Metrics
 
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	codec    Codec
+	compress bool
 }
 
-// Dial connects to a source server.
+// Dial connects to a source server and negotiates the wire codec: the
+// best registered codec both ends speak, compression allowed, with
+// graceful fallback to uncompressed gob against a legacy server.
 func Dial(name, addr string, metrics *Metrics) (*TCPPeer, error) {
+	return DialWith(name, addr, metrics, DialConfig{})
+}
+
+// DialWith connects with explicit negotiation preferences.
+func DialWith(name, addr string, metrics *Metrics, cfg DialConfig) (*TCPPeer, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &TCPPeer{
+	p := &TCPPeer{
 		Name:    name,
 		Metrics: metrics,
 		conn:    conn,
 		r:       bufio.NewReader(conn),
 		w:       bufio.NewWriter(conn),
-	}, nil
+		codec:   GobCodec,
+	}
+	if !cfg.NoNegotiate {
+		if err := p.hello(cfg); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// hello runs the codec negotiation as the connection's first exchange. A
+// status-1 reply means the server predates negotiation (it rejected the
+// method); the peer then speaks uncompressed gob, exactly as before the
+// handshake existed.
+func (p *TCPPeer) hello(cfg DialConfig) error {
+	names := CodecNames()
+	if cfg.Codec != "" {
+		// A forced codec is strict: it must exist locally and the server
+		// must accept it — no silent fallback, so an operator pinning a
+		// codec finds out immediately when a peer cannot speak it.
+		if _, ok := LookupCodec(cfg.Codec); !ok {
+			return fmt.Errorf("transport: hello %s: unknown codec %q", p.Name, cfg.Codec)
+		}
+		names = []string{cfg.Codec}
+	}
+	opts := "-"
+	if !cfg.NoCompress {
+		opts = "gzip"
+	}
+	body := []byte(helloMagic + " " + strings.Join(names, ",") + " " + opts)
+	p.conn.SetDeadline(time.Now().Add(helloTimeout))
+	defer p.conn.SetDeadline(time.Time{})
+	if err := writeFrame(p.w, []byte(MethodHello)); err != nil {
+		return fmt.Errorf("transport: hello %s: %w", p.Name, err)
+	}
+	var deadline [8]byte
+	if _, err := p.w.Write(deadline[:]); err != nil {
+		return fmt.Errorf("transport: hello %s: %w", p.Name, err)
+	}
+	if err := writeFrame(p.w, body); err != nil {
+		return fmt.Errorf("transport: hello %s: %w", p.Name, err)
+	}
+	if err := p.w.Flush(); err != nil {
+		return fmt.Errorf("transport: hello %s: %w", p.Name, err)
+	}
+	status, err := p.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("transport: hello %s: %w", p.Name, err)
+	}
+	payload, err := readFrameReuse(p.r, nil)
+	if err != nil {
+		return fmt.Errorf("transport: hello %s: %w", p.Name, err)
+	}
+	if status != 0 {
+		if cfg.Codec != "" && cfg.Codec != CodecGob {
+			return fmt.Errorf("transport: hello %s: server cannot negotiate forced codec %q", p.Name, cfg.Codec)
+		}
+		// Legacy server: it saw an unknown method. Speak gob, plain.
+		p.codec, p.compress = GobCodec, false
+		return nil
+	}
+	fields := strings.Fields(string(payload))
+	if len(fields) == 0 {
+		return fmt.Errorf("transport: hello %s: empty negotiation reply", p.Name)
+	}
+	if cfg.Codec != "" && fields[0] != cfg.Codec {
+		return fmt.Errorf("transport: hello %s: server refused forced codec %q (offered %q)", p.Name, cfg.Codec, fields[0])
+	}
+	codec, ok := LookupCodec(fields[0])
+	if !ok {
+		return fmt.Errorf("transport: hello %s: server chose unknown codec %q", p.Name, fields[0])
+	}
+	p.codec = codec
+	p.compress = len(fields) >= 2 && fields[1] == "gzip"
+	return nil
+}
+
+// WireInfo implements Wired.
+func (p *TCPPeer) WireInfo() WireInfo {
+	return WireInfo{Codec: p.codec.Name(), Compression: p.compress}
 }
 
 // Call implements Peer. A context deadline bounds the whole exchange (the
@@ -208,12 +461,12 @@ func Dial(name, addr string, metrics *Metrics) (*TCPPeer, error) {
 // caller will never wait for. A deadline failure poisons the connection's
 // framing, so the peer must be discarded afterwards — exactly what Pool's
 // health-aware checkin does.
-func (p *TCPPeer) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *TCPPeer) Call(ctx context.Context, method string, req, resp any) error {
 	var deadlineMs uint64
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {
-			return nil, fmt.Errorf("transport: call %s: %w", p.Name, context.DeadlineExceeded)
+			return fmt.Errorf("transport: call %s: %w", p.Name, context.DeadlineExceeded)
 		}
 		ms := remaining.Milliseconds()
 		if ms < 1 {
@@ -223,33 +476,63 @@ func (p *TCPPeer) Call(ctx context.Context, method string, body []byte) ([]byte,
 		p.conn.SetDeadline(dl)
 		defer p.conn.SetDeadline(time.Time{})
 	} else if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("transport: call %s: %w", p.Name, err)
+		return fmt.Errorf("transport: call %s: %w", p.Name, err)
+	}
+	encBuf := getBuf()
+	defer putBuf(encBuf)
+	body, err := p.codec.Append((*encBuf)[:0], req)
+	if err != nil {
+		return err
+	}
+	*encBuf = body
+	wire := body
+	if p.compress {
+		cmpBuf := getBuf()
+		defer putBuf(cmpBuf)
+		if wire, err = appendCompressed((*cmpBuf)[:0], body); err != nil {
+			return err
+		}
+		*cmpBuf = wire
+		p.Metrics.RecordCompression(len(body), len(wire), wire[0] == flagGzip)
 	}
 	if err := writeFrame(p.w, []byte(method)); err != nil {
-		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+		return fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
-	if err := binary.Write(p.w, binary.BigEndian, deadlineMs); err != nil {
-		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+	var dlBuf [8]byte
+	binary.BigEndian.PutUint64(dlBuf[:], deadlineMs)
+	if _, err := p.w.Write(dlBuf[:]); err != nil {
+		return fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
-	if err := writeFrame(p.w, body); err != nil {
-		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+	if err := writeFrame(p.w, wire); err != nil {
+		return fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
 	if err := p.w.Flush(); err != nil {
-		return nil, fmt.Errorf("transport: send %s: %w", p.Name, err)
+		return fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
 	status, err := p.r.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("transport: recv %s: %w", p.Name, err)
+		return fmt.Errorf("transport: recv %s: %w", p.Name, err)
 	}
-	payload, err := readFrame(p.r)
+	rdBuf := getBuf()
+	defer putBuf(rdBuf)
+	payload, err := readFrameReuse(p.r, (*rdBuf)[:0])
+	*rdBuf = payload
 	if err != nil {
-		return nil, fmt.Errorf("transport: recv %s: %w", p.Name, err)
+		return fmt.Errorf("transport: recv %s: %w", p.Name, err)
 	}
 	if status != 0 {
-		return nil, &RemoteError{Source: p.Name, Msg: string(payload)}
+		return &RemoteError{Source: p.Name, Msg: string(payload)}
 	}
-	p.Metrics.Record(method, len(body)+len(method), len(payload))
-	return payload, nil
+	recvWire := len(payload)
+	if p.compress {
+		gzipped := len(payload) > 0 && payload[0] == flagGzip
+		if payload, err = decompressed(payload); err != nil {
+			return fmt.Errorf("transport: recv %s: %w", p.Name, err)
+		}
+		p.Metrics.RecordCompression(len(payload), recvWire, gzipped)
+	}
+	p.Metrics.Record(method, len(wire)+len(method), recvWire)
+	return p.codec.Decode(payload, resp)
 }
 
 // Close implements Peer.

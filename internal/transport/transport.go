@@ -7,6 +7,11 @@
 // several TCP connections to one source. Transmission time over a given
 // bandwidth follows the paper's model: time = bytes / bandwidth.
 //
+// Payload encoding is a per-connection property: TCP connections
+// negotiate a Codec (and optional compression) in a transport.hello
+// exchange at dial time, falling back to gob against legacy peers, so a
+// rolling upgrade can mix codecs freely — see docs/PROTOCOL.md.
+//
 // Every Call carries a context: a deadline set by the caller (the
 // gateway's per-request admission deadline, typically) propagates over
 // the wire to the source, which runs its handler under the same deadline
@@ -15,21 +20,21 @@
 package transport
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"time"
 
 	"dits/internal/metrics"
 )
 
-// Handler serves one source's requests: it receives a method name and a
-// gob-encoded request body and returns a gob-encoded response body. The
-// context carries the caller's remaining deadline (propagated over the
-// wire for TCP transports); handlers pass it to cancellable work like the
-// parallel executor.
-type Handler func(ctx context.Context, method string, body []byte) ([]byte, error)
+// Handler serves one source's requests: it receives the connection's
+// negotiated codec, a method name, and the encoded request body, and
+// returns a response value the transport encodes with the same codec (a
+// nil response encodes as an empty payload). The context carries the
+// caller's remaining deadline (propagated over the wire for TCP
+// transports); handlers pass it to cancellable work like the parallel
+// executor.
+type Handler func(ctx context.Context, codec Codec, method string, body []byte) (any, error)
 
 // RemoteError is an application-level error returned by a source's handler.
 // The request/response exchange itself succeeded, so the connection that
@@ -47,28 +52,28 @@ func (e *RemoteError) Error() string {
 
 // Peer is a connection to one data source.
 type Peer interface {
-	// Call sends a request and waits for the response. The context's
-	// deadline bounds the whole exchange and is shipped to the source.
-	Call(ctx context.Context, method string, body []byte) ([]byte, error)
+	// Call sends req and decodes the source's answer into resp, both
+	// through the connection's negotiated codec (a nil req sends an empty
+	// body; a nil resp discards the payload). The context's deadline
+	// bounds the whole exchange and is shipped to the source.
+	Call(ctx context.Context, method string, req, resp any) error
 	// Close releases the connection.
 	Close() error
 }
 
-// Encode gob-encodes a value into a payload.
-func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("transport: encode: %w", err)
-	}
-	return buf.Bytes(), nil
+// WireInfo describes the wire parameters a connection negotiated: the
+// codec name and whether payload compression is on. Zero Codec means the
+// peer has not dialed (and therefore negotiated) yet.
+type WireInfo struct {
+	Codec       string `json:"codec"`
+	Compression bool   `json:"compression"`
 }
 
-// Decode gob-decodes a payload into v.
-func Decode(body []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
-		return fmt.Errorf("transport: decode: %w", err)
-	}
-	return nil
+// Wired is implemented by peers that know their negotiated wire
+// parameters; observability surfaces (GET /stats) use it to report the
+// per-peer codec during mixed-codec rolling upgrades.
+type Wired interface {
+	WireInfo() WireInfo
 }
 
 // Metrics accumulates the communication cost of a search: messages
@@ -87,6 +92,14 @@ type Metrics struct {
 	methodSent     metrics.CounterVec
 	methodReceived metrics.CounterVec
 	failures       metrics.CounterVec // by source name
+
+	// Compression accounting, both directions: raw payload bytes before
+	// the compression framing, wire bytes after it, and how many payloads
+	// actually shipped gzipped. Only connections that negotiated
+	// compression record here.
+	compressRaw  metrics.Counter
+	compressWire metrics.Counter
+	compressed   metrics.Counter
 }
 
 // MethodStats is the per-method slice of the counters: how many exchanges
@@ -117,6 +130,37 @@ func (m *Metrics) RecordFailure(source string) {
 		return
 	}
 	m.failures.With(source).Inc()
+}
+
+// RecordCompression adds one payload's compression accounting: its raw
+// size, its framed wire size, and whether gzip was actually applied.
+func (m *Metrics) RecordCompression(raw, wire int, gzipped bool) {
+	if m == nil {
+		return
+	}
+	m.compressRaw.Add(int64(raw))
+	m.compressWire.Add(int64(wire))
+	if gzipped {
+		m.compressed.Inc()
+	}
+}
+
+// CompressionBytes returns the raw (pre-compression) and wire
+// (post-compression) payload byte totals of compression-negotiated
+// connections, both directions combined.
+func (m *Metrics) CompressionBytes() (raw, wire int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.compressRaw.Value(), m.compressWire.Value()
+}
+
+// CompressedMessages returns how many payloads actually shipped gzipped.
+func (m *Metrics) CompressedMessages() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.compressed.Value()
 }
 
 // PerMethod returns a copy of the per-method counters.
@@ -174,6 +218,9 @@ func (m *Metrics) Reset() {
 	m.methodSent.Reset()
 	m.methodReceived.Reset()
 	m.failures.Reset()
+	m.compressRaw.Reset()
+	m.compressWire.Reset()
+	m.compressed.Reset()
 }
 
 // Register exposes the transport counters on a metrics registry under the
@@ -193,6 +240,12 @@ func (m *Metrics) Register(r *metrics.Registry) {
 		"Response bytes per federation method", "method", &m.methodReceived)
 	r.RegisterCounterVec("dits_transport_source_failures_total",
 		"Failed exchanges per source", "source", &m.failures)
+	r.RegisterCounter("dits_transport_compress_raw_bytes_total",
+		"Payload bytes before compression framing, both directions", &m.compressRaw)
+	r.RegisterCounter("dits_transport_compress_wire_bytes_total",
+		"Payload bytes after compression framing, both directions", &m.compressWire)
+	r.RegisterCounter("dits_transport_compressed_messages_total",
+		"Payloads that actually shipped gzip-compressed", &m.compressed)
 }
 
 // TransmissionTime models the network time to move the recorded bytes over
@@ -212,20 +265,49 @@ type InProc struct {
 	Name    string
 	Handler Handler
 	Metrics *Metrics
+	// Codec selects the encoding payloads cross the boundary in; nil
+	// means gob, matching an unnegotiated TCP connection. Benchmarks set
+	// it to measure both codecs on the same workload.
+	Codec Codec
+}
+
+func (p *InProc) codec() Codec {
+	if p.Codec != nil {
+		return p.Codec
+	}
+	return GobCodec
 }
 
 // Call implements Peer.
-func (p *InProc) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (p *InProc) Call(ctx context.Context, method string, req, resp any) error {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("transport: call %s: %w", p.Name, err)
+		return fmt.Errorf("transport: call %s: %w", p.Name, err)
 	}
-	resp, err := p.Handler(ctx, method, body)
+	c := p.codec()
+	reqBuf := getBuf()
+	defer putBuf(reqBuf)
+	body, err := c.Append((*reqBuf)[:0], req)
 	if err != nil {
-		return nil, &RemoteError{Source: p.Name, Msg: err.Error()}
+		return err
 	}
-	p.Metrics.Record(method, len(body)+len(method), len(resp))
-	return resp, nil
+	*reqBuf = body
+	ret, herr := p.Handler(ctx, c, method, body)
+	if herr != nil {
+		return &RemoteError{Source: p.Name, Msg: herr.Error()}
+	}
+	respBuf := getBuf()
+	defer putBuf(respBuf)
+	payload, err := c.Append((*respBuf)[:0], ret)
+	if err != nil {
+		return err
+	}
+	*respBuf = payload
+	p.Metrics.Record(method, len(body)+len(method), len(payload))
+	return c.Decode(payload, resp)
 }
+
+// WireInfo implements Wired.
+func (p *InProc) WireInfo() WireInfo { return WireInfo{Codec: p.codec().Name()} }
 
 // Close implements Peer.
 func (p *InProc) Close() error { return nil }

@@ -11,12 +11,30 @@ import (
 	"dits/internal/metrics"
 )
 
-func echoHandler(ctx context.Context, method string, body []byte) ([]byte, error) {
+// echoHandler answers method+":"+request for string requests; the method
+// "fail" answers a handler error.
+func echoHandler(ctx context.Context, codec Codec, method string, body []byte) (any, error) {
 	if method == "fail" {
 		return nil, errors.New("boom")
 	}
-	out := append([]byte(method+":"), body...)
-	return out, nil
+	var s string
+	if len(body) > 0 {
+		if err := codec.Decode(body, &s); err != nil {
+			return nil, err
+		}
+	}
+	out := method + ":" + s
+	return &out, nil
+}
+
+// echo round-trips one string call through a peer.
+func echo(t *testing.T, p Peer, method, payload string) string {
+	t.Helper()
+	var resp string
+	if err := p.Call(context.Background(), method, &payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -45,28 +63,29 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestInProcCountsBytes(t *testing.T) {
 	m := &Metrics{}
 	p := &InProc{Name: "s1", Handler: echoHandler, Metrics: m}
-	resp, err := p.Call(context.Background(), "hello", []byte("world"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(resp) != "hello:world" {
-		t.Fatalf("resp = %q", resp)
+	if got := echo(t, p, "hello", "world"); got != "hello:world" {
+		t.Fatalf("resp = %q", got)
 	}
 	if m.Messages() != 1 {
 		t.Errorf("Messages = %d, want 1", m.Messages())
 	}
-	if m.BytesSent() != int64(len("world")+len("hello")) {
+	reqBytes, _ := Encode("world")
+	if m.BytesSent() != int64(len(reqBytes)+len("hello")) {
 		t.Errorf("BytesSent = %d", m.BytesSent())
 	}
-	if m.BytesReceived() != int64(len("hello:world")) {
+	respBytes, _ := Encode("hello:world")
+	if m.BytesReceived() != int64(len(respBytes)) {
 		t.Errorf("BytesReceived = %d", m.BytesReceived())
 	}
-	if _, err := p.Call(context.Background(), "fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+	if err := p.Call(context.Background(), "fail", nil, nil); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("error not propagated: %v", err)
 	}
 	// Errors do not count as delivered traffic.
 	if m.Messages() != 1 {
 		t.Errorf("failed call counted: %d", m.Messages())
+	}
+	if info := p.WireInfo(); info.Codec != CodecGob || info.Compression {
+		t.Errorf("WireInfo = %+v, want plain gob", info)
 	}
 	p.Close()
 }
@@ -75,7 +94,7 @@ func TestInProcHonorsCancelledContext(t *testing.T) {
 	p := &InProc{Name: "s1", Handler: echoHandler, Metrics: &Metrics{}}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := p.Call(ctx, "m", nil); !errors.Is(err, context.Canceled) {
+	if err := p.Call(ctx, "m", nil, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Call on cancelled ctx = %v, want context.Canceled", err)
 	}
 }
@@ -98,19 +117,31 @@ func TestMetricsTransmissionTime(t *testing.T) {
 	if m.TotalFailures() != 2 || m.Failures()["src-a"] != 2 {
 		t.Errorf("failures = %d %v", m.TotalFailures(), m.Failures())
 	}
+	m.RecordCompression(1000, 300, true)
+	if raw, wire := m.CompressionBytes(); raw != 1000 || wire != 300 {
+		t.Errorf("CompressionBytes = %d, %d", raw, wire)
+	}
+	if m.CompressedMessages() != 1 {
+		t.Errorf("CompressedMessages = %d", m.CompressedMessages())
+	}
 	m.Reset()
 	if m.Bytes() != 0 || m.Messages() != 0 || len(m.PerMethod()) != 0 || m.TotalFailures() != 0 {
 		t.Error("Reset did not zero counters")
 	}
+	if raw, wire := m.CompressionBytes(); raw != 0 || wire != 0 || m.CompressedMessages() != 0 {
+		t.Error("Reset did not zero compression counters")
+	}
 	var nilM *Metrics
-	nilM.Record("x", 1, 1)  // must not panic
-	nilM.RecordFailure("x") // must not panic
+	nilM.Record("x", 1, 1)             // must not panic
+	nilM.RecordFailure("x")            // must not panic
+	nilM.RecordCompression(1, 1, true) // must not panic
 }
 
 func TestMetricsRegisterExposes(t *testing.T) {
 	m := &Metrics{}
 	m.Record("overlap.search", 100, 50)
 	m.RecordFailure("src-b")
+	m.RecordCompression(90, 40, true)
 	r := metrics.NewRegistry()
 	m.Register(r)
 	var sb strings.Builder
@@ -121,6 +152,9 @@ func TestMetricsRegisterExposes(t *testing.T) {
 		"dits_transport_sent_bytes_total 100",
 		`dits_transport_method_calls_total{method="overlap.search"} 1`,
 		`dits_transport_source_failures_total{source="src-b"} 1`,
+		"dits_transport_compress_raw_bytes_total 90",
+		"dits_transport_compress_wire_bytes_total 40",
+		"dits_transport_compressed_messages_total 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
@@ -143,19 +177,140 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer peer.Close()
 
 	for i := 0; i < 10; i++ {
-		resp, err := peer.Call(context.Background(), "m", []byte("payload"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(resp) != "m:payload" {
-			t.Fatalf("resp = %q", resp)
+		if got := echo(t, peer, "m", "payload"); got != "m:payload" {
+			t.Fatalf("resp = %q", got)
 		}
 	}
 	if m.Messages() != 10 {
 		t.Errorf("Messages = %d, want 10", m.Messages())
 	}
-	if _, err := peer.Call(context.Background(), "fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+	if err := peer.Call(context.Background(), "fail", nil, nil); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("remote error not propagated: %v", err)
+	}
+}
+
+// TestTCPNegotiation pins the handshake outcomes: a default dial against a
+// default server negotiates the preferred non-gob codec with compression,
+// and both sides expose the agreement through WireInfo.
+func TestTCPNegotiation(t *testing.T) {
+	reverse := reverseCodec{}
+	RegisterCodec(reverse)
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, codec Codec, method string, body []byte) (any, error) {
+		var s string
+		if err := codec.Decode(body, &s); err != nil {
+			return nil, err
+		}
+		out := method + ":" + s
+		return &out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	peer, err := DialWith("s1", srv.Addr(), &Metrics{}, DialConfig{Codec: reverse.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if info := peer.WireInfo(); info.Codec != reverse.Name() || !info.Compression {
+		t.Fatalf("WireInfo = %+v, want %s with compression", info, reverse.Name())
+	}
+	if got := echo(t, peer, "m", "payload"); got != "m:payload" {
+		t.Fatalf("resp = %q", got)
+	}
+
+	// Unknown forced codec must fail the dial, not silently fall back.
+	if _, err := DialWith("s1", srv.Addr(), &Metrics{}, DialConfig{Codec: "no-such-codec/9"}); err == nil {
+		t.Fatal("dial with unknown codec should error")
+	}
+
+	// NoCompress on either side disables compression but keeps the codec.
+	plain, err := DialWith("s1", srv.Addr(), &Metrics{}, DialConfig{NoCompress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if info := plain.WireInfo(); info.Compression {
+		t.Fatalf("NoCompress dial negotiated compression: %+v", info)
+	}
+}
+
+// TestTCPLegacyInterop pins the gob fallback in both directions: a modern
+// dialer against a server that predates the handshake (NoNegotiate) and a
+// legacy dialer (NoNegotiate) against a modern server both land on plain
+// gob and still exchange requests.
+func TestTCPLegacyInterop(t *testing.T) {
+	t.Run("legacy server", func(t *testing.T) {
+		srv, err := ServeWith("127.0.0.1:0", echoHandler, ServeConfig{NoNegotiate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		peer, err := Dial("s1", srv.Addr(), &Metrics{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer peer.Close()
+		if info := peer.WireInfo(); info.Codec != CodecGob || info.Compression {
+			t.Fatalf("WireInfo = %+v, want plain gob fallback", info)
+		}
+		if got := echo(t, peer, "m", "x"); got != "m:x" {
+			t.Fatalf("resp = %q", got)
+		}
+	})
+	t.Run("legacy dialer", func(t *testing.T) {
+		srv, err := Serve("127.0.0.1:0", echoHandler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		peer, err := DialWith("s1", srv.Addr(), &Metrics{}, DialConfig{NoNegotiate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer peer.Close()
+		if info := peer.WireInfo(); info.Codec != CodecGob || info.Compression {
+			t.Fatalf("WireInfo = %+v, want plain gob", info)
+		}
+		if got := echo(t, peer, "m", "x"); got != "m:x" {
+			t.Fatalf("resp = %q", got)
+		}
+	})
+}
+
+// TestTCPCompressionRoundTrip ships a payload far above compressMin and
+// checks it arrives intact with the compression counters moving.
+func TestTCPCompressionRoundTrip(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := &Metrics{}
+	peer, err := Dial("s1", srv.Addr(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if info := peer.WireInfo(); !info.Compression {
+		t.Fatalf("default dial did not negotiate compression: %+v", info)
+	}
+	big := strings.Repeat("compressible payload ", 1024)
+	if got := echo(t, peer, "m", big); got != "m:"+big {
+		t.Fatalf("big payload mangled (len %d)", len(got))
+	}
+	raw, wire := m.CompressionBytes()
+	if raw == 0 || wire == 0 || wire >= raw {
+		t.Fatalf("compression bytes raw=%d wire=%d, want wire < raw", raw, wire)
+	}
+	if m.CompressedMessages() == 0 {
+		t.Fatal("no payload shipped compressed")
+	}
+	// Tiny payloads stay raw (below compressMin) but still round-trip.
+	if got := echo(t, peer, "m", "tiny"); got != "m:tiny" {
+		t.Fatalf("resp = %q", got)
 	}
 }
 
@@ -164,10 +319,10 @@ func TestTCPRoundTrip(t *testing.T) {
 // context expires (so the source abandons the work too).
 func TestTCPDeadlinePropagates(t *testing.T) {
 	handlerCtxExpired := make(chan bool, 1)
-	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, method string, body []byte) ([]byte, error) {
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, codec Codec, method string, body []byte) (any, error) {
 		if _, ok := ctx.Deadline(); !ok {
 			handlerCtxExpired <- false
-			return body, nil
+			return nil, nil
 		}
 		select {
 		case <-ctx.Done():
@@ -178,7 +333,7 @@ func TestTCPDeadlinePropagates(t *testing.T) {
 		// Reply well after the caller's deadline so the client-side failure
 		// is deterministic, not a race against the in-flight response.
 		time.Sleep(200 * time.Millisecond)
-		return body, nil
+		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +348,8 @@ func TestTCPDeadlinePropagates(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, err := peer.Call(ctx, "m", []byte("x")); err == nil {
+	payload := "x"
+	if err := peer.Call(ctx, "m", &payload, nil); err == nil {
 		t.Fatal("call past deadline should error")
 	}
 	select {
@@ -208,7 +364,7 @@ func TestTCPDeadlinePropagates(t *testing.T) {
 	// An already-expired context fails before touching the wire.
 	expiredCtx, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel2()
-	if _, err := peer.Call(expiredCtx, "m", nil); !errors.Is(err, context.DeadlineExceeded) {
+	if err := peer.Call(expiredCtx, "m", nil, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired ctx = %v, want DeadlineExceeded", err)
 	}
 }
@@ -234,7 +390,9 @@ func TestTCPConcurrentClients(t *testing.T) {
 			}
 			defer peer.Close()
 			for i := 0; i < 50; i++ {
-				if _, err := peer.Call(context.Background(), "x", []byte("y")); err != nil {
+				payload := "y"
+				var resp string
+				if err := peer.Call(context.Background(), "x", &payload, &resp); err != nil {
 					errs <- err
 					return
 				}
@@ -260,8 +418,36 @@ func TestTCPServerClosedRejects(t *testing.T) {
 	}
 	srv.Close()
 	// The in-flight connection is closed by the server; calls now fail.
-	if _, err := peer.Call(context.Background(), "m", []byte("b")); err == nil {
+	payload := "b"
+	if err := peer.Call(context.Background(), "m", &payload, nil); err == nil {
 		t.Error("Call after server close should error")
 	}
 	peer.Close()
+}
+
+// reverseCodec is a registrable toy codec for negotiation tests: gob with
+// every payload byte-reversed, so accidental gob fallback is detectable.
+type reverseCodec struct{}
+
+func (reverseCodec) Name() string { return "test-reverse/1" }
+
+func (reverseCodec) Append(dst []byte, v any) ([]byte, error) {
+	start := len(dst)
+	out, err := GobCodec.Append(dst, v)
+	if err != nil {
+		return dst, err
+	}
+	tail := out[start:]
+	for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
+		tail[i], tail[j] = tail[j], tail[i]
+	}
+	return out, nil
+}
+
+func (reverseCodec) Decode(data []byte, v any) error {
+	rev := make([]byte, len(data))
+	for i, b := range data {
+		rev[len(data)-1-i] = b
+	}
+	return GobCodec.Decode(rev, v)
 }
