@@ -23,7 +23,7 @@ import (
 
 func main() {
 	out := flag.String("out", "data", "output directory")
-	scale := flag.Float64("scale", 0.02, "fraction of Table I dataset counts")
+	scale := flag.Float64("scale", 0.02, "dataset-count scale as a multiple of the paper's Table I (values > 1 grow past it)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	updates := flag.Int("updates", 0, "also emit a mutation trace of N entries (updates.trace)")
 	flag.Parse()

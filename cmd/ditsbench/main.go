@@ -21,6 +21,8 @@
 //	ditsbench -exp ingest -compare     # diff write-path/recovery timings
 //	ditsbench -exp load -baseline      # snapshot to BENCH_load.json
 //	ditsbench -exp load -compare       # diff throughput/latency/shed rate
+//	ditsbench -exp bigsource -baseline # snapshot to BENCH_bigsource.json
+//	ditsbench -exp bigsource -compare  # diff beyond-RAM serving latencies
 //
 // The ingest experiment can replay a reproducible mutation trace written
 // by `datagen -updates N` via -trace; without it an equivalent trace is
@@ -40,13 +42,13 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load, bigsource) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest/load: snapshot results to -benchfile")
-	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest/load: diff results against the -benchfile snapshot")
+	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest/load/bigsource: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest/load/bigsource: diff results against the -benchfile snapshot")
 	benchFile := flag.String("benchfile", "", "snapshot file for -baseline/-compare (default BENCH_<exp>.json)")
-	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale (fraction of Table I sizes)")
+	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale as a multiple of Table I sizes")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
 		"workload scale for the OJSP figures 9-12 (0 = same as -scale)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "workload seed")
@@ -58,6 +60,9 @@ func main() {
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "max worker-pool size for the exec experiment")
 	flag.StringVar(&cfg.TracePath, "trace", "", "mutation trace file (datagen -updates) for the ingest experiment")
 	flag.Float64Var(&cfg.LoadSecs, "loadsecs", 3, "per-scenario duration in seconds for the load experiment")
+	flag.Float64Var(&cfg.BigScale, "bigscale", cfg.BigScale, "workload scale of the bigsource experiment's beyond-RAM index")
+	flag.IntVar(&cfg.RSSBudgetMB, "rss-budget-mb", cfg.RSSBudgetMB,
+		"RSS budget in MiB the bigsource experiment must stay under while serving mmap'd (Linux-enforced)")
 	covSrc := flag.String("coverage-sources", strings.Join(cfg.CoverageSources, ","),
 		"comma-separated sources for the CJSP figures ('' = all five)")
 	flag.Parse()
@@ -106,6 +111,8 @@ func main() {
 			tables, err = runIngestSnapshot(cfg, *baseline, *compare, file)
 		case id == "load" && (*baseline || *compare):
 			tables, err = runLoadSnapshot(cfg, *baseline, *compare, file)
+		case id == "bigsource" && (*baseline || *compare):
+			tables, err = runBigsourceSnapshot(cfg, *baseline, *compare, file)
 		default:
 			tables, err = bench.Run(id, cfg)
 		}
@@ -242,6 +249,31 @@ func runLoadSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]b
 	}
 	if baseline {
 		if err := bench.WriteLoad(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
+}
+
+// runBigsourceSnapshot is the same workflow for the beyond-RAM serving
+// experiment: -baseline snapshots per-phase latencies and memory posture,
+// -compare diffs a fresh run against the snapshot. The run itself enforces
+// mmap/heap result parity and (on Linux) the serving RSS budget.
+func runBigsourceSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables, err := bench.RunBigsource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if compare {
+		base, err := bench.ReadBigsource(file)
+		if err != nil {
+			return nil, fmt.Errorf("load baseline (run -exp bigsource -baseline first): %w", err)
+		}
+		tables = append(tables, bench.CompareBigsource(base, report))
+	}
+	if baseline {
+		if err := bench.WriteBigsource(file, report); err != nil {
 			return nil, err
 		}
 		fmt.Printf("baseline snapshot written to %s\n\n", file)

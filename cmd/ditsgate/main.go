@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,7 +61,14 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	codecFlag := flag.String("codec", "", "force one wire codec by name instead of negotiating the best (empty = negotiate)")
 	noCompress := flag.Bool("no-compress", false, "do not offer gzip compression when dialing sources")
+	logFile := flag.String("log-file", "", "append operational logs to this file instead of stderr")
 	flag.Parse()
+
+	logf, logClose, err := openLog(*logFile)
+	if err != nil {
+		fail(err)
+	}
+	defer logClose()
 
 	if *remote == "" {
 		fail(fmt.Errorf("-remote is required (comma-separated ditsserve addresses)"))
@@ -95,7 +103,7 @@ func main() {
 			fail(fmt.Errorf("register %s: %w", a, err))
 		}
 		wi := pool.WireInfo()
-		fmt.Printf("registered source %q at %s (pool=%d, codec=%s, compression=%v)\n",
+		logf("registered source %q at %s (pool=%d, codec=%s, compression=%v)",
 			summary.Name, a, *poolSize, wi.Codec, wi.Compression)
 	}
 
@@ -116,7 +124,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("gateway serving %d sources on http://%s (cache=%d entries)\n",
+	logf("gateway serving %d sources on http://%s (cache=%d entries)",
 		center.NumSources(), *addr, *cacheSize)
 
 	stop := make(chan os.Signal, 1)
@@ -125,9 +133,28 @@ func main() {
 	case err := <-errCh:
 		fail(err)
 	case <-stop:
-		fmt.Println("shutting down")
+		logf("shutting down")
 		srv.Close()
 	}
+}
+
+// openLog returns a printf-style logger writing to stderr, or appending
+// to path when given, plus a close func. Operational output never goes to
+// stdout: tools started with shell redirection should not scatter log
+// files into whatever the working directory happens to be.
+func openLog(path string) (func(format string, args ...any), func(), error) {
+	out := os.Stderr
+	closeFn := func() {}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open -log-file: %w", err)
+		}
+		out = f
+		closeFn = func() { f.Close() }
+	}
+	logger := log.New(out, "", log.LstdFlags)
+	return func(format string, args ...any) { logger.Printf(format, args...) }, closeFn, nil
 }
 
 func parseBounds(s string) (geo.Rect, error) {

@@ -15,6 +15,7 @@ func tinyConfig() Config {
 	cfg.K = 3
 	cfg.CoverageSources = []string{"Transit"}
 	cfg.LoadSecs = 0.4
+	cfg.BigScale = 0.02
 	return cfg
 }
 

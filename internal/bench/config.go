@@ -13,7 +13,7 @@ import (
 // Config sets the workload scale and the default parameters (Table II;
 // defaults underlined there: k=10, q=10, θ=12, δ=10, f=30).
 type Config struct {
-	Scale     float64 // fraction of Table I dataset counts to generate
+	Scale     float64 // multiple of Table I dataset counts to generate
 	Seed      int64
 	Theta     int
 	K         int
@@ -45,6 +45,17 @@ type Config struct {
 	// LoadSecs is the per-scenario duration of the load experiment in
 	// seconds (ditsbench -loadsecs). Zero means 3.
 	LoadSecs float64
+
+	// BigScale is the workload scale of the bigsource experiment's
+	// beyond-RAM index (ditsbench -bigscale). Zero means 4 — eight times
+	// the default OJSP scale.
+	BigScale float64
+
+	// RSSBudgetMB is the resident-set budget in MiB the bigsource
+	// experiment must stay under while serving the mmap'd snapshot
+	// (ditsbench -rss-budget-mb); it also becomes the Go soft memory
+	// limit for that phase. Zero means 512. Enforced on Linux only.
+	RSSBudgetMB int
 }
 
 // DefaultConfig returns the scaled-down defaults used by ditsbench and the
@@ -62,6 +73,8 @@ func DefaultConfig() Config {
 		OverlapScale:    0.5,
 		CoverageSources: []string{"Transit", "Baidu"},
 		Workers:         8,
+		BigScale:        4,
+		RSSBudgetMB:     512,
 	}
 }
 

@@ -104,6 +104,18 @@ func (n *Node) EnsureCompact() *cellset.Compact {
 	return n.Compact
 }
 
+// FlatCells returns the node's cells as a flat sorted Set. Nodes loaded
+// from an mmap'd snapshot (and nodes produced by Merge) carry only the
+// container form; FlatCells materializes a flat copy for callers that
+// need one — e.g. wire responses — without mutating the node, so it is
+// safe under concurrent read-only searches.
+func (n *Node) FlatCells() cellset.Set {
+	if n.Cells != nil {
+		return n.Cells
+	}
+	return n.Compact.Set()
+}
+
 // Coverage returns |S_D|, the number of cells covered by the node.
 func (n *Node) Coverage() int {
 	if n.Compact != nil {

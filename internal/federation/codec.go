@@ -158,7 +158,11 @@ func (binCodec) Append(dst []byte, v any) ([]byte, error) {
 		dst = binary.AppendVarint(dst, int64(m.Height))
 		dst = binary.AppendVarint(dst, int64(m.Sessions))
 		dst = binary.AppendUvarint(dst, m.DataVersion)
-		return appendBool(dst, m.Durable), nil
+		dst = appendBool(dst, m.Durable)
+		dst = appendBool(dst, m.MMap)
+		dst = binary.AppendVarint(dst, m.MappedBytes)
+		dst = binary.AppendVarint(dst, m.ResidentBytes)
+		return binary.AppendVarint(dst, int64(m.OverlayMutations)), nil
 	case *DatasetPutRequest:
 		dst = append(dst, tagBin, msgDatasetPutReq)
 		dst = binary.AppendVarint(dst, int64(m.ID))
@@ -289,6 +293,10 @@ func (binCodec) Decode(data []byte, v any) error {
 		m.Sessions = r.int()
 		m.DataVersion = r.uvarint()
 		m.Durable = r.bool()
+		m.MMap = r.bool()
+		m.MappedBytes = int64(r.int())
+		m.ResidentBytes = int64(r.int())
+		m.OverlayMutations = r.int()
 	case *DatasetPutRequest:
 		r.expect(msg, msgDatasetPutReq)
 		m.ID = r.int()

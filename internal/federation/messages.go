@@ -199,6 +199,13 @@ type StatsResponse struct {
 	Sessions    int    // live coverage sessions held by the source
 	DataVersion uint64 // mutations applied over the source's lifetime (0 when read-only)
 	Durable     bool   // whether the source runs a WAL-backed ingest store
+
+	// Memory posture of a source serving its index from an mmap'd
+	// snapshot (ditsserve -mmap). All zero for heap-resident sources.
+	MMap             bool
+	MappedBytes      int64 // bytes of the live snapshot mapping
+	ResidentBytes    int64 // estimated resident bytes (skeleton + touched leaves)
+	OverlayMutations int   // WAL-tail mutations layered over the snapshot base
 }
 
 // DatasetPutRequest durably upserts one dataset at a source: insert when

@@ -154,7 +154,18 @@ func NewSourceServerWithGrid(name string, idx *dits.Local) *SourceServer {
 // Found=false, which the center already handles).
 func (s *SourceServer) EnableIngest(st *ingest.Store) {
 	s.store = st
-	s.Index = st.Index()
+	// s.Index is not cached from the store: with an mmap-served store the
+	// live index pointer changes at every snapshot swap, so every access
+	// goes through view (which reads the store's current index).
+	s.Index = nil
+}
+
+// NumDatasets returns the current dataset count under the index lock —
+// safe against concurrent mutations and snapshot swaps.
+func (s *SourceServer) NumDatasets() int {
+	var n int
+	s.view(func(idx *dits.Local) { n = idx.Len() })
+	return n
 }
 
 // Store returns the durable ingest store attached with EnableIngest, or
@@ -282,6 +293,13 @@ func (s *SourceServer) Handler() transport.Handler {
 				resp.TreeNodes = idx.NumTreeNodes()
 				resp.Height = idx.Height()
 			})
+			if s.store != nil {
+				ss := s.store.Stats()
+				resp.MMap = ss.MMap
+				resp.MappedBytes = ss.MappedBytes
+				resp.ResidentBytes = ss.ResidentBytes
+				resp.OverlayMutations = ss.SinceSnapshot
+			}
 			return &resp, nil
 		case MethodSummary:
 			// Lets a data center bootstrap registration over the wire
@@ -417,7 +435,7 @@ func (s *SourceServer) handleCoverage(ctx context.Context, req CoverageRequest) 
 			ID:    best.ID,
 			Name:  best.Name,
 			Gain:  bestGain,
-			Cells: best.Cells,
+			Cells: best.FlatCells(),
 		}
 	})
 	return out
@@ -450,7 +468,7 @@ func (s *SourceServer) pickBest(cands []*dataset.Node, mergedC *cellset.Compact,
 	var best *dataset.Node
 	bestGain := -1
 	for _, nd := range cands {
-		if excluded[nd.ID] || nd.Cells.Len() < bestGain {
+		if excluded[nd.ID] || nd.Coverage() < bestGain {
 			continue
 		}
 		g := mergedC.MarginalGain(nd.CompactCells())
@@ -525,14 +543,15 @@ func (s *SourceServer) handleFetchCells(req FetchCellsRequest) FetchCellsRespons
 	if nd == nil {
 		return FetchCellsResponse{}
 	}
-	resp := FetchCellsResponse{Found: true, Cells: nd.Cells}
+	cells := nd.FlatCells()
+	resp := FetchCellsResponse{Found: true, Cells: cells}
 	if req.Session == 0 {
 		return resp
 	}
 	s.mu.Lock()
 	s.sweepLocked(s.clock())
 	if sess := s.sessions[req.Session]; sess != nil {
-		sess.absorb(nd.Cells)
+		sess.absorb(cells)
 		sess.lastUsed = s.clock()
 		resp.Committed = true
 	}

@@ -1,0 +1,308 @@
+package dits
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"dits/internal/cellset"
+	"dits/internal/dataset"
+	"dits/internal/geo"
+)
+
+// File-backed indexes. internal/index/ditsfile decodes only the tree
+// SKELETON of a snapshot eagerly — node geometry, child links, MaxCells,
+// and stub dataset nodes with ID/Name/MBR — and arms each leaf with a
+// loader that materializes the heavy payload (children cell containers,
+// union/all summaries, posting lists) on first touch. The Lemma 2/3
+// kernels below call EnsureLoaded themselves, so every consumer of the
+// leaf access interface (search/exec, the sequential searchers, coverage
+// sessions, batch) works against a file-backed index unchanged: a leaf
+// pruned by the tree walk never faults its pages in.
+
+// LeafData is everything a file-backed leaf materializes on first touch.
+// ChildCells aligns with the leaf's Children slice.
+type LeafData struct {
+	ChildCells []*cellset.Compact
+	Union, All *cellset.Compact
+	Post       *LeafPostings
+}
+
+// LeafPostings is the flat, possibly file-aliased form of a leaf's
+// inverted index: for CellList[i], the child positions holding that cell
+// are Entries[Ends[i-1]:Ends[i]]. It replaces the Inv map for file-backed
+// leaves until a mutation forces the map to be built (ensureInv).
+type LeafPostings struct {
+	CellList []uint64 // distinct cells, strictly ascending
+	Ends     []uint32 // prefix end offsets into Entries, len == len(CellList)
+	Entries  []uint16 // child positions, grouped per cell
+}
+
+// lazyLeaf arms a leaf for one-shot materialization. The once gives every
+// racing reader a happens-before edge on the loaded fields; load errors
+// leave the leaf empty (searches see zero overlap) and are surfaced via
+// the reader's error counter, never as a panic.
+type lazyLeaf struct {
+	once sync.Once
+	load func() (LeafData, error)
+	err  error
+}
+
+// EnsureLoaded materializes a file-backed leaf's payload, blocking until
+// the first toucher finishes. It is a two-instruction no-op on heap-built
+// leaves and after the first load.
+func (n *TreeNode) EnsureLoaded() {
+	lz := n.lazy
+	if lz == nil {
+		return
+	}
+	lz.once.Do(func() {
+		data, err := lz.load()
+		if err != nil {
+			lz.err = err
+			return
+		}
+		for i, cc := range data.ChildCells {
+			if i < len(n.Children) {
+				n.Children[i].Compact = cc
+			}
+		}
+		n.unionC, n.allC = data.Union, data.All
+		n.post = data.Post
+	})
+}
+
+// LoadErr returns the materialization error of a file-backed leaf, or nil.
+// It is meaningful only after EnsureLoaded has run.
+func (n *TreeNode) LoadErr() error {
+	if n.lazy == nil {
+		return nil
+	}
+	return n.lazy.err
+}
+
+// AttachLazyLeaf arms a leaf for on-demand materialization. It must run
+// during index assembly, before the index is published to searchers.
+func AttachLazyLeaf(n *TreeNode, load func() (LeafData, error)) {
+	n.lazy = &lazyLeaf{load: load}
+}
+
+// VisitLeaves calls fn for every leaf under n, in tree order.
+func (n *TreeNode) VisitLeaves(fn func(*TreeNode)) { n.visitLeaves(fn) }
+
+// LeafSummaries returns the leaf's compact union/all summaries (Lemma 2/3),
+// materializing a file-backed leaf first. Both are nil for internal nodes
+// and empty leaves.
+func (n *TreeNode) LeafSummaries() (union, all *cellset.Compact) {
+	n.EnsureLoaded()
+	return n.unionC, n.allC
+}
+
+// BackingInfo reports the memory footprint of a file-backed index; the
+// ditsfile reader implements it and Open attaches it to the Local it
+// assembles. A heap-built index has a nil Backing.
+type BackingInfo interface {
+	// MappedBytes is the size of the file mapping (0 in copy mode).
+	MappedBytes() int64
+	// ResidentEstBytes estimates resident memory: the eagerly decoded
+	// skeleton plus the payload bytes of every leaf materialized so far.
+	ResidentEstBytes() int64
+	// LeafLoads counts leaves materialized so far — the page-fault proxy:
+	// each load walks that leaf's payload pages exactly once.
+	LeafLoads() int64
+	// LoadErrors counts leaves whose payload failed validation and
+	// degraded to an empty leaf.
+	LoadErrors() int64
+}
+
+// NewFromTree assembles a Local around an externally decoded tree — the
+// ditsfile reader's entry point. It derives the byID/leafOf bookkeeping
+// from a leaf walk (the skeleton's Children must be populated with stub
+// dataset nodes; payloads may still be lazy) and rejects duplicate IDs.
+func NewFromTree(g geo.Grid, f int, root *TreeNode) (*Local, error) {
+	if root == nil {
+		return nil, fmt.Errorf("dits: nil root")
+	}
+	if f <= 0 {
+		f = DefaultLeafCapacity
+	}
+	l := &Local{
+		Grid:   g,
+		F:      f,
+		Root:   root,
+		byID:   make(map[int]*dataset.Node),
+		leafOf: make(map[int]*TreeNode),
+	}
+	var err error
+	root.visitLeaves(func(leaf *TreeNode) {
+		for _, c := range leaf.Children {
+			if _, dup := l.byID[c.ID]; dup && err == nil {
+				err = fmt.Errorf("dits: duplicate dataset ID %d", c.ID)
+			}
+			l.byID[c.ID] = c
+			l.leafOf[c.ID] = leaf
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// eachCell visits a child's cells whichever form the node carries: the
+// flat set for heap-built nodes, the container form for file-backed ones.
+func eachCell(nd *dataset.Node, fn func(uint64)) {
+	if nd.Cells != nil {
+		for _, c := range nd.Cells {
+			fn(c)
+		}
+		return
+	}
+	nd.CompactCells().ForEach(func(c uint64) bool { fn(c); return true })
+}
+
+// ensureInv guarantees the leaf carries the mutable Inv map, building it
+// from the materialized children when the leaf came off a file. Mutation
+// entry points call it (after EnsureLoaded) before touching postings; the
+// flat posting lists are dropped since they no longer agree after a write.
+func (n *TreeNode) ensureInv() {
+	if n.Inv != nil {
+		return
+	}
+	n.rebuildInv()
+	n.post = nil
+}
+
+// overlapBoundsPost is OverlapBounds against the flat posting lists of a
+// file-backed leaf; results are identical to the Inv-map path.
+func (n *TreeNode) overlapBoundsPost(q cellset.Set) (lb, ub int) {
+	p := n.post
+	full := len(n.Children)
+	if len(p.CellList) < len(q) {
+		for i, c := range p.CellList {
+			if !q.Contains(c) {
+				continue
+			}
+			ub++
+			if n.postLen(i) == full {
+				lb++
+			}
+		}
+		return lb, ub
+	}
+	lo := 0
+	for _, c := range q {
+		if !n.inRect(c) {
+			continue
+		}
+		i, found := slices.BinarySearch(p.CellList[lo:], c)
+		lo += i
+		if !found {
+			continue
+		}
+		ub++
+		if n.postLen(lo) == full {
+			lb++
+		}
+		lo++
+	}
+	return lb, ub
+}
+
+// appendOverlapCountsPost is AppendOverlapCounts against the flat posting
+// lists; counts must already be sized to len(Children).
+func (n *TreeNode) appendOverlapCountsPost(q cellset.Set, counts []int) []int {
+	p := n.post
+	if len(p.CellList) < len(q) {
+		for i, c := range p.CellList {
+			if !q.Contains(c) {
+				continue
+			}
+			for _, pos := range n.postList(i) {
+				counts[pos]++
+			}
+		}
+		return counts
+	}
+	lo := 0
+	for _, c := range q {
+		if !n.inRect(c) {
+			continue
+		}
+		i, found := slices.BinarySearch(p.CellList[lo:], c)
+		lo += i
+		if !found {
+			continue
+		}
+		for _, pos := range n.postList(lo) {
+			counts[pos]++
+		}
+		lo++
+	}
+	return counts
+}
+
+// postList returns the child positions holding the i-th posting cell.
+func (n *TreeNode) postList(i int) []uint16 {
+	p := n.post
+	start := uint32(0)
+	if i > 0 {
+		start = p.Ends[i-1]
+	}
+	return p.Entries[start:p.Ends[i]]
+}
+
+// checkPostings verifies that every cell of the child at position pos is
+// findable in the leaf's inverted index — the Inv map for heap leaves,
+// the flat posting lists for file-backed ones. CheckInvariants uses it.
+func (n *TreeNode) checkPostings(c *dataset.Node, pos int) error {
+	var missing uint64
+	ok := true
+	switch {
+	case n.Inv != nil:
+		eachCell(c, func(cell uint64) {
+			if !ok {
+				return
+			}
+			hit := false
+			for _, idx := range n.Inv[cell] {
+				if idx == int32(pos) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				ok, missing = false, cell
+			}
+		})
+	case n.post != nil:
+		eachCell(c, func(cell uint64) {
+			if !ok {
+				return
+			}
+			i, hit := slices.BinarySearch(n.post.CellList, cell)
+			if hit {
+				hit = slices.Contains(n.postList(i), uint16(pos))
+			}
+			if !hit {
+				ok, missing = false, cell
+			}
+		})
+	default:
+		return fmt.Errorf("dits: leaf at %v has neither inverted index nor postings", n.Rect)
+	}
+	if !ok {
+		return fmt.Errorf("dits: cell %d of dataset %d missing from inverted index", missing, c.ID)
+	}
+	return nil
+}
+
+// postLen returns the posting-list length of the i-th cell.
+func (n *TreeNode) postLen(i int) int {
+	p := n.post
+	start := uint32(0)
+	if i > 0 {
+		start = p.Ends[i-1]
+	}
+	return int(p.Ends[i] - start)
+}

@@ -23,6 +23,11 @@ type Local struct {
 	F    int // leaf capacity f
 	Root *TreeNode
 
+	// Backing is non-nil for file-backed indexes (internal/index/ditsfile):
+	// the reader that owns the underlying mapping and reports its memory
+	// footprint. Heap-built indexes leave it nil.
+	Backing BackingInfo
+
 	byID   map[int]*dataset.Node
 	leafOf map[int]*TreeNode
 }
@@ -108,13 +113,22 @@ func (l *Local) build(nds []*dataset.Node, parent *TreeNode) *TreeNode {
 // Len returns the number of indexed datasets.
 func (l *Local) Len() int { return len(l.byID) }
 
-// Get returns the indexed dataset node with the given ID, or nil.
-func (l *Local) Get(id int) *dataset.Node { return l.byID[id] }
+// Get returns the indexed dataset node with the given ID, or nil. On a
+// file-backed index the owning leaf is materialized first, so the
+// returned node always carries its cells.
+func (l *Local) Get(id int) *dataset.Node {
+	if leaf := l.leafOf[id]; leaf != nil {
+		leaf.EnsureLoaded()
+	}
+	return l.byID[id]
+}
 
-// All returns all indexed dataset nodes in unspecified order.
+// All returns all indexed dataset nodes in unspecified order. On a
+// file-backed index this materializes every leaf.
 func (l *Local) All() []*dataset.Node {
 	out := make([]*dataset.Node, 0, len(l.byID))
 	l.Root.visitLeaves(func(leaf *TreeNode) {
+		leaf.EnsureLoaded()
 		out = append(out, leaf.Children...)
 	})
 	return out
@@ -169,8 +183,13 @@ func (l *Local) Height() int { return l.Root.height() }
 
 // MemoryBytes estimates the resident size of the index: tree nodes plus
 // posting-list entries plus the cell sets held by dataset nodes. It is the
-// figure reported in the Fig. 8 memory comparison.
+// figure reported in the Fig. 8 memory comparison. A file-backed index
+// delegates to its reader's resident estimate — walking its leaves here
+// would fault every payload in just to measure it.
 func (l *Local) MemoryBytes() int64 {
+	if l.Backing != nil {
+		return l.Backing.ResidentEstBytes()
+	}
 	const nodeSize = 96 // TreeNode header: rect + pivot + radius + pointers
 	var bytes int64
 	l.Root.visitLeaves(func(leaf *TreeNode) {
@@ -204,9 +223,15 @@ func (l *Local) CheckInvariants() error {
 			return fmt.Errorf("dits: bad parent pointer at %v", n.Rect)
 		}
 		if n.IsLeaf() {
+			n.EnsureLoaded()
+			if err := n.LoadErr(); err != nil {
+				return fmt.Errorf("dits: leaf at %v failed to materialize: %w", n.Rect, err)
+			}
 			if len(n.Children) > l.F {
 				return fmt.Errorf("dits: leaf overflow: %d > f=%d", len(n.Children), l.F)
 			}
+			maxCov := 0
+			var union, all *cellset.Compact
 			for i, c := range n.Children {
 				if seen[c.ID] {
 					return fmt.Errorf("dits: dataset %d appears twice", c.ID)
@@ -218,36 +243,35 @@ func (l *Local) CheckInvariants() error {
 				if l.leafOf[c.ID] != n {
 					return fmt.Errorf("dits: leafOf[%d] stale", c.ID)
 				}
-				if !c.CompactCells().Equal(cellset.FromSet(c.Cells)) {
+				cc := c.CompactCells()
+				// File-backed children carry only the container form; the
+				// flat/compact agreement check applies when both exist.
+				if c.Cells != nil && !cc.Equal(cellset.FromSet(c.Cells)) {
 					return fmt.Errorf("dits: dataset %d compact cells out of sync with flat cells", c.ID)
 				}
-				for _, cell := range c.Cells {
-					found := false
-					for _, idx := range n.Inv[cell] {
-						if idx == int32(i) {
-							found = true
-							break
-						}
-					}
-					if !found {
-						return fmt.Errorf("dits: cell %d of dataset %d missing from inverted index", cell, c.ID)
-					}
+				if cov := c.Coverage(); cov > maxCov {
+					maxCov = cov
+				}
+				if i == 0 {
+					union, all = cc, cc
+				} else {
+					union = union.Union(cc)
+					all = all.Intersect(cc)
+				}
+				if err := n.checkPostings(c, i); err != nil {
+					return err
 				}
 			}
-			// The compact leaf summaries must agree with the inverted
-			// index they summarize: unionC covers exactly Inv's keys, allC
-			// exactly the cells whose posting list spans every child.
-			var union, all cellset.Set
-			for cell, pl := range n.Inv {
-				union = append(union, cell)
-				if len(pl) == len(n.Children) {
-					all = append(all, cell)
-				}
+			if n.MaxCells != maxCov {
+				return fmt.Errorf("dits: leaf MaxCells %d != max child coverage %d at %v", n.MaxCells, maxCov, n.Rect)
 			}
-			if !n.unionC.Equal(cellset.FromSet(cellset.New(union...))) {
+			// The compact leaf summaries must agree with the children they
+			// summarize: unionC is the union of the children's cells, allC
+			// the cells present in every child.
+			if !n.unionC.Equal(union) {
 				return fmt.Errorf("dits: leaf union summary out of sync at %v", n.Rect)
 			}
-			if !n.allC.Equal(cellset.FromSet(cellset.New(all...))) {
+			if !n.allC.Equal(all) {
 				return fmt.Errorf("dits: leaf all-children summary out of sync at %v", n.Rect)
 			}
 			return nil

@@ -50,7 +50,7 @@ func (l *Local) Save(w io.Writer) error {
 	nodes := l.All()
 	dataset.SortByID(nodes)
 	for _, nd := range nodes {
-		snap.Nodes = append(snap.Nodes, snapshotNode{ID: nd.ID, Name: nd.Name, Cells: nd.Cells})
+		snap.Nodes = append(snap.Nodes, snapshotNode{ID: nd.ID, Name: nd.Name, Cells: nd.FlatCells()})
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("dits: save: %w", err)

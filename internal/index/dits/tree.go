@@ -10,7 +10,10 @@
 // indexes, compact leaf summaries, the dataset nodes themselves) are
 // immutable under search: any number of goroutines — the searchers in
 // search/{overlap,coverage} and the worker pools in search/exec — may
-// read one index concurrently. Mutations (Insert, Delete, Update) demand
+// read one index concurrently. File-backed indexes (lazy.go,
+// internal/index/ditsfile) materialize leaf payloads on first touch under
+// a per-leaf sync.Once — a logically read-only load that stays safe under
+// concurrent searches. Mutations (Insert, Delete, Update) demand
 // exclusive access: no search may run while one is in flight; the caller
 // provides that exclusion. Dataset nodes handed to Build are owned by
 // the index afterwards (Build caches their compact form via
@@ -56,6 +59,13 @@ type TreeNode struct {
 	// They turn OverlapBoundsCompact into two word-parallel intersection
 	// counts. Maintained by refreshGeometry and the Insert fast path.
 	unionC, allC *cellset.Compact
+
+	// File-backed leaves (lazy.go): lazy materializes the payload on first
+	// touch; post is the flat, possibly file-aliased posting-list form that
+	// stands in for Inv until a mutation builds the map. Both are nil on
+	// heap-built leaves.
+	lazy *lazyLeaf
+	post *LeafPostings
 }
 
 // IsLeaf reports whether n is a leaf node.
@@ -69,8 +79,8 @@ func (n *TreeNode) refreshGeometry() {
 		n.MaxCells = 0
 		for _, c := range n.Children {
 			r = r.Union(c.Rect)
-			if c.Cells.Len() > n.MaxCells {
-				n.MaxCells = c.Cells.Len()
+			if cov := c.Coverage(); cov > n.MaxCells {
+				n.MaxCells = cov
 			}
 		}
 		n.refreshSummaries()
@@ -129,9 +139,9 @@ func (n *TreeNode) addToSummaries(nd *dataset.Node) {
 func (n *TreeNode) rebuildInv() {
 	n.Inv = make(map[uint64][]int32)
 	for i, c := range n.Children {
-		for _, cell := range c.Cells {
+		eachCell(c, func(cell uint64) {
 			n.Inv[cell] = append(n.Inv[cell], int32(i))
-		}
+		})
 	}
 }
 
@@ -140,14 +150,14 @@ func (n *TreeNode) addInv(nd *dataset.Node, pos int) {
 	if n.Inv == nil {
 		n.Inv = make(map[uint64][]int32)
 	}
-	for _, cell := range nd.Cells {
+	eachCell(nd, func(cell uint64) {
 		n.Inv[cell] = append(n.Inv[cell], int32(pos))
-	}
+	})
 }
 
 // removeInv deletes the postings of the dataset that was at position pos.
 func (n *TreeNode) removeInv(nd *dataset.Node, pos int) {
-	for _, cell := range nd.Cells {
+	eachCell(nd, func(cell uint64) {
 		pl := n.Inv[cell]
 		for i, p := range pl {
 			if p == int32(pos) {
@@ -161,13 +171,13 @@ func (n *TreeNode) removeInv(nd *dataset.Node, pos int) {
 		} else {
 			n.Inv[cell] = pl
 		}
-	}
+	})
 }
 
 // moveInv rewrites the postings of nd from child position from to position
 // to (used when a delete swap-moves the last child into the freed slot).
 func (n *TreeNode) moveInv(nd *dataset.Node, from, to int) {
-	for _, cell := range nd.Cells {
+	eachCell(nd, func(cell uint64) {
 		pl := n.Inv[cell]
 		for i, p := range pl {
 			if p == int32(from) {
@@ -175,7 +185,7 @@ func (n *TreeNode) moveInv(nd *dataset.Node, from, to int) {
 				break
 			}
 		}
-	}
+	})
 }
 
 // inRect reports whether cell c's grid coordinates fall inside the node's
@@ -195,6 +205,10 @@ func (n *TreeNode) inRect(c uint64) bool {
 // It iterates whichever side is smaller: the query's cells (clipped to the
 // leaf MBR) or the leaf's posting keys.
 func (n *TreeNode) OverlapBounds(q cellset.Set) (lb, ub int) {
+	n.EnsureLoaded()
+	if n.Inv == nil && n.post != nil {
+		return n.overlapBoundsPost(q)
+	}
 	full := len(n.Children)
 	if len(n.Inv) < len(q) {
 		for c, pl := range n.Inv {
@@ -236,7 +250,11 @@ func (n *TreeNode) OverlapCounts(q cellset.Set) []int {
 // hot loop threads a per-worker scratch slice through. The returned slice
 // has exactly len(Children) entries and replaces counts.
 func (n *TreeNode) AppendOverlapCounts(q cellset.Set, counts []int) []int {
+	n.EnsureLoaded()
 	counts = resizeCounts(counts, len(n.Children))
+	if n.Inv == nil && n.post != nil {
+		return n.appendOverlapCountsPost(q, counts)
+	}
 	if len(n.Inv) < len(q) {
 		for c, pl := range n.Inv {
 			if !q.Contains(c) {
@@ -265,6 +283,7 @@ func (n *TreeNode) AppendOverlapCounts(q cellset.Set, counts []int) []int {
 // all-children summary — two word-parallel intersection counts instead of
 // a per-cell posting-list walk. Results are identical to OverlapBounds.
 func (n *TreeNode) OverlapBoundsCompact(q *cellset.Compact) (lb, ub int) {
+	n.EnsureLoaded()
 	return q.IntersectCount(n.allC), q.IntersectCount(n.unionC)
 }
 
@@ -273,6 +292,7 @@ func (n *TreeNode) OverlapBoundsCompact(q *cellset.Compact) (lb, ub int) {
 // counting that follows), so it skips the allC intersection that
 // OverlapBoundsCompact would waste on the hot path.
 func (n *TreeNode) OverlapUBCompact(q *cellset.Compact) int {
+	n.EnsureLoaded()
 	return q.IntersectCount(n.unionC)
 }
 
@@ -286,6 +306,7 @@ func (n *TreeNode) OverlapCountsCompact(q *cellset.Compact) []int {
 // AppendOverlapCountsCompact is OverlapCountsCompact reusing counts'
 // backing array when capacity allows; see AppendOverlapCounts.
 func (n *TreeNode) AppendOverlapCountsCompact(q *cellset.Compact, counts []int) []int {
+	n.EnsureLoaded()
 	counts = resizeCounts(counts, len(n.Children))
 	for i, d := range n.Children {
 		counts[i] = q.IntersectCount(d.CompactCells())

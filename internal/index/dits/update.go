@@ -23,6 +23,8 @@ func (l *Local) Insert(nd *dataset.Node) error {
 	}
 	nd.EnsureCompact()
 	leaf := l.descend(nd)
+	leaf.EnsureLoaded()
+	leaf.ensureInv()
 	leaf.Children = append(leaf.Children, nd)
 	l.byID[nd.ID] = nd
 	l.leafOf[nd.ID] = leaf
@@ -35,8 +37,8 @@ func (l *Local) Insert(nd *dataset.Node) error {
 		leaf.Rect = leaf.Rect.Union(nd.Rect)
 		leaf.O = leaf.Rect.Center()
 		leaf.R = leaf.Rect.Radius()
-		if nd.Cells.Len() > leaf.MaxCells {
-			leaf.MaxCells = nd.Cells.Len()
+		if cov := nd.Coverage(); cov > leaf.MaxCells {
+			leaf.MaxCells = cov
 		}
 		l.refreshAncestors(leaf.Parent)
 	}
@@ -72,6 +74,10 @@ func (l *Local) splitLeaf(leaf *TreeNode) {
 	leaf.Children, leaf.Inv = sub.Children, sub.Inv
 	leaf.unionC, leaf.allC = sub.unionC, sub.allC
 	leaf.Rect, leaf.O, leaf.R = sub.Rect, sub.O, sub.R
+	leaf.MaxCells = sub.MaxCells
+	// The node is internal now (or a freshly rebuilt leaf when the split
+	// degenerates); any file-backed payload state died with the old leaf.
+	leaf.lazy, leaf.post = nil, nil
 	if leaf.Left != nil {
 		leaf.Left.Parent = leaf
 		leaf.Right.Parent = leaf
@@ -93,6 +99,8 @@ func (l *Local) Delete(id int) error {
 	if !ok {
 		return fmt.Errorf("dits: dataset %d not indexed", id)
 	}
+	leaf.EnsureLoaded()
+	leaf.ensureInv()
 	for i, c := range leaf.Children {
 		if c.ID != id {
 			continue
@@ -129,11 +137,17 @@ func (l *Local) hoistSibling(empty *TreeNode) {
 	if sibling == empty {
 		sibling = parent.Right
 	}
-	// Copy the sibling's content into the parent slot.
+	// Copy the sibling's content into the parent slot. MaxCells and the
+	// file-backed payload state must move too: when the sibling is a leaf
+	// the parent slot BECOMES that leaf, and an internal node's stale
+	// MaxCells (often 0) would make searches prune the hoisted leaf as if
+	// it held no cells.
 	parent.Left, parent.Right = sibling.Left, sibling.Right
 	parent.Children, parent.Inv = sibling.Children, sibling.Inv
 	parent.unionC, parent.allC = sibling.unionC, sibling.allC
 	parent.Rect, parent.O, parent.R = sibling.Rect, sibling.O, sibling.R
+	parent.MaxCells = sibling.MaxCells
+	parent.lazy, parent.post = sibling.lazy, sibling.post
 	if parent.Left != nil {
 		parent.Left.Parent = parent
 		parent.Right.Parent = parent
@@ -158,6 +172,8 @@ func (l *Local) Update(nd *dataset.Node) error {
 		return fmt.Errorf("dits: dataset %d not indexed", nd.ID)
 	}
 	nd.EnsureCompact()
+	leaf.EnsureLoaded()
+	leaf.ensureInv()
 	for i, c := range leaf.Children {
 		if c.ID == nd.ID {
 			leaf.removeInv(c, i)

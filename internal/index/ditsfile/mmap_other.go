@@ -1,0 +1,18 @@
+//go:build !unix
+
+package ditsfile
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("ditsfile: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(b []byte) error { return nil }
+
+func madviseDontNeed(b []byte) error { return nil }

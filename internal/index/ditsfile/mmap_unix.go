@@ -1,0 +1,37 @@
+//go:build unix
+
+package ditsfile
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared: pages fault in on
+// first access and the OS may reclaim them under memory pressure, which
+// is the mechanism the RSS budget relies on.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// madviseDontNeed tells the kernel to drop the mapping's resident pages;
+// the data refaults from the file on next access. Used to retire swapped
+// readers and to start cold-cache benchmark runs honestly.
+func madviseDontNeed(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Madvise(b, syscall.MADV_DONTNEED)
+}

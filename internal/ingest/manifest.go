@@ -16,15 +16,21 @@ const manifestSchema = "dits-ingest-manifest/1"
 // manifestName is the manifest's filename inside the store directory.
 const manifestName = "MANIFEST"
 
+// formatDSnap marks a snapshot in the binary ditsfile format. The empty
+// string is the legacy gob encoding: manifests written before the format
+// field existed carry no format, and those snapshots must keep loading.
+const formatDSnap = "dsnap/1"
+
 // manifest commits a snapshot: it names the snapshot file and records the
 // mutation sequence number and data version the snapshot covers. Records
 // in the WAL with Seq <= manifest.Seq are redundant and skipped on replay
 // (a crash between manifest commit and WAL reset leaves them behind).
 type manifest struct {
 	Schema   string `json:"schema"`
-	Snapshot string `json:"snapshot"` // snapshot filename within the store dir
-	Seq      uint64 `json:"seq"`      // last mutation included in the snapshot
-	Version  uint64 `json:"version"`  // data version at the snapshot point
+	Snapshot string `json:"snapshot"`         // snapshot filename within the store dir
+	Format   string `json:"format,omitempty"` // snapshot encoding; "" = legacy gob
+	Seq      uint64 `json:"seq"`              // last mutation included in the snapshot
+	Version  uint64 `json:"version"`          // data version at the snapshot point
 }
 
 // readManifest loads the store's manifest, returning (nil, nil) when the
@@ -46,6 +52,9 @@ func readManifest(dir string) (*manifest, error) {
 	}
 	if m.Snapshot == "" || m.Snapshot != filepath.Base(m.Snapshot) {
 		return nil, fmt.Errorf("ingest: manifest names invalid snapshot %q", m.Snapshot)
+	}
+	if m.Format != "" && m.Format != formatDSnap {
+		return nil, fmt.Errorf("ingest: manifest has unknown snapshot format %q", m.Format)
 	}
 	return &m, nil
 }

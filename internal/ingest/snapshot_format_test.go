@@ -1,0 +1,178 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestLegacyGobSnapshotLoads pins backward compatibility: a store
+// directory whose manifest predates the binary snapshot format (no format
+// field, snap-<seq>.gob payload) must recover, and its next compaction
+// must migrate it to the binary format.
+func TestLegacyGobSnapshotLoads(t *testing.T) {
+	dir := t.TempDir()
+	idx, err := bootstrap(testSeedDatasets, testSeed)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := searchFingerprint(t, idx)
+
+	// Hand-build the legacy layout: gob snapshot + format-less manifest.
+	snapName := fmt.Sprintf("snap-%016d.gob", 0)
+	f, err := os.Create(filepath.Join(dir, snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeManifest(dir, manifest{Snapshot: snapName, Seq: 0, Version: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir, Options{Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("open legacy store: %v", err)
+	}
+	if got := searchFingerprint(t, st.Index()); !reflect.DeepEqual(got, want) {
+		t.Fatal("legacy gob snapshot recovered different results")
+	}
+	// Mutate and compact: the store must move to the binary format and
+	// clean the legacy file up.
+	applyToStore(t, st, genMutations(10, 8, testSeedDatasets), 10)
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	afterSnap := searchFingerprint(t, st.Index())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Format != formatDSnap {
+		t.Fatalf("post-compaction manifest format = %q, want %q", man.Format, formatDSnap)
+	}
+	if gobs, _ := filepath.Glob(filepath.Join(dir, "snap-*.gob")); len(gobs) != 0 {
+		t.Fatalf("legacy snapshots not reclaimed: %v", gobs)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := searchFingerprint(t, re.Index()); !reflect.DeepEqual(got, afterSnap) {
+		t.Fatal("migrated store recovered different results")
+	}
+}
+
+// TestUnknownManifestFormatRejected: a manifest naming a format this
+// binary does not understand must fail loudly, not misparse the snapshot.
+func TestUnknownManifestFormatRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, Options{Fsync: FsyncNever})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Format = "dsnap/999"
+	if err := writeManifest(dir, *man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("unknown snapshot format must be rejected")
+	}
+}
+
+// TestMMapStoreParity runs the full mutate/compact/recover cycle with the
+// index served from the mmap'd snapshot: results must match the
+// heap-resident store and a from-scratch rebuild at every stage, across
+// the snapshot swaps that shed the WAL-tail overlay.
+func TestMMapStoreParity(t *testing.T) {
+	dir := t.TempDir()
+	muts := genMutations(60, 9, testSeedDatasets)
+	st := openTestStore(t, dir, Options{Fsync: FsyncNever, SnapshotEvery: 16, MMap: true})
+	s := st.Stats()
+	if !s.MMap || s.MappedBytes == 0 {
+		t.Fatalf("store not serving mmap'd after bootstrap: %+v", s)
+	}
+	for i := 1; i <= len(muts); i++ {
+		applyToStore(t, st, muts[i-1:], 1)
+		if i%20 == 0 {
+			// Mid-stream checkpoint: snapshot base + live overlay must
+			// equal a fresh rebuild of the surviving datasets.
+			oracle := oracleIndex(applyOracle(muts, i, testSeed, testSeedDatasets))
+			if got := searchFingerprint(t, st.Index()); !reflect.DeepEqual(got, searchFingerprint(t, oracle)) {
+				t.Fatalf("after %d mutations: overlay results diverged from rebuild", i)
+			}
+		}
+	}
+	// Force a final compaction so the store is freshly swapped, then
+	// compare against the oracle.
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := oracleIndex(applyOracle(muts, len(muts), testSeed, testSeedDatasets))
+	want := searchFingerprint(t, oracle)
+	if got := searchFingerprint(t, st.Index()); !reflect.DeepEqual(got, want) {
+		t.Fatal("mmap-served store diverged from fresh rebuild")
+	}
+	if err := st.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover mmap'd and heap-resident: identical either way.
+	for _, mm := range []bool{true, false} {
+		re, err := Open(dir, Options{MMap: mm})
+		if err != nil {
+			t.Fatalf("reopen mmap=%v: %v", mm, err)
+		}
+		if got := searchFingerprint(t, re.Index()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("mmap=%v recovery diverged", mm)
+		}
+		if s := re.Stats(); s.MMap != mm {
+			t.Fatalf("Stats().MMap = %v, want %v", s.MMap, mm)
+		}
+		re.Close()
+	}
+}
+
+// TestMMapCorruptSnapshotRejected: recovery from a bit-flipped committed
+// snapshot must fail cleanly (the operator restores or re-bootstraps; the
+// store never serves silently wrong data).
+func TestMMapCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, Options{Fsync: FsyncNever})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.dsnap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want one snapshot, got %v", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mm := range []bool{true, false} {
+		if _, err := Open(dir, Options{MMap: mm}); err == nil {
+			t.Fatalf("mmap=%v: corrupt committed snapshot must be rejected", mm)
+		}
+	}
+}

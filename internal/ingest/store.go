@@ -11,6 +11,7 @@ import (
 	"dits/internal/cellset"
 	"dits/internal/dataset"
 	"dits/internal/index/dits"
+	"dits/internal/index/ditsfile"
 	"dits/internal/metrics"
 )
 
@@ -37,6 +38,14 @@ type Options struct {
 	// recovered store's state comes from its snapshot and WAL, never from
 	// re-reading the original source data.
 	Bootstrap func() (*dits.Local, error)
+	// MMap serves the snapshot base mmap'd and searched in place instead
+	// of heap-resident: leaves fault in on first touch and the OS may
+	// reclaim cold pages, bounding RSS below the index size. The WAL tail
+	// is layered on top as an in-memory overlay (mutations go straight
+	// into the file-backed index), and each committed snapshot swaps the
+	// live index onto a fresh mapping, shedding the accumulated overlay.
+	// Ignored on platforms without mmap support.
+	MMap bool
 }
 
 // Store is the durable write path of one source: it owns the live DITS-L
@@ -59,7 +68,13 @@ type Store struct {
 	writeMu sync.Mutex
 	mu      sync.RWMutex
 
-	idx       *dits.Local
+	idx *dits.Local
+	// reader backs idx when it is mmap-served; retired holds superseded
+	// readers whose mappings may still be aliased by in-flight search
+	// results, so they unmap only at Close (their resident pages are
+	// dropped on retirement, which is what actually frees memory).
+	reader    *ditsfile.Reader
+	retired   []*ditsfile.Reader
 	wal       *wal
 	lock      *os.File      // flock-held LOCK file: one process per store dir
 	seq       uint64        // last WAL sequence number issued
@@ -111,14 +126,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if man != nil {
-		f, err := os.Open(filepath.Join(dir, man.Snapshot))
-		if err != nil {
-			return nil, fmt.Errorf("ingest: open snapshot %s: %w", man.Snapshot, err)
-		}
-		st.idx, err = dits.Load(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("ingest: load snapshot %s: %w", man.Snapshot, err)
+		if err := st.loadSnapshot(man); err != nil {
+			return nil, err
 		}
 		st.seq, st.snapSeq = man.Seq, man.Seq
 		st.version.Store(man.Version)
@@ -163,6 +172,44 @@ func Open(dir string, opts Options) (*Store, error) {
 	return st, nil
 }
 
+// loadSnapshot recovers the index from the manifest's snapshot file,
+// dispatching on the recorded format. Corruption surfaces as a clean
+// error here — snapshots commit via rename, so a torn WRITE leaves the
+// previous manifest intact (that crash recovers from the old snapshot
+// plus the full WAL); an error on a committed snapshot means real damage
+// and refuses to serve rather than serving wrong data.
+func (st *Store) loadSnapshot(man *manifest) error {
+	path := filepath.Join(st.dir, man.Snapshot)
+	switch man.Format {
+	case formatDSnap:
+		if st.opts.MMap {
+			r, err := ditsfile.Open(path, ditsfile.Options{MMap: true, VerifyData: true})
+			if err != nil {
+				return fmt.Errorf("ingest: load snapshot %s: %w", man.Snapshot, err)
+			}
+			st.idx, st.reader = r.Index(), r
+			return nil
+		}
+		idx, err := ditsfile.LoadHeap(path)
+		if err != nil {
+			return fmt.Errorf("ingest: load snapshot %s: %w", man.Snapshot, err)
+		}
+		st.idx = idx
+		return nil
+	default: // legacy gob snapshot from before the binary format
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("ingest: open snapshot %s: %w", man.Snapshot, err)
+		}
+		st.idx, err = dits.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("ingest: load snapshot %s: %w", man.Snapshot, err)
+		}
+		return nil
+	}
+}
+
 // apply performs one mutation on the in-memory index. Put is an upsert;
 // delete requires the ID to exist.
 func (st *Store) apply(rec walRecord) error {
@@ -185,10 +232,15 @@ func (st *Store) apply(rec walRecord) error {
 	return fmt.Errorf("ingest: unknown opcode %d", rec.Op)
 }
 
-// Index returns the live index. The pointer is stable for the store's
-// lifetime, but its contents mutate; concurrent readers must go through
-// View unless they serialize against mutations themselves.
-func (st *Store) Index() *dits.Local { return st.idx }
+// Index returns the live index. Its contents mutate, and with
+// Options.MMap the POINTER itself changes at every committed snapshot
+// (the store swaps onto the fresh mapping); concurrent readers must go
+// through View, which always observes the current index.
+func (st *Store) Index() *dits.Local {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.idx
+}
 
 // View runs fn with shared (read) access to the index: any number of Views
 // proceed concurrently, and mutations wait for them only during the
@@ -298,6 +350,7 @@ func (st *Store) Snapshot() error {
 	if st.seq == st.snapSeq {
 		return nil // nothing new since the last snapshot
 	}
+	st.lastErr = nil // a completed snapshot supersedes any earlier failure
 	if err := st.commitSnapshot(st.seq, st.version.Load()); err != nil {
 		return err
 	}
@@ -305,20 +358,21 @@ func (st *Store) Snapshot() error {
 		return err
 	}
 	st.sinceSnap = 0
-	st.lastErr = nil // a completed snapshot supersedes any earlier failure
 	return nil
 }
 
-// commitSnapshot writes the index as snap-<seq>.gob and commits the
-// manifest pointing at it. The caller holds writeMu (or, during Open, has
-// exclusive ownership). Crash windows: before the manifest commit the old
-// manifest + full WAL still recover everything; after it, leftover WAL
-// records at or below seq are skipped by their sequence numbers.
+// commitSnapshot writes the index as snap-<seq>.dsnap (the binary
+// ditsfile format; legacy .gob snapshots are read-only history) and
+// commits the manifest pointing at it. The caller holds writeMu (or,
+// during Open, has exclusive ownership). Crash windows: before the
+// manifest commit the old manifest + full WAL still recover everything;
+// after it, leftover WAL records at or below seq are skipped by their
+// sequence numbers.
 func (st *Store) commitSnapshot(seq, version uint64) error {
 	// The index streams straight into the temp file — no in-memory copy
 	// of the encoding. Searches proceed under the shared lock throughout;
 	// mutations are already excluded by writeMu.
-	name := fmt.Sprintf("snap-%016d.gob", seq)
+	name := fmt.Sprintf("snap-%016d.dsnap", seq)
 	path := filepath.Join(st.dir, name)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -326,7 +380,7 @@ func (st *Store) commitSnapshot(seq, version uint64) error {
 		return fmt.Errorf("ingest: create snapshot: %w", err)
 	}
 	st.mu.RLock()
-	err = st.idx.Save(f)
+	err = ditsfile.Write(f, st.idx)
 	st.mu.RUnlock()
 	if err == nil {
 		err = f.Sync()
@@ -344,20 +398,52 @@ func (st *Store) commitSnapshot(seq, version uint64) error {
 	if err := syncDir(st.dir); err != nil {
 		return err
 	}
-	if err := writeManifest(st.dir, manifest{Snapshot: name, Seq: seq, Version: version}); err != nil {
+	if err := writeManifest(st.dir, manifest{Snapshot: name, Format: formatDSnap, Seq: seq, Version: version}); err != nil {
 		return err
 	}
 	st.snapSeq = seq
 	st.snapshots.Add(1)
+	st.swapReader(path)
 	// Old snapshots are now unreachable from the manifest; reclaim them.
-	if olds, err := filepath.Glob(filepath.Join(st.dir, "snap-*.gob")); err == nil {
-		for _, old := range olds {
-			if filepath.Base(old) != name {
-				os.Remove(old)
+	// (A retired reader's unlinked mapping stays valid until it unmaps.)
+	for _, pat := range []string{"snap-*.gob", "snap-*.dsnap"} {
+		if olds, err := filepath.Glob(filepath.Join(st.dir, pat)); err == nil {
+			for _, old := range olds {
+				if filepath.Base(old) != name {
+					os.Remove(old)
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// swapReader points the live index at the just-committed snapshot when
+// the store serves mmap'd. The new reader's index equals the current
+// in-memory state (the snapshot was taken under writeMu), so the swap is
+// invisible to searches except that the WAL-tail overlay and any
+// materialized leaf copies become garbage — RSS drops back to the cold
+// mapping. The old reader is retired, not closed: results still in
+// flight may alias its mapping. A swap failure is not a durability
+// failure (the snapshot is committed); the store just keeps serving the
+// current index.
+func (st *Store) swapReader(path string) {
+	if !st.opts.MMap {
+		return
+	}
+	r, err := ditsfile.Open(path, ditsfile.Options{MMap: true})
+	if err != nil {
+		st.lastErr = fmt.Errorf("ingest: reopen snapshot mmap: %w", err)
+		return
+	}
+	st.mu.Lock()
+	old := st.reader
+	st.idx, st.reader = r.Index(), r
+	st.mu.Unlock()
+	if old != nil {
+		old.DropResident()
+		st.retired = append(st.retired, old)
+	}
 }
 
 // Stats is an operator snapshot of the store's durability state.
@@ -365,11 +451,17 @@ type Stats struct {
 	Version       uint64 // data version (mutations applied over the store's lifetime)
 	Seq           uint64 // last WAL sequence issued
 	SnapshotSeq   uint64 // sequence covered by the newest snapshot
-	SinceSnapshot int    // mutations in the WAL tail
+	SinceSnapshot int    // mutations in the WAL tail (the live overlay on an mmap'd base)
 	Replayed      int    // records replayed by the last Open
 	Snapshots     int64  // snapshots committed since Open
 	WALBytes      int64  // current WAL file size
 	Fsync         string // flush policy
+	Format        string // snapshot format written by compaction
+	MMap          bool   // whether the index base is served mmap'd
+	MappedBytes   int64  // bytes of the live snapshot mapping (0 when heap-resident)
+	ResidentBytes int64  // estimated resident bytes of the file-backed index
+	LeafLoads     int64  // leaves materialized from the live mapping
+	LeafLoadErrs  int64  // leaf materializations that failed validation
 	LastError     string // last background-snapshot failure, if any
 }
 
@@ -386,6 +478,14 @@ func (st *Store) Stats() Stats {
 		Snapshots:     st.snapshots.Load(),
 		WALBytes:      st.wal.size,
 		Fsync:         st.opts.Fsync.String(),
+		Format:        formatDSnap,
+		MMap:          st.reader != nil,
+	}
+	if st.reader != nil {
+		s.MappedBytes = st.reader.MappedBytes()
+		s.ResidentBytes = st.reader.ResidentEstBytes()
+		s.LeafLoads = st.reader.LeafLoads()
+		s.LeafLoadErrs = st.reader.LoadErrors()
 	}
 	if st.lastErr != nil {
 		s.LastError = st.lastErr.Error()
@@ -408,8 +508,22 @@ func (st *Store) Register(r *metrics.Registry) {
 	r.RegisterGaugeFunc("dits_ingest_wal_bytes", "Current WAL file size",
 		func() float64 { return float64(st.Stats().WALBytes) })
 	r.RegisterGaugeFunc("dits_ingest_wal_tail_mutations",
-		"Mutations in the WAL tail not yet covered by a snapshot",
+		"Mutations in the WAL tail not yet covered by a snapshot (the in-memory overlay on an mmap'd base)",
 		func() float64 { return float64(st.Stats().SinceSnapshot) })
+	r.RegisterGaugeFunc("dits_index_mapped_bytes",
+		"Bytes of the live snapshot mapping (0 when the index is heap-resident)",
+		func() float64 { return float64(st.Stats().MappedBytes) })
+	r.RegisterGaugeFunc("dits_index_resident_est_bytes",
+		"Estimated resident bytes of the file-backed index (skeleton + materialized leaves)",
+		func() float64 { return float64(st.Stats().ResidentBytes) })
+	r.RegisterCounterFunc("dits_index_leaf_loads_total",
+		"Leaves materialized from the snapshot mapping", func() float64 {
+			return float64(st.Stats().LeafLoads)
+		})
+	r.RegisterCounterFunc("dits_index_leaf_load_errors_total",
+		"Leaf materializations rejected by payload validation", func() float64 {
+			return float64(st.Stats().LeafLoadErrs)
+		})
 }
 
 // Close flushes and closes the WAL after waiting out any background
@@ -424,6 +538,17 @@ func (st *Store) Close() error {
 	st.writeMu.Unlock()
 	st.wg.Wait()
 	err := st.wal.close()
+	// Unmap last: nothing may alias the mappings after Close returns.
+	for _, r := range st.retired {
+		r.Close()
+	}
+	st.retired = nil
+	if st.reader != nil {
+		if cerr := st.reader.Close(); err == nil {
+			err = cerr
+		}
+		st.reader = nil
+	}
 	st.lock.Close() // releases the flock
 	return err
 }

@@ -243,7 +243,7 @@ func TestCrashRecoveryPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.gob"))
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.dsnap"))
 	if err != nil || len(snaps) != 1 {
 		t.Fatalf("want exactly one snapshot, got %v (%v)", snaps, err)
 	}
@@ -384,7 +384,7 @@ func TestSnapshotCompactsWAL(t *testing.T) {
 		t.Fatal("results differ after compaction + restart")
 	}
 	// Exactly one snapshot file should survive.
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.gob"))
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.dsnap"))
 	if len(snaps) != 1 {
 		t.Fatalf("want 1 snapshot file, got %v", snaps)
 	}

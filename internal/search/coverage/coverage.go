@@ -77,7 +77,7 @@ func pickBest(cands []*dataset.Node, picked map[int]bool, covered *cellset.Compa
 		if nd == nil || picked[nd.ID] {
 			continue
 		}
-		if nd.Cells.Len() < tau {
+		if nd.Coverage() < tau {
 			continue // size filter: gain <= |S_D| < τ
 		}
 		g := covered.MarginalGain(nd.CompactCells())
@@ -108,7 +108,7 @@ func (s *DITSSearcher) Search(q *dataset.Node, delta float64, k int) Result {
 	merged := q
 	covered := q.CompactCells()
 	picked := map[int]bool{}
-	qIdx := cellset.NewDistIndex(q.Cells, delta)
+	qIdx := cellset.NewDistIndex(q.FlatCells(), delta)
 	var chosen []*dataset.Node
 
 	for len(chosen) < k {
@@ -123,7 +123,7 @@ func (s *DITSSearcher) Search(q *dataset.Node, delta float64, k int) Result {
 		merged = merged.Merge(best)
 		qIdx.AddCompact(best.CompactCells())
 	}
-	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Cells.Len()}
+	return Result{Picked: chosen, Coverage: covered.Len(), QueryCoverage: q.Coverage()}
 }
 
 // FindConnectSet walks the DITS-L tree and returns every dataset node
@@ -132,7 +132,7 @@ func (s *DITSSearcher) Search(q *dataset.Node, delta float64, k int) Result {
 // wholesale; one whose lower bound exceeds delta is pruned; leaves in
 // between are verified cell-exactly.
 func FindConnectSet(root *dits.TreeNode, q *dataset.Node, delta float64) []*dataset.Node {
-	return findConnectSet(root, q, delta, cellset.NewDistIndex(q.Cells, delta))
+	return findConnectSet(root, q, delta, cellset.NewDistIndex(q.FlatCells(), delta))
 }
 
 // FindConnectSetWithIndex is FindConnectSet with a caller-maintained
@@ -167,12 +167,16 @@ func findConnectSet(root *dits.TreeNode, q *dataset.Node, delta float64, qIdx *c
 			return // whole subtree too far
 		}
 		if n.IsLeaf() {
+			// Materialize a file-backed leaf before its children's cells are
+			// needed — both for the exact connectivity check here and for the
+			// marginal-gain scans downstream of the returned candidates.
+			n.EnsureLoaded()
 			for _, nd := range n.Children {
 				ndLB, ndUB := nd.DistBounds(q)
 				if ndLB > delta {
 					continue
 				}
-				if ndUB <= delta || qIdx.Connected(nd.Cells) {
+				if ndUB <= delta || connectedTo(qIdx, nd) {
 					out = append(out, nd)
 				}
 			}
@@ -190,6 +194,7 @@ func collect(n *dits.TreeNode, out *[]*dataset.Node) {
 		return
 	}
 	if n.IsLeaf() {
+		n.EnsureLoaded()
 		*out = append(*out, n.Children...)
 		return
 	}
@@ -197,11 +202,21 @@ func collect(n *dits.TreeNode, out *[]*dataset.Node) {
 	collect(n.Right, out)
 }
 
+// connectedTo runs the exact cell-distance check against whichever form
+// the dataset node carries: the flat set for heap-built nodes, the
+// container form for file-backed ones.
+func connectedTo(qIdx *cellset.DistIndex, nd *dataset.Node) bool {
+	if nd.Cells != nil {
+		return qIdx.Connected(nd.Cells)
+	}
+	return qIdx.ConnectedCompact(nd.CompactCells())
+}
+
 func resultFor(q *dataset.Node, picked []*dataset.Node) Result {
 	r := Result{Picked: picked}
 	if q != nil {
-		r.QueryCoverage = q.Cells.Len()
-		r.Coverage = q.Cells.Len()
+		r.QueryCoverage = q.Coverage()
+		r.Coverage = r.QueryCoverage
 	}
 	return r
 }

@@ -110,7 +110,7 @@ func (e *Executor) PickBest(ctx context.Context, cands []*dataset.Node, excluded
 				if t := int(bound.Load()); t > filter {
 					filter = t
 				}
-				if nd.Cells.Len() < filter {
+				if nd.Coverage() < filter {
 					continue
 				}
 				g := covered.MarginalGain(nd.CompactCells())
@@ -149,7 +149,7 @@ func pickBestSeq(cands []*dataset.Node, excluded func(id int) bool, covered *cel
 		if nd == nil || excluded(nd.ID) {
 			continue
 		}
-		if nd.Cells.Len() < tau {
+		if nd.Coverage() < tau {
 			continue
 		}
 		g := covered.MarginalGain(nd.CompactCells())
@@ -173,7 +173,7 @@ func (e *Executor) CoverageSearch(ctx context.Context, idx *dits.Local, q *datas
 	merged := q
 	covered := q.CompactCells()
 	picked := map[int]bool{}
-	qIdx := cellset.NewDistIndex(q.Cells, delta)
+	qIdx := cellset.NewDistIndex(q.FlatCells(), delta)
 	var chosen []*dataset.Node
 
 	for len(chosen) < k {
@@ -198,7 +198,7 @@ func (e *Executor) CoverageSearch(ctx context.Context, idx *dits.Local, q *datas
 func coverageResultFor(q *dataset.Node, picked []*dataset.Node, covered *cellset.Compact) coverage.Result {
 	r := coverage.Result{Picked: picked}
 	if q != nil {
-		r.QueryCoverage = q.Cells.Len()
+		r.QueryCoverage = q.Coverage()
 		r.Coverage = r.QueryCoverage
 	}
 	if covered != nil {

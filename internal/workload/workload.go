@@ -92,11 +92,15 @@ func SpecByName(name string) (Spec, error) {
 var MaxPointsPerDataset = 2000
 
 // Generate builds a synthetic source from its spec at the given scale
-// (fraction of Table I's dataset count, in (0, 1]). Generation is
-// deterministic in (spec.Name, scale, seed).
+// (multiple of Table I's dataset count; 1 reproduces the paper's sizes,
+// values above 1 grow past them for beyond-RAM experiments). Generation
+// is deterministic in (spec.Name, scale, seed).
 func Generate(spec Spec, scale float64, seed int64) *dataset.Source {
-	if scale <= 0 || scale > 1 {
+	if scale <= 0 {
 		scale = 1
+	}
+	if scale > 100 {
+		scale = 100
 	}
 	rng := rand.New(rand.NewSource(seed ^ int64(hash(spec.Name))))
 	n := int(math.Ceil(float64(spec.NumDatasets) * scale))

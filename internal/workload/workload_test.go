@@ -94,16 +94,29 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
-func TestGenerateBadScaleDefaultsToFull(t *testing.T) {
+func TestGenerateScaleRange(t *testing.T) {
 	spec := Spec{Name: "tiny", NumDatasets: 3, TotalPoints: 30,
 		Bounds: geo.Rect{MaxX: 1, MaxY: 1}, Kind: KindClustered, Clusters: 1}
 	src := Generate(spec, -1, 1)
 	if src.NumDatasets() != 3 {
 		t.Errorf("bad scale: %d datasets, want 3", src.NumDatasets())
 	}
+	// Scale > 1 grows past the Table I count (beyond-RAM workloads)...
 	src2 := Generate(spec, 2, 1)
-	if src2.NumDatasets() != 3 {
-		t.Errorf("scale > 1: %d datasets, want 3", src2.NumDatasets())
+	if src2.NumDatasets() != 6 {
+		t.Errorf("scale 2: %d datasets, want 6", src2.NumDatasets())
+	}
+	// ...but is capped so a typo'd scale cannot exhaust memory.
+	src3 := Generate(spec, 1e9, 1)
+	if src3.NumDatasets() != 300 {
+		t.Errorf("huge scale: %d datasets, want 300", src3.NumDatasets())
+	}
+	// The prefix property bigsource's parity basis relies on: a smaller
+	// scale at the same seed generates a prefix of the bigger source.
+	for i, d := range src2.Datasets[:3] {
+		if d.Name != src.Datasets[i].Name || len(d.Points) != len(src.Datasets[i].Points) {
+			t.Errorf("dataset %d: scale-1 source is not a prefix of the scale-2 source", i)
+		}
 	}
 }
 
