@@ -23,6 +23,12 @@
 //	ditsbench -exp load -compare       # diff throughput/latency/shed rate
 //	ditsbench -exp bigsource -baseline # snapshot to BENCH_bigsource.json
 //	ditsbench -exp bigsource -compare  # diff beyond-RAM serving latencies
+//	ditsbench -exp cluster -baseline   # snapshot to BENCH_cluster.json
+//	ditsbench -exp cluster -compare    # diff cluster qps/failover recovery
+//
+// A -compare without a snapshot on disk is not an error: the run prints a
+// WARN table (and a WARN line on stderr) telling how to create the
+// baseline, so CI job summaries surface the gap without failing the job.
 //
 // The ingest experiment can replay a reproducible mutation trace written
 // by `datagen -updates N` via -trace; without it an equivalent trace is
@@ -30,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,11 +49,11 @@ import (
 
 func main() {
 	cfg := bench.DefaultConfig()
-	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load, bigsource) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load, bigsource, cluster) or 'all'")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest/load/bigsource: snapshot results to -benchfile")
-	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest/load/bigsource: diff results against the -benchfile snapshot")
+	baseline := flag.Bool("baseline", false, "with -exp setops/fedcomm/exec/ingest/load/bigsource/cluster: snapshot results to -benchfile")
+	compare := flag.Bool("compare", false, "with -exp setops/fedcomm/exec/ingest/load/bigsource/cluster: diff results against the -benchfile snapshot")
 	benchFile := flag.String("benchfile", "", "snapshot file for -baseline/-compare (default BENCH_<exp>.json)")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale as a multiple of Table I sizes")
 	flag.Float64Var(&cfg.OverlapScale, "overlapscale", cfg.OverlapScale,
@@ -113,6 +120,8 @@ func main() {
 			tables, err = runLoadSnapshot(cfg, *baseline, *compare, file)
 		case id == "bigsource" && (*baseline || *compare):
 			tables, err = runBigsourceSnapshot(cfg, *baseline, *compare, file)
+		case id == "cluster" && (*baseline || *compare):
+			tables, err = runClusterSnapshot(cfg, *baseline, *compare, file)
 		default:
 			tables, err = bench.Run(id, cfg)
 		}
@@ -133,6 +142,22 @@ func main() {
 	}
 }
 
+// warnNoBaseline handles a -compare with no snapshot on disk: it prints
+// an explicit WARN line on stderr and returns a WARN table so the gap is
+// visible in job summaries, without failing the run — a missing baseline
+// is a setup gap, not a regression. Read errors other than "file does not
+// exist" (corrupt JSON, wrong schema) stay fatal at the call sites.
+func warnNoBaseline(exp, file string) bench.Table {
+	fmt.Fprintf(os.Stderr, "WARN: no baseline for %s (%s does not exist); comparison skipped\n", exp, file)
+	return bench.Table{
+		ID:     exp + "-compare",
+		Title:  "WARN: no baseline for " + exp,
+		Header: []string{"status"},
+		Rows: [][]string{{fmt.Sprintf(
+			"no baseline: %s does not exist — run `ditsbench -exp %s -baseline` to create it", file, exp)}},
+	}
+}
+
 // runSetopsSnapshot runs the setops experiment with the dtail-tools-style
 // baseline/compare workflow: -baseline snapshots the fresh results into
 // file, -compare diffs the fresh results against the existing snapshot.
@@ -142,10 +167,14 @@ func runSetopsSnapshot(cfg bench.Config, baseline, compare bool, file string) ([
 	report, tables := bench.RunSetops(cfg)
 	if compare {
 		base, err := bench.ReadSetops(file)
-		if err != nil {
-			return nil, fmt.Errorf("load baseline (run -exp setops -baseline first): %w", err)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareSetops(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("setops", file))
+		default:
+			return nil, fmt.Errorf("load baseline for setops: %w", err)
 		}
-		tables = append(tables, bench.CompareSetops(base, report))
 	}
 	if baseline {
 		if err := bench.WriteSetops(file, report); err != nil {
@@ -167,10 +196,14 @@ func runFedcommSnapshot(cfg bench.Config, baseline, compare bool, file string) (
 	}
 	if compare {
 		base, err := bench.ReadFedcomm(file)
-		if err != nil {
-			return nil, fmt.Errorf("load baseline (run -exp fedcomm -baseline first): %w", err)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareFedcomm(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("fedcomm", file))
+		default:
+			return nil, fmt.Errorf("load baseline for fedcomm: %w", err)
 		}
-		tables = append(tables, bench.CompareFedcomm(base, report))
 	}
 	if baseline {
 		if err := bench.WriteFedcomm(file, report); err != nil {
@@ -192,10 +225,14 @@ func runExecSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]b
 	}
 	if compare {
 		base, err := bench.ReadExec(file)
-		if err != nil {
-			return nil, fmt.Errorf("load baseline (run -exp exec -baseline first): %w", err)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareExec(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("exec", file))
+		default:
+			return nil, fmt.Errorf("load baseline for exec: %w", err)
 		}
-		tables = append(tables, bench.CompareExec(base, report))
 	}
 	if baseline {
 		if err := bench.WriteExec(file, report); err != nil {
@@ -217,10 +254,14 @@ func runIngestSnapshot(cfg bench.Config, baseline, compare bool, file string) ([
 	}
 	if compare {
 		base, err := bench.ReadIngest(file)
-		if err != nil {
-			return nil, fmt.Errorf("load baseline (run -exp ingest -baseline first): %w", err)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareIngest(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("ingest", file))
+		default:
+			return nil, fmt.Errorf("load baseline for ingest: %w", err)
 		}
-		tables = append(tables, bench.CompareIngest(base, report))
 	}
 	if baseline {
 		if err := bench.WriteIngest(file, report); err != nil {
@@ -242,10 +283,14 @@ func runLoadSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]b
 	}
 	if compare {
 		base, err := bench.ReadLoad(file)
-		if err != nil {
-			return nil, fmt.Errorf("load baseline (run -exp load -baseline first): %w", err)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareLoad(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("load", file))
+		default:
+			return nil, fmt.Errorf("load baseline for load: %w", err)
 		}
-		tables = append(tables, bench.CompareLoad(base, report))
 	}
 	if baseline {
 		if err := bench.WriteLoad(file, report); err != nil {
@@ -267,13 +312,47 @@ func runBigsourceSnapshot(cfg bench.Config, baseline, compare bool, file string)
 	}
 	if compare {
 		base, err := bench.ReadBigsource(file)
-		if err != nil {
-			return nil, fmt.Errorf("load baseline (run -exp bigsource -baseline first): %w", err)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareBigsource(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("bigsource", file))
+		default:
+			return nil, fmt.Errorf("load baseline for bigsource: %w", err)
 		}
-		tables = append(tables, bench.CompareBigsource(base, report))
 	}
 	if baseline {
 		if err := bench.WriteBigsource(file, report); err != nil {
+			return nil, err
+		}
+		fmt.Printf("baseline snapshot written to %s\n\n", file)
+	}
+	return tables, nil
+}
+
+// runClusterSnapshot is the same workflow for the sharded federation
+// plane: -baseline snapshots qps/latency per center count plus failover
+// recovery times, -compare diffs a fresh run against the snapshot. The
+// run itself enforces byte-identical scatter/gather results against a
+// single-center oracle and zero failed requests through both kills.
+func runClusterSnapshot(cfg bench.Config, baseline, compare bool, file string) ([]bench.Table, error) {
+	report, tables, err := bench.RunCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if compare {
+		base, err := bench.ReadCluster(file)
+		switch {
+		case err == nil:
+			tables = append(tables, bench.CompareCluster(base, report))
+		case errors.Is(err, os.ErrNotExist):
+			tables = append(tables, warnNoBaseline("cluster", file))
+		default:
+			return nil, fmt.Errorf("load baseline for cluster: %w", err)
+		}
+	}
+	if baseline {
+		if err := bench.WriteCluster(file, report); err != nil {
 			return nil, err
 		}
 		fmt.Printf("baseline snapshot written to %s\n\n", file)

@@ -15,6 +15,15 @@
 //	curl -s -X POST localhost:8080/search/overlap \
 //	     -d '{"points":[[116.3,39.9],[116.4,39.95]],"k":5}'
 //
+// With -cluster the gateway fronts a sharded plane of ditscenter
+// processes instead of one built-in center: the -cluster-sources roster is
+// partitioned across the centers by consistent hash, queries scatter to
+// every healthy center and merge at the gateway (byte-identical to the
+// single-center answers), and a center that stops answering is failed over
+// — its shard re-homes onto the survivors. A source listed with
+// `Name=primary+replica` addresses is served through its replica when the
+// primary dies.
+//
 // -bounds and -theta must match the values the ditsserve sources were
 // started with: the grid derived from them defines the cell IDs the whole
 // federation shares. See docs/PROTOCOL.md for the endpoint payloads.
@@ -43,7 +52,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-	remote := flag.String("remote", "", "comma-separated ditsserve addresses (required)")
+	remote := flag.String("remote", "", "comma-separated ditsserve addresses (single-center mode)")
+	clusterFlag := flag.String("cluster", "", "comma-separated name=addr ditscenter endpoints (cluster mode; mutually exclusive with -remote)")
+	clusterSources := flag.String("cluster-sources", "", "comma-separated Name=addr[+replica...] source roster for -cluster; '+' separates the primary from read replicas")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "period between center health probes in cluster mode (0 disables)")
 	theta := flag.Int("theta", 12, "grid resolution θ (must match the sources)")
 	boundsFlag := flag.String("bounds", "", "shared world bounds minX,minY,maxX,maxY (required; must match the sources)")
 	poolSize := flag.Int("pool", 8, "TCP connections per source")
@@ -70,8 +82,11 @@ func main() {
 	}
 	defer logClose()
 
-	if *remote == "" {
-		fail(fmt.Errorf("-remote is required (comma-separated ditsserve addresses)"))
+	if (*remote == "") == (*clusterFlag == "") {
+		fail(fmt.Errorf("exactly one of -remote (single-center) or -cluster (sharded) is required"))
+	}
+	if *clusterFlag != "" && *clusterSources == "" {
+		fail(fmt.Errorf("-cluster requires -cluster-sources (the roster to shard across the centers)"))
 	}
 	if *boundsFlag == "" {
 		fail(fmt.Errorf("-bounds is required and must match the sources' -bounds"))
@@ -80,13 +95,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip, Sessions: !*stateless, Workers: *workers}
-	if *tolerant {
-		opts.OnSourceError = federation.SkipFailed
-	}
-	center := federation.NewCenter(geo.NewGrid(*theta, bounds), opts)
-	center.SetCache(cache.New(*cacheSize))
+	grid := geo.NewGrid(*theta, bounds)
 
 	dialCfg := transport.DialConfig{Codec: *codecFlag, NoCompress: *noCompress}
 	if *codecFlag != "" {
@@ -95,19 +104,7 @@ func main() {
 				*codecFlag, strings.Join(transport.CodecNames(), ", ")))
 		}
 	}
-	for _, a := range strings.Split(*remote, ",") {
-		a = strings.TrimSpace(a)
-		pool := transport.DialPoolWith(a, a, *poolSize, center.Metrics, dialCfg)
-		summary, err := center.RegisterRemote(context.Background(), pool)
-		if err != nil {
-			fail(fmt.Errorf("register %s: %w", a, err))
-		}
-		wi := pool.WireInfo()
-		logf("registered source %q at %s (pool=%d, codec=%s, compression=%v)",
-			summary.Name, a, *poolSize, wi.Codec, wi.Compression)
-	}
-
-	gw := gateway.NewWithOptions(center, gateway.Options{
+	gwOpts := gateway.Options{
 		Admission: admission.Config{
 			Rate:        *rateLimit,
 			Burst:       *burst,
@@ -116,7 +113,53 @@ func main() {
 			Deadline:    *deadline,
 		},
 		EnablePprof: *pprofFlag,
-	})
+	}
+
+	var gw *gateway.Gateway
+	var describe string
+	if *clusterFlag != "" {
+		cluster, err := buildCluster(grid, *clusterFlag, *clusterSources, *poolSize, dialCfg, logf)
+		if err != nil {
+			fail(err)
+		}
+		defer cluster.Close()
+		if *healthInterval > 0 {
+			go func() {
+				for range time.Tick(*healthInterval) {
+					ctx, cancel := context.WithTimeout(context.Background(), *healthInterval)
+					if downed := cluster.Probe(ctx); downed > 0 {
+						st := cluster.Stats()
+						logf("health probe failed over %d center(s); %d/%d healthy, generation %d",
+							downed, st.Healthy, st.Centers, st.Generation)
+					}
+					cancel()
+				}
+			}()
+		}
+		gw = gateway.NewCluster(cluster, gwOpts)
+		st := cluster.Stats()
+		describe = fmt.Sprintf("%d sources sharded over %d centers", cluster.NumSources(), st.Centers)
+	} else {
+		opts := federation.Options{GlobalFilter: !*noFilter, ClipQuery: !*noClip, Sessions: !*stateless, Workers: *workers}
+		if *tolerant {
+			opts.OnSourceError = federation.SkipFailed
+		}
+		center := federation.NewCenter(grid, opts)
+		center.SetCache(cache.New(*cacheSize))
+		for _, a := range strings.Split(*remote, ",") {
+			a = strings.TrimSpace(a)
+			pool := transport.DialPoolWith(a, a, *poolSize, center.Metrics, dialCfg)
+			summary, err := center.RegisterRemote(context.Background(), pool)
+			if err != nil {
+				fail(fmt.Errorf("register %s: %w", a, err))
+			}
+			wi := pool.WireInfo()
+			logf("registered source %q at %s (pool=%d, codec=%s, compression=%v)",
+				summary.Name, a, *poolSize, wi.Codec, wi.Compression)
+		}
+		gw = gateway.NewWithOptions(center, gwOpts)
+		describe = fmt.Sprintf("%d sources", center.NumSources())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           gw.Handler(),
@@ -124,8 +167,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logf("gateway serving %d sources on http://%s (cache=%d entries)",
-		center.NumSources(), *addr, *cacheSize)
+	logf("gateway serving %s on http://%s (cache=%d entries)", describe, *addr, *cacheSize)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -136,6 +178,41 @@ func main() {
 		logf("shutting down")
 		srv.Close()
 	}
+}
+
+// buildCluster dials the ditscenter endpoints of -cluster, builds the
+// sharded plane, and registers the -cluster-sources roster across it.
+func buildCluster(grid geo.Grid, centersSpec, sourcesSpec string, poolSize int, dialCfg transport.DialConfig, logf func(string, ...any)) (*federation.Cluster, error) {
+	met := &transport.Metrics{}
+	peers := make(map[string]transport.Peer)
+	for _, part := range strings.Split(centersSpec, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("-cluster entry %q must be name=addr", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("-cluster names center %q twice", name)
+		}
+		peers[name] = transport.DialPoolWith(name, addr, poolSize, met, dialCfg)
+	}
+	cluster := federation.NewCluster(grid, peers)
+	// The pools observe through met; point the cluster's /stats surface at
+	// the same counters.
+	cluster.Metrics = met
+	for _, part := range strings.Split(sourcesSpec, ",") {
+		name, addrs, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addrs == "" {
+			return nil, fmt.Errorf("-cluster-sources entry %q must be Name=addr[+replica...]", part)
+		}
+		endpoints := strings.Split(addrs, "+")
+		src := federation.ClusterSource{Name: name, Addr: endpoints[0], Replicas: endpoints[1:]}
+		if err := cluster.AddSource(context.Background(), src); err != nil {
+			return nil, fmt.Errorf("register source %s: %w", name, err)
+		}
+		logf("sharded source %q at %s (%d replica(s)) to center %q",
+			name, src.Addr, len(src.Replicas), cluster.Stats().SourceOwners[name])
+	}
+	return cluster, nil
 }
 
 // openLog returns a printf-style logger writing to stderr, or appending

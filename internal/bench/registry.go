@@ -41,6 +41,7 @@ var experiments = []Experiment{
 	{"ingest", "Durable ingest: incremental updates vs rebuild, WAL overhead, recovery (extension)", Ingest},
 	{"load", "Serving stack under load: open/closed-loop latency, throughput, shed rate (extension)", Load},
 	{"bigsource", "Beyond-RAM serving: mmap'd snapshot searched in place under an RSS budget (extension)", Bigsource},
+	{"cluster", "Sharded federation plane: scatter/gather throughput and failover recovery (extension)", Cluster},
 }
 
 // All returns every experiment, sorted by ID.
@@ -57,5 +58,5 @@ func Run(id string, cfg Config) ([]Table, error) {
 			return e.Run(cfg), nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load, bigsource)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (try: table1, table2, fig7..fig22, ablation, throughput, setops, fedcomm, exec, ingest, load, bigsource, cluster)", id)
 }

@@ -842,6 +842,70 @@ func (c *Center) closeSessions(states map[string]*srcState, sessID uint64) {
 	})
 }
 
+// SourceNames returns the registered source names, sorted — the shard this
+// center owns when it runs under a cluster plane.
+func (c *Center) SourceNames() []string {
+	ep := c.epoch.Load()
+	names := make([]string, len(ep.ordered))
+	for i, m := range ep.ordered {
+		names[i] = m.summary.Name
+	}
+	return names
+}
+
+// CoverageStep runs ONE greedy CJSP iteration over the center's current
+// membership: every candidate source is asked for its best connected
+// dataset given the merged state (the stateless protocol's per-round
+// exchange), and the best offer under the canonical total order
+// (betterOffer) is returned with its full cell set. Found is false when no
+// source has a remaining connected dataset. The cluster gateway drives the
+// cross-center greedy loop with this: each round it scatters a step to
+// every center and merges the global winner, which — because the shards
+// partition the sources and betterOffer is a total order — picks exactly
+// the dataset a single center over the union would have picked.
+func (c *Center) CoverageStep(ctx context.Context, merged cellset.Set, delta float64, exclude map[string][]int) (string, CoverageCandidate, error) {
+	ep := c.epoch.Load()
+	if len(ep.members) == 0 || merged.IsEmpty() {
+		return "", CoverageCandidate{}, nil
+	}
+	qn, ok := c.queryNode(merged)
+	if !ok {
+		return "", CoverageCandidate{}, nil
+	}
+	members := c.candidates(ep, qn, c.deltaRaw(delta))
+	offers, errs := fanOut(members, func(m *member) (*offer, error) {
+		cells := c.clipFor(m, merged, delta+1)
+		if cells.IsEmpty() {
+			return nil, nil
+		}
+		req := CoverageRequest{Merged: cells, Delta: delta, Exclude: exclude[m.summary.Name]}
+		var cand CoverageCandidate
+		if err := m.peer.Call(ctx, MethodCoverage, &req, &cand); err != nil {
+			return nil, fmt.Errorf("federation: coverage at %s: %w", m.summary.Name, err)
+		}
+		if !cand.Found {
+			return nil, nil
+		}
+		return &offer{src: m.summary.Name, cand: cand}, nil
+	})
+	if err := c.resolve(members, errs, nil); err != nil {
+		return "", CoverageCandidate{}, err
+	}
+	var best *offer
+	for i, o := range offers {
+		if o == nil || errs[i] != nil {
+			continue
+		}
+		if best == nil || betterOffer(*o, *best) {
+			best = o
+		}
+	}
+	if best == nil {
+		return "", CoverageCandidate{}, nil
+	}
+	return best.src, best.cand, nil
+}
+
 // MutateResult is the center-side outcome of a federated dataset mutation.
 type MutateResult struct {
 	Source      string

@@ -1,0 +1,332 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+
+	"dits/internal/transport"
+)
+
+// CenterServer exposes one Center to the cluster plane: it serves the
+// cluster.* protocol (ditscenter), dials sources on the gateway's behalf,
+// and persists every accepted Register/Unregister in a membership log so a
+// restarted center re-adopts its shard without operator involvement.
+//
+// The server is safe for concurrent use: membership RPCs serialize under
+// its mutex (and through it, log appends), while query RPCs go straight to
+// the Center's lock-free epoch snapshots.
+type CenterServer struct {
+	name   string
+	center *Center
+	dial   func(addr string) (transport.Peer, error)
+
+	mu      sync.Mutex
+	log     *MemberLog // nil when the server runs without durability
+	members map[string]MemberEvent
+	peers   map[string]transport.Peer
+	skipped []string // logged members that could not be re-dialed at boot
+}
+
+// CenterServerOptions configure a CenterServer.
+type CenterServerOptions struct {
+	// MemberLog is the membership log path; empty runs without durability
+	// (a restarted center then waits for the gateway to re-register its
+	// shard).
+	MemberLog string
+	// Fsync flushes every membership append to disk before acknowledging.
+	Fsync bool
+	// Dial opens a connection to a source address. Nil defaults to a TCP
+	// pool of PoolSize connections; tests inject in-process peers.
+	Dial func(addr string) (transport.Peer, error)
+	// PoolSize sizes the default TCP pool per source endpoint (0 = 4).
+	PoolSize int
+}
+
+// NewCenterServer wraps a center for cluster serving. With a membership
+// log, the logged roster is replayed and re-registered immediately: a
+// member whose source cannot be reached right now is skipped (and listed
+// by Skipped) rather than failing the boot — the gateway's health plane
+// re-registers it when it reconciles.
+func NewCenterServer(name string, center *Center, opts CenterServerOptions) (*CenterServer, error) {
+	dial := opts.Dial
+	if dial == nil {
+		size := opts.PoolSize
+		if size <= 0 {
+			size = 4
+		}
+		dial = func(addr string) (transport.Peer, error) {
+			return transport.DialPool(addr, addr, size, center.Metrics), nil
+		}
+	}
+	cs := &CenterServer{
+		name:    name,
+		center:  center,
+		dial:    dial,
+		members: make(map[string]MemberEvent),
+		peers:   make(map[string]transport.Peer),
+	}
+	if opts.MemberLog != "" {
+		log, events, err := OpenMemberLog(opts.MemberLog, opts.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		cs.log = log
+		live := FoldMembers(events)
+		names := make([]string, 0, len(live))
+		for name := range live {
+			names = append(names, name)
+		}
+		slices.Sort(names)
+		for _, name := range names {
+			if err := cs.adopt(context.Background(), live[name]); err != nil {
+				cs.skipped = append(cs.skipped, name)
+			}
+		}
+	}
+	return cs, nil
+}
+
+// Name returns the center's cluster name.
+func (cs *CenterServer) Name() string { return cs.name }
+
+// Center returns the wrapped center.
+func (cs *CenterServer) Center() *Center { return cs.center }
+
+// Skipped returns the names of logged members that could not be re-dialed
+// at boot, sorted.
+func (cs *CenterServer) Skipped() []string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return slices.Clone(cs.skipped)
+}
+
+// connect dials a member's primary and replicas. Dial failures against
+// replicas are tolerated (the primary still serves); a failed primary dial
+// fails the connect.
+func (cs *CenterServer) connect(ev MemberEvent) (transport.Peer, error) {
+	primary, err := cs.dial(ev.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: dial source %s at %s: %w", ev.Name, ev.Addr, err)
+	}
+	peers := []transport.Peer{primary}
+	for _, addr := range ev.Replicas {
+		p, err := cs.dial(addr)
+		if err != nil {
+			continue
+		}
+		peers = append(peers, p)
+	}
+	if len(peers) == 1 && len(ev.Replicas) == 0 {
+		return primary, nil
+	}
+	return NewReplicatedPeer(ev.Name, peers...), nil
+}
+
+// closePeer releases a replaced or removed member's connection.
+func closePeer(p transport.Peer) {
+	if c, ok := p.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// adopt connects and registers one member, replacing any previous
+// registration under the same name, and records it in the in-memory
+// roster. The caller appends to the membership log (adopt is also the
+// boot-replay path, which must not re-append). Callers serialize via
+// cs.mu except during construction.
+func (cs *CenterServer) adopt(ctx context.Context, ev MemberEvent) error {
+	peer, err := cs.connect(ev)
+	if err != nil {
+		return err
+	}
+	summary, err := cs.center.RegisterRemote(ctx, peer)
+	if err != nil {
+		closePeer(peer)
+		return err
+	}
+	if summary.Name != ev.Name {
+		cs.center.Unregister(summary.Name)
+		closePeer(peer)
+		return fmt.Errorf("federation: source at %s calls itself %q, registered as %q", ev.Addr, summary.Name, ev.Name)
+	}
+	if old, ok := cs.peers[ev.Name]; ok {
+		closePeer(old)
+	}
+	cs.peers[ev.Name] = peer
+	cs.members[ev.Name] = ev
+	return nil
+}
+
+// handleRegister adopts a source and logs the join before acknowledging.
+func (cs *CenterServer) handleRegister(ctx context.Context, req ClusterRegisterRequest) (ClusterRegisterResponse, error) {
+	if req.Name == "" || req.Addr == "" {
+		return ClusterRegisterResponse{}, fmt.Errorf("federation: cluster.register needs a source name and address")
+	}
+	ev := MemberEvent{Op: MemberJoin, Name: req.Name, Addr: req.Addr, Replicas: slices.Clone(req.Replicas)}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := cs.adopt(ctx, ev); err != nil {
+		return ClusterRegisterResponse{}, err
+	}
+	if cs.log != nil {
+		if err := cs.log.Append(ev); err != nil {
+			return ClusterRegisterResponse{}, err
+		}
+	}
+	return ClusterRegisterResponse{NumSources: cs.center.NumSources()}, nil
+}
+
+// handleUnregister removes a source and logs the leave.
+func (cs *CenterServer) handleUnregister(req ClusterUnregisterRequest) (ClusterUnregisterResponse, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if peer, ok := cs.peers[req.Name]; ok {
+		cs.center.Unregister(req.Name)
+		closePeer(peer)
+		delete(cs.peers, req.Name)
+		delete(cs.members, req.Name)
+		if cs.log != nil {
+			if err := cs.log.Append(MemberEvent{Op: MemberLeave, Name: req.Name}); err != nil {
+				return ClusterUnregisterResponse{}, err
+			}
+		}
+	}
+	return ClusterUnregisterResponse{NumSources: cs.center.NumSources()}, nil
+}
+
+// handleCovStep answers one greedy CJSP iteration over the shard.
+func (cs *CenterServer) handleCovStep(ctx context.Context, req ClusterCovStepRequest) (ClusterCovStepResponse, error) {
+	exclude := make(map[string][]int, len(req.Exclude))
+	for _, e := range req.Exclude {
+		exclude[e.Source] = e.IDs
+	}
+	src, cand, err := cs.center.CoverageStep(ctx, req.Merged, req.Delta, exclude)
+	if err != nil {
+		return ClusterCovStepResponse{}, err
+	}
+	if !cand.Found {
+		return ClusterCovStepResponse{}, nil
+	}
+	return ClusterCovStepResponse{
+		Found: true, Source: src, ID: cand.ID, Name: cand.Name, Gain: cand.Gain, Cells: cand.Cells,
+	}, nil
+}
+
+// mutateResponse maps a center mutation outcome onto the cluster wire,
+// folding ErrUnknownSource into the Unknown flag so the gateway can
+// distinguish a roster disagreement from a transport failure.
+func mutateResponse(res MutateResult, err error) (ClusterMutateResponse, error) {
+	if err != nil {
+		if errors.Is(err, ErrUnknownSource) {
+			return ClusterMutateResponse{Unknown: true}, nil
+		}
+		return ClusterMutateResponse{}, err
+	}
+	return ClusterMutateResponse{Found: res.Found, Version: res.Version, NumDatasets: res.NumDatasets}, nil
+}
+
+// Handler returns the transport.Handler serving the cluster protocol.
+func (cs *CenterServer) Handler() transport.Handler {
+	return func(ctx context.Context, codec transport.Codec, method string, body []byte) (any, error) {
+		switch method {
+		case MethodClusterInfo:
+			return &ClusterInfoResponse{
+				Name:       cs.name,
+				Generation: cs.center.Generation(),
+				Sources:    cs.center.SourceNames(),
+			}, nil
+		case MethodClusterRegister:
+			var req ClusterRegisterRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			resp, err := cs.handleRegister(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		case MethodClusterUnregister:
+			var req ClusterUnregisterRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			resp, err := cs.handleUnregister(req)
+			if err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		case MethodClusterOverlap:
+			var req ClusterOverlapRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			rs, err := cs.center.OverlapSearch(ctx, req.Cells, req.K)
+			if err != nil {
+				return nil, err
+			}
+			return &ClusterOverlapResponse{Results: rs}, nil
+		case MethodClusterBatch:
+			var req ClusterBatchRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			outs, err := cs.center.OverlapSearchBatch(ctx, req.Queries)
+			if err != nil {
+				return nil, err
+			}
+			return &ClusterBatchResponse{Results: outs}, nil
+		case MethodClusterCovStep:
+			var req ClusterCovStepRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			resp, err := cs.handleCovStep(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		case MethodClusterPut:
+			var req ClusterPutRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			res, err := cs.center.PutDataset(ctx, req.Source, req.ID, req.Name, req.Cells)
+			resp, err := mutateResponse(res, err)
+			if err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		case MethodClusterDelete:
+			var req ClusterDeleteRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			res, err := cs.center.DeleteDataset(ctx, req.Source, req.ID)
+			resp, err := mutateResponse(res, err)
+			if err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		default:
+			return nil, fmt.Errorf("federation: unknown method %q", method)
+		}
+	}
+}
+
+// Close releases the membership log and every source connection.
+func (cs *CenterServer) Close() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for name, p := range cs.peers {
+		closePeer(p)
+		delete(cs.peers, name)
+	}
+	if cs.log != nil {
+		return cs.log.Close()
+	}
+	return nil
+}

@@ -1,0 +1,644 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dits/internal/cellset"
+	"dits/internal/geo"
+	"dits/internal/transport"
+)
+
+// Cluster is the gateway-side federation plane over N sharded centers:
+// sources are assigned to centers by consistent hash (ShardMap), queries
+// scatter to every healthy center and gather with the same deterministic
+// total orders a single center uses — so the merged answer is
+// byte-identical to what one center over all the sources would return —
+// and mutations route to the center owning the source.
+//
+// The plane is leaderless. The gateway health-checks centers (in-band on
+// every transport failure, plus the optional Probe loop); when a center
+// dies, the ring is rebuilt over the survivors and only the dead center's
+// shard re-homes (consistent hashing's minimal movement), each moved
+// source re-registered at its new owner before queries resume. Reads
+// never fail over past a live center that answered with an error — a
+// RemoteError means the center is healthy and the query genuinely failed.
+//
+// Concurrency: queries and mutations scatter under a read lock; failover
+// (mark down, rebuild ring, re-home the shard) runs under the write lock,
+// so no query can observe a half-re-homed topology — the merged answer is
+// always computed against a ring whose shards partition the full roster.
+type Cluster struct {
+	Grid geo.Grid
+	// Metrics observes the gateway→center exchanges (shared by the center
+	// peers' pools).
+	Metrics *transport.Metrics
+
+	mu      sync.RWMutex
+	centers []*clusterCenter
+	sources map[string]ClusterSource
+	owner   map[string]*clusterCenter
+	ring    *ShardMap
+
+	gen       atomic.Uint64 // bumps when a completed failover publishes a new topology
+	failovers atomic.Int64  // centers marked down
+	rehomed   atomic.Int64  // sources re-registered by failovers
+	mutations atomic.Int64  // acknowledged mutations routed through the cluster
+
+	// versions is the cluster's acked data-version vector: the highest
+	// version any mutation response reported per source. After a source
+	// failover, a read serving below this would be a stale read.
+	vmu      sync.Mutex
+	versions map[string]uint64
+}
+
+// ClusterSource is one roster entry: the source's stable name, its
+// primary's dial address, and its replicas' addresses in failover order.
+type ClusterSource struct {
+	Name     string
+	Addr     string
+	Replicas []string
+}
+
+// clusterCenter is one center endpoint and its health bit. healthy flips
+// false exactly once (no automatic readmission; see docs/OPERATIONS.md for
+// replacing a dead center).
+type clusterCenter struct {
+	name    string
+	peer    transport.Peer
+	healthy atomic.Bool
+}
+
+// ErrNoCenters reports a cluster whose every center is marked down.
+var ErrNoCenters = errors.New("federation: no healthy centers")
+
+// rehomeTimeout bounds each re-registration call during a failover, so one
+// hung survivor cannot wedge the whole plane behind the write lock.
+const rehomeTimeout = 10 * time.Second
+
+// NewCluster builds the plane over named center peers (wrap TCP in
+// transport.Pool). The roster starts empty; AddSource registers sources.
+func NewCluster(grid geo.Grid, centers map[string]transport.Peer) *Cluster {
+	cl := &Cluster{
+		Grid:     grid,
+		Metrics:  &transport.Metrics{},
+		sources:  make(map[string]ClusterSource),
+		owner:    make(map[string]*clusterCenter),
+		versions: make(map[string]uint64),
+	}
+	names := slices.Sorted(maps.Keys(centers))
+	for _, name := range names {
+		c := &clusterCenter{name: name, peer: centers[name]}
+		c.healthy.Store(true)
+		cl.centers = append(cl.centers, c)
+	}
+	cl.ring = NewShardMap(names)
+	return cl
+}
+
+// AddSource adds a roster entry and registers it at its ring owner. On a
+// transport failure the owner is failed over and registration retries at
+// the new owner.
+func (cl *Cluster) AddSource(ctx context.Context, src ClusterSource) error {
+	if src.Name == "" || src.Addr == "" {
+		return fmt.Errorf("federation: cluster source needs a name and address")
+	}
+	for range cl.centers {
+		cl.mu.Lock()
+		cl.sources[src.Name] = src
+		owner := cl.centerNamed(cl.ring.Assign(src.Name))
+		if owner == nil {
+			cl.mu.Unlock()
+			return ErrNoCenters
+		}
+		err := registerAt(ctx, owner, src)
+		if err == nil {
+			cl.owner[src.Name] = owner
+		}
+		cl.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		if !isTransportFailure(ctx, err) {
+			return err
+		}
+		cl.failover(owner)
+	}
+	return ErrNoCenters
+}
+
+// registerAt performs one cluster.register exchange.
+func registerAt(ctx context.Context, c *clusterCenter, src ClusterSource) error {
+	req := ClusterRegisterRequest{Name: src.Name, Addr: src.Addr, Replicas: src.Replicas}
+	var resp ClusterRegisterResponse
+	if err := c.peer.Call(ctx, MethodClusterRegister, &req, &resp); err != nil {
+		return fmt.Errorf("federation: register %s at center %s: %w", src.Name, c.name, err)
+	}
+	return nil
+}
+
+// RemoveSource unregisters a source from its owner and drops it from the
+// roster. Best-effort at the center: a dead owner forgets the source with
+// its whole shard anyway.
+func (cl *Cluster) RemoveSource(ctx context.Context, name string) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	owner := cl.owner[name]
+	delete(cl.sources, name)
+	delete(cl.owner, name)
+	if owner == nil || !owner.healthy.Load() {
+		return nil
+	}
+	var resp ClusterUnregisterResponse
+	return owner.peer.Call(ctx, MethodClusterUnregister, &ClusterUnregisterRequest{Name: name}, &resp)
+}
+
+// centerNamed resolves a healthy center by name; the caller holds a lock.
+func (cl *Cluster) centerNamed(name string) *clusterCenter {
+	for _, c := range cl.centers {
+		if c.name == name && c.healthy.Load() {
+			return c
+		}
+	}
+	return nil
+}
+
+// healthySnapshot returns the healthy centers; the caller holds a lock.
+func (cl *Cluster) healthySnapshot() []*clusterCenter {
+	out := make([]*clusterCenter, 0, len(cl.centers))
+	for _, c := range cl.centers {
+		if c.healthy.Load() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// isTransportFailure classifies a center call error: true for dial and
+// connection failures (the center may be dead — fail over), false for
+// RemoteErrors (the center is alive; the query genuinely failed) and for a
+// context the CALLER cancelled.
+func isTransportFailure(ctx context.Context, err error) bool {
+	var re *transport.RemoteError
+	return err != nil && !errors.As(err, &re) && ctx.Err() == nil
+}
+
+// failover marks a center down and re-homes its shard onto the survivors.
+// Safe to call for an already-down center (no-op). Concurrent callers
+// serialize behind the write lock, so by the time any of them returns the
+// topology is fully re-homed and queries can retry.
+func (cl *Cluster) failover(dead *clusterCenter) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if !dead.healthy.Load() {
+		return // another caller already re-homed this center's shard
+	}
+	dead.healthy.Store(false)
+	cl.failovers.Add(1)
+	cl.rehomeLocked()
+}
+
+// rehomeLocked rebuilds the ring over the healthy centers and re-registers
+// every source whose owner changed or died. A survivor that fails during
+// re-homing is itself marked down and the rebuild restarts (bounded by the
+// center count). The caller holds the write lock.
+func (cl *Cluster) rehomeLocked() {
+rebuild:
+	for {
+		healthy := cl.healthySnapshot()
+		names := make([]string, len(healthy))
+		for i, c := range healthy {
+			names[i] = c.name
+		}
+		cl.ring = NewShardMap(names)
+		if len(healthy) == 0 {
+			cl.gen.Add(1)
+			return
+		}
+		sources := slices.Sorted(maps.Keys(cl.sources))
+		for _, name := range sources {
+			cur := cl.owner[name]
+			next := cl.centerNamed(cl.ring.Assign(name))
+			if cur == next && cur != nil && cur.healthy.Load() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), rehomeTimeout)
+			err := registerAt(ctx, next, cl.sources[name])
+			cancel()
+			if err != nil && isTransportFailure(context.Background(), err) {
+				next.healthy.Store(false)
+				cl.failovers.Add(1)
+				continue rebuild
+			}
+			// A RemoteError (the source itself is unreachable from the new
+			// owner, say) leaves the source temporarily un-homed; the next
+			// failover or probe reconciles it. Queries against the
+			// remaining shards stay correct — they just miss this source,
+			// exactly like SkipFailed degradation would.
+			if err == nil {
+				cl.owner[name] = next
+				cl.rehomed.Add(1)
+			} else {
+				delete(cl.owner, name)
+			}
+		}
+		cl.gen.Add(1)
+		return
+	}
+}
+
+// Probe health-checks every healthy center once (cluster.info) and fails
+// over any that are transport-unreachable. It returns the number of
+// centers marked down. The gateway runs this periodically so a center that
+// dies between queries is detected before the next request pays for it.
+func (cl *Cluster) Probe(ctx context.Context) int {
+	cl.mu.RLock()
+	targets := cl.healthySnapshot()
+	cl.mu.RUnlock()
+	downed := 0
+	for _, c := range targets {
+		var info ClusterInfoResponse
+		err := c.peer.Call(ctx, MethodClusterInfo, nil, &info)
+		if isTransportFailure(ctx, err) {
+			cl.failover(c)
+			downed++
+		}
+	}
+	return downed
+}
+
+// scatter fans one exchange out to every healthy center and classifies the
+// outcome: transport-failed centers are failed over and the exchange
+// retried against the new topology (bounded by the center count); a
+// RemoteError aborts with that error. fn runs once per center, concurrent.
+func scatter[T any](ctx context.Context, cl *Cluster, fn func(ctx context.Context, c *clusterCenter) (T, error)) ([]T, error) {
+	for range len(cl.centers) + 1 {
+		cl.mu.RLock()
+		targets := cl.healthySnapshot()
+		if len(targets) == 0 {
+			cl.mu.RUnlock()
+			return nil, ErrNoCenters
+		}
+		outs := make([]T, len(targets))
+		errs := make([]error, len(targets))
+		var wg sync.WaitGroup
+		for i, c := range targets {
+			wg.Add(1)
+			go func(i int, c *clusterCenter) {
+				defer wg.Done()
+				outs[i], errs[i] = fn(ctx, c)
+			}(i, c)
+		}
+		wg.Wait()
+		cl.mu.RUnlock()
+		var dead []*clusterCenter
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			if !isTransportFailure(ctx, err) {
+				return nil, err
+			}
+			dead = append(dead, targets[i])
+		}
+		if len(dead) == 0 {
+			return outs, nil
+		}
+		for _, c := range dead {
+			cl.failover(c)
+		}
+	}
+	return nil, ErrNoCenters
+}
+
+// OverlapSearch answers the federated OJSP across every shard: scatter to
+// the healthy centers, merge the per-shard top-k under the canonical total
+// order, truncate to k. Identical to a single center over all sources —
+// the shards partition the sources, each shard's top-k retains every
+// result that can reach the global top-k, and sortSourceResults is a total
+// order, so the merge is deterministic down to the byte.
+func (cl *Cluster) OverlapSearch(ctx context.Context, queryCells cellset.Set, k int) ([]SourceResult, error) {
+	if k <= 0 || queryCells.IsEmpty() {
+		return nil, nil
+	}
+	outs, err := scatter(ctx, cl, func(ctx context.Context, c *clusterCenter) ([]SourceResult, error) {
+		req := ClusterOverlapRequest{Cells: queryCells, K: k}
+		var resp ClusterOverlapResponse
+		if err := c.peer.Call(ctx, MethodClusterOverlap, &req, &resp); err != nil {
+			return nil, fmt.Errorf("federation: cluster overlap at %s: %w", c.name, err)
+		}
+		return resp.Results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []SourceResult
+	for _, rs := range outs {
+		all = append(all, rs...)
+	}
+	sortSourceResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// OverlapSearchBatch answers a batch across every shard: one cluster.batch
+// exchange per center, per-query merge. Entry i aligns with queries[i] and
+// equals what OverlapSearch(queries[i]) returns.
+func (cl *Cluster) OverlapSearchBatch(ctx context.Context, queries []BatchQuery) ([][]SourceResult, error) {
+	out := make([][]SourceResult, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	outs, err := scatter(ctx, cl, func(ctx context.Context, c *clusterCenter) ([][]SourceResult, error) {
+		req := ClusterBatchRequest{Queries: queries}
+		var resp ClusterBatchResponse
+		if err := c.peer.Call(ctx, MethodClusterBatch, &req, &resp); err != nil {
+			return nil, fmt.Errorf("federation: cluster batch at %s: %w", c.name, err)
+		}
+		if len(resp.Results) != len(queries) {
+			return nil, fmt.Errorf("federation: cluster batch at %s: %d answers for %d queries",
+				c.name, len(resp.Results), len(queries))
+		}
+		return resp.Results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range queries {
+		for _, shard := range outs {
+			out[i] = append(out[i], shard[i]...)
+		}
+		sortSourceResults(out[i])
+		if len(out[i]) > queries[i].K {
+			out[i] = out[i][:queries[i].K]
+		}
+	}
+	return out, nil
+}
+
+// CoverageSearch answers the federated CJSP across every shard: the
+// gateway drives the greedy loop, each iteration scattering one
+// cluster.covstep to every center and picking the global winner under
+// betterOffer. The maximum over a partition equals the maximum over the
+// union under a total order, so every pick — and therefore the whole
+// greedy trajectory — matches a single center over all the sources.
+func (cl *Cluster) CoverageSearch(ctx context.Context, queryCells cellset.Set, delta float64, k int) (CoverageResult, error) {
+	res := CoverageResult{QueryCoverage: queryCells.Len(), Coverage: queryCells.Len()}
+	if k <= 0 || queryCells.IsEmpty() {
+		return res, nil
+	}
+	mergedC := cellset.FromSet(queryCells)
+	merged := queryCells
+	excluded := make(map[string][]int)
+	for len(res.Picked) < k {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		req := ClusterCovStepRequest{Merged: merged, Delta: delta, Exclude: excludeWire(excluded)}
+		outs, err := scatter(ctx, cl, func(ctx context.Context, c *clusterCenter) (ClusterCovStepResponse, error) {
+			var resp ClusterCovStepResponse
+			if err := c.peer.Call(ctx, MethodClusterCovStep, &req, &resp); err != nil {
+				return resp, fmt.Errorf("federation: cluster coverage step at %s: %w", c.name, err)
+			}
+			return resp, nil
+		})
+		if err != nil {
+			return res, err
+		}
+		var best *ClusterCovStepResponse
+		for i := range outs {
+			o := &outs[i]
+			if !o.Found {
+				continue
+			}
+			if best == nil || betterOffer(stepOffer(o), stepOffer(best)) {
+				best = o
+			}
+		}
+		if best == nil {
+			break // no shard has a connected dataset left
+		}
+		excluded[best.Source] = append(excluded[best.Source], best.ID)
+		mergedC = mergedC.Union(cellset.FromSet(best.Cells))
+		merged = mergedC.Set()
+		res.Picked = append(res.Picked, SourceResult{
+			Source: best.Source, ID: best.ID, Name: best.Name, Overlap: best.Gain,
+		})
+		res.Coverage = mergedC.Len()
+	}
+	return res, nil
+}
+
+// stepOffer adapts a covstep response to the canonical offer order.
+func stepOffer(o *ClusterCovStepResponse) offer {
+	return offer{src: o.Source, cand: CoverageCandidate{Found: true, ID: o.ID, Gain: o.Gain}}
+}
+
+// excludeWire flattens the exclusion map deterministically (sorted by
+// source) for the wire.
+func excludeWire(excluded map[string][]int) []SourceExclude {
+	out := make([]SourceExclude, 0, len(excluded))
+	for _, src := range slices.Sorted(maps.Keys(excluded)) {
+		out = append(out, SourceExclude{Source: src, IDs: excluded[src]})
+	}
+	return out
+}
+
+// mutate routes one mutation to the center owning the source, failing the
+// owner over (and retrying at the re-homed owner) on a transport failure.
+func (cl *Cluster) mutate(ctx context.Context, source string, method string, req any) (ClusterMutateResponse, error) {
+	cl.mu.RLock()
+	_, known := cl.sources[source]
+	cl.mu.RUnlock()
+	if !known {
+		return ClusterMutateResponse{}, fmt.Errorf("%w: %q", ErrUnknownSource, source)
+	}
+	for range len(cl.centers) + 1 {
+		cl.mu.RLock()
+		owner := cl.owner[source]
+		if owner != nil && !owner.healthy.Load() {
+			owner = nil
+		}
+		var resp ClusterMutateResponse
+		var err error
+		if owner == nil {
+			err = ErrNoCenters
+		} else {
+			err = owner.peer.Call(ctx, method, req, &resp)
+		}
+		cl.mu.RUnlock()
+		if err == nil {
+			if resp.Unknown {
+				return resp, fmt.Errorf("%w: %q", ErrUnknownSource, source)
+			}
+			cl.mutations.Add(1)
+			cl.noteVersion(source, resp.Version)
+			return resp, nil
+		}
+		if errors.Is(err, ErrNoCenters) {
+			// The owner died and re-homing could not place the source (or
+			// is not reflected yet). Re-run a failover pass to reconcile,
+			// then retry.
+			if cl.reconcileOwner(source) {
+				continue
+			}
+			return ClusterMutateResponse{}, ErrNoCenters
+		}
+		if !isTransportFailure(ctx, err) {
+			return ClusterMutateResponse{}, err
+		}
+		cl.failover(owner)
+	}
+	return ClusterMutateResponse{}, ErrNoCenters
+}
+
+// reconcileOwner attempts to (re-)home one un-owned source; reports
+// whether the source now has a healthy owner.
+func (cl *Cluster) reconcileOwner(source string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if o := cl.owner[source]; o != nil && o.healthy.Load() {
+		return true
+	}
+	next := cl.centerNamed(cl.ring.Assign(source))
+	if next == nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rehomeTimeout)
+	defer cancel()
+	if err := registerAt(ctx, next, cl.sources[source]); err != nil {
+		return false
+	}
+	cl.owner[source] = next
+	cl.rehomed.Add(1)
+	return true
+}
+
+// noteVersion records an acknowledged mutation's data version.
+func (cl *Cluster) noteVersion(source string, version uint64) {
+	cl.vmu.Lock()
+	if version > cl.versions[source] {
+		cl.versions[source] = version
+	}
+	cl.vmu.Unlock()
+}
+
+// PutDataset durably upserts one dataset through the owning center.
+func (cl *Cluster) PutDataset(ctx context.Context, source string, id int, name string, cells cellset.Set) (MutateResult, error) {
+	if cells.IsEmpty() {
+		return MutateResult{}, fmt.Errorf("federation: dataset %d has no cells", id)
+	}
+	resp, err := cl.mutate(ctx, source, MethodClusterPut, &ClusterPutRequest{Source: source, ID: id, Name: name, Cells: cells})
+	if err != nil {
+		return MutateResult{}, err
+	}
+	return MutateResult{Source: source, ID: id, Found: resp.Found, Version: resp.Version, NumDatasets: resp.NumDatasets}, nil
+}
+
+// DeleteDataset durably removes one dataset through the owning center.
+func (cl *Cluster) DeleteDataset(ctx context.Context, source string, id int) (MutateResult, error) {
+	resp, err := cl.mutate(ctx, source, MethodClusterDelete, &ClusterDeleteRequest{Source: source, ID: id})
+	if err != nil {
+		return MutateResult{}, err
+	}
+	return MutateResult{Source: source, ID: id, Found: resp.Found, Version: resp.Version, NumDatasets: resp.NumDatasets}, nil
+}
+
+// NumSources returns the roster size.
+func (cl *Cluster) NumSources() int {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return len(cl.sources)
+}
+
+// Generation returns the topology generation: it bumps whenever a
+// completed failover publishes a re-homed ring.
+func (cl *Cluster) Generation() uint64 { return cl.gen.Load() }
+
+// CacheInvalidations reports acknowledged mutations routed through the
+// cluster — result caches live at the centers, which invalidate by data
+// version exactly as in single-center mode.
+func (cl *Cluster) CacheInvalidations() int64 { return cl.mutations.Load() }
+
+// SourceVersions returns the cluster's acked data-version vector.
+func (cl *Cluster) SourceVersions() map[string]uint64 {
+	cl.vmu.Lock()
+	defer cl.vmu.Unlock()
+	out := make(map[string]uint64, len(cl.versions))
+	maps.Copy(out, cl.versions)
+	return out
+}
+
+// PeerWire reports the negotiated wire parameters of every center peer
+// that knows them, keyed by center name.
+func (cl *Cluster) PeerWire() map[string]transport.WireInfo {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	out := make(map[string]transport.WireInfo, len(cl.centers))
+	for _, c := range cl.centers {
+		if w, ok := c.peer.(transport.Wired); ok {
+			out[c.name] = w.WireInfo()
+		}
+	}
+	return out
+}
+
+// ClusterStats is the plane's observability snapshot.
+type ClusterStats struct {
+	Centers      int               `json:"centers"`
+	Healthy      int               `json:"healthy"`
+	Generation   uint64            `json:"generation"`
+	Failovers    int64             `json:"failovers"`
+	Rehomed      int64             `json:"rehomed"`
+	SourceOwners map[string]string `json:"sourceOwners,omitempty"`
+}
+
+// Stats snapshots the cluster plane.
+func (cl *Cluster) Stats() ClusterStats {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	st := ClusterStats{
+		Centers:      len(cl.centers),
+		Healthy:      len(cl.healthySnapshot()),
+		Generation:   cl.gen.Load(),
+		Failovers:    cl.failovers.Load(),
+		Rehomed:      cl.rehomed.Load(),
+		SourceOwners: make(map[string]string, len(cl.owner)),
+	}
+	for name, c := range cl.owner {
+		st.SourceOwners[name] = c.name
+	}
+	return st
+}
+
+// Close releases every closable center peer.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var first error
+	for _, c := range cl.centers {
+		if closer, ok := c.peer.(interface{ Close() error }); ok {
+			if err := closer.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Shards returns the current assignment of roster sources to healthy
+// centers — the audit surface the differential tests and OPERATIONS
+// runbooks read.
+func (cl *Cluster) Shards() map[string][]string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.ring.Shards(slices.Sorted(maps.Keys(cl.sources)))
+}

@@ -62,7 +62,168 @@ const (
 	// MethodSourceVersion reports the source's current data version, so a
 	// center can audit its cached version vector against the source.
 	MethodSourceVersion = "source.version"
+
+	// MethodWALShip ships the WAL tail of a durable source to a catching-up
+	// replica: the request carries the replica's data version and the
+	// response the raw WAL frames beyond it (see ingest.ShipWAL). Replicas
+	// poll it; a caught-up replica gets an empty batch.
+	MethodWALShip = "wal.ship"
 )
+
+// Method names of the cluster protocol — the surface a CenterServer
+// exposes to the gateway's scatter/gather plane. All cluster request and
+// response types ride the transports' gob passthrough, so they need no
+// per-codec support.
+const (
+	// MethodClusterInfo is the health probe and shard audit: it reports the
+	// center's name, membership generation, and registered source names.
+	MethodClusterInfo = "cluster.info"
+	// MethodClusterRegister tells a center to adopt a source: the center
+	// dials the source (and its replicas), fetches its summary, and
+	// registers it — appending the event to its membership log first, so a
+	// restarted center re-joins with the same shard.
+	MethodClusterRegister = "cluster.register"
+	// MethodClusterUnregister removes a source from the center's shard.
+	MethodClusterUnregister = "cluster.unregister"
+	// MethodClusterOverlap answers a federated OJSP over the center's shard.
+	MethodClusterOverlap = "cluster.overlap"
+	// MethodClusterBatch answers a batch of OJSP queries over the shard.
+	MethodClusterBatch = "cluster.batch"
+	// MethodClusterCovStep runs ONE greedy CJSP iteration over the shard:
+	// the gateway drives the cross-center greedy loop, each round asking
+	// every center for its shard's best offer and merging the global winner.
+	MethodClusterCovStep = "cluster.covstep"
+	// MethodClusterPut / MethodClusterDelete route a dataset mutation
+	// through the center owning the source.
+	MethodClusterPut    = "cluster.put"
+	MethodClusterDelete = "cluster.delete"
+)
+
+// WALShipRequest asks a durable source for the WAL tail beyond the
+// replica's data version.
+type WALShipRequest struct {
+	After uint64
+}
+
+// WALShipResponse carries raw WAL frames (ingest framing, possibly soft-
+// capped — the replica pulls again until it reaches Version). TooOld
+// reports that After precedes the source's newest snapshot, so the records
+// were compacted away and the replica must be reseeded.
+type WALShipResponse struct {
+	Frames  []byte
+	Version uint64
+	TooOld  bool
+}
+
+// ClusterInfoResponse answers the gateway's health probe.
+type ClusterInfoResponse struct {
+	Name       string
+	Generation uint64
+	Sources    []string // registered source names, sorted
+}
+
+// ClusterRegisterRequest tells a center to dial and register one source.
+// Replicas, in failover order, serve reads when the primary's transport
+// fails; mutations and WAL shipping always pin to the primary.
+type ClusterRegisterRequest struct {
+	Name     string
+	Addr     string
+	Replicas []string
+}
+
+// ClusterRegisterResponse acknowledges a registration.
+type ClusterRegisterResponse struct {
+	NumSources int
+}
+
+// ClusterUnregisterRequest removes one source from the center's shard.
+type ClusterUnregisterRequest struct {
+	Name string
+}
+
+// ClusterUnregisterResponse acknowledges the removal.
+type ClusterUnregisterResponse struct {
+	NumSources int
+}
+
+// ClusterOverlapRequest is a federated OJSP scattered to one center; the
+// center answers its shard's top-k and the gateway merges the shards with
+// the same total order a single center uses, making the merged answer
+// byte-identical to the unsharded one.
+type ClusterOverlapRequest struct {
+	Cells cellset.Set
+	K     int
+}
+
+// ClusterOverlapResponse carries one shard's top-k.
+type ClusterOverlapResponse struct {
+	Results []SourceResult
+}
+
+// ClusterBatchRequest scatters a whole OJSP batch to one center.
+type ClusterBatchRequest struct {
+	Queries []BatchQuery
+}
+
+// ClusterBatchResponse carries the shard's per-query top-k, request order.
+type ClusterBatchResponse struct {
+	Results [][]SourceResult
+}
+
+// SourceExclude lists the dataset IDs already picked from one source
+// during a cluster CJSP (the cross-center analogue of CoverageRequest's
+// Exclude).
+type SourceExclude struct {
+	Source string
+	IDs    []int
+}
+
+// ClusterCovStepRequest asks one center for its shard's best offer in one
+// greedy CJSP iteration, given the gateway's merged state so far.
+type ClusterCovStepRequest struct {
+	Merged  cellset.Set
+	Delta   float64
+	Exclude []SourceExclude
+}
+
+// ClusterCovStepResponse is the shard's best offer; Found is false when no
+// source in the shard has a remaining connected dataset. Cells is the full
+// cell set of the offered dataset, so the gateway can merge the global
+// winner without a second exchange.
+type ClusterCovStepResponse struct {
+	Found  bool
+	Source string
+	ID     int
+	Name   string
+	Gain   int
+	Cells  cellset.Set
+}
+
+// ClusterPutRequest routes a durable dataset upsert through the center
+// owning the source; ClusterDeleteRequest likewise for removal.
+type ClusterPutRequest struct {
+	Source string
+	ID     int
+	Name   string
+	Cells  cellset.Set
+}
+
+// ClusterDeleteRequest removes one dataset at a source through its center.
+type ClusterDeleteRequest struct {
+	Source string
+	ID     int
+}
+
+// ClusterMutateResponse answers both cluster mutation methods. Unknown
+// reports the source is not registered at this center — a roster/shard
+// disagreement the gateway maps back to ErrUnknownSource rather than a
+// transport failure.
+type ClusterMutateResponse struct {
+	Unknown     bool
+	Found       bool
+	Version     uint64
+	NumDatasets int
+}
 
 // OverlapRequest asks a source for its local top-k overlap results. Cells
 // is the query's cell-based set, possibly clipped to the portion

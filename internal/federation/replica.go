@@ -1,0 +1,164 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"dits/internal/ingest"
+	"dits/internal/transport"
+)
+
+// ReplicatedPeer serves one source through its primary and read replicas:
+// reads try the sticky current endpoint and fail over to the next on a
+// TRANSPORT failure (dial/connection death), while mutations and WAL
+// shipping always pin to the primary — a replica's store refuses local
+// mutations, and failing a write over would fork the source's history.
+//
+// A RemoteError never triggers failover: the endpoint is alive and its
+// handler answered; retrying elsewhere would turn a deterministic error
+// into a different answer. Nor does a caller-cancelled context — the
+// caller gave up, not the endpoint.
+//
+// The current-endpoint index is sticky: after a failover, subsequent reads
+// go straight to the serving replica instead of re-paying a dial timeout
+// against the dead primary on every call. Safe for concurrent use when the
+// wrapped peers are (wrap TCP in transport.Pool).
+type ReplicatedPeer struct {
+	name  string
+	peers []transport.Peer // primary first, then replicas in failover order
+	cur   atomic.Int32
+}
+
+// NewReplicatedPeer wraps a primary and its replicas. At least one peer is
+// required; with exactly one it degenerates to a pass-through.
+func NewReplicatedPeer(name string, peers ...transport.Peer) *ReplicatedPeer {
+	if len(peers) == 0 {
+		panic("federation: NewReplicatedPeer needs at least the primary")
+	}
+	return &ReplicatedPeer{name: name, peers: peers}
+}
+
+// mutatesSource reports whether a method must pin to the primary.
+func mutatesSource(method string) bool {
+	return method == MethodDatasetPut || method == MethodDatasetDelete || method == MethodWALShip
+}
+
+// Call implements transport.Peer with read failover.
+func (p *ReplicatedPeer) Call(ctx context.Context, method string, req, resp any) error {
+	if mutatesSource(method) {
+		return p.peers[0].Call(ctx, method, req, resp)
+	}
+	start := int(p.cur.Load())
+	var lastErr error
+	for i := 0; i < len(p.peers); i++ {
+		idx := (start + i) % len(p.peers)
+		err := p.peers[idx].Call(ctx, method, req, resp)
+		if err == nil {
+			if idx != start {
+				p.cur.Store(int32(idx))
+			}
+			return nil
+		}
+		var re *transport.RemoteError
+		if errors.As(err, &re) || ctx.Err() != nil {
+			return err // alive-and-answered, or the caller gave up: no failover
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("federation: source %s: primary and all replicas failed: %w", p.name, lastErr)
+}
+
+// Close closes every closable endpoint.
+func (p *ReplicatedPeer) Close() error {
+	var first error
+	for _, peer := range p.peers {
+		if c, ok := peer.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// DefaultReplicaPoll is how often a Replicator polls its primary when the
+// interval is left zero.
+const DefaultReplicaPoll = 250 * time.Millisecond
+
+// Replicator keeps a replica store caught up with its primary by polling
+// MethodWALShip: each pull asks for the WAL tail beyond the replica's own
+// data version (the replication cursor) and applies it durably before the
+// next pull. Catch-up is idempotent across restarts — a replica resumes
+// from its persisted version and duplicate records are skipped by
+// sequence number (see ingest.ApplyShipped).
+type Replicator struct {
+	Store    *ingest.Store  // the local replica store (Options.Replica)
+	Primary  transport.Peer // the primary's connection (wrap TCP in a Pool)
+	Interval time.Duration  // poll period; 0 means DefaultReplicaPoll
+	// OnError observes transient pull failures (primary down, mid-transfer
+	// disconnect); nil means they are silently retried next poll.
+	OnError func(error)
+}
+
+// CatchUpOnce pulls until the replica reaches the primary's version at the
+// time of the call (or an error). It returns the number of records applied.
+func (r *Replicator) CatchUpOnce(ctx context.Context) (int, error) {
+	applied := 0
+	for {
+		req := WALShipRequest{After: r.Store.Version()}
+		var resp WALShipResponse
+		if err := r.Primary.Call(ctx, MethodWALShip, &req, &resp); err != nil {
+			return applied, err
+		}
+		if resp.TooOld {
+			return applied, ingest.ErrSnapshotGap
+		}
+		if len(resp.Frames) == 0 {
+			return applied, nil // caught up
+		}
+		n, err := r.Store.ApplyShipped(resp.Frames)
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+		if n == 0 {
+			// A non-empty batch that applied nothing can only be a torn
+			// transfer tail; re-pull rather than spin.
+			return applied, nil
+		}
+	}
+}
+
+// Run polls until the context is cancelled. A snapshot gap at the primary
+// is terminal (the replica must be reseeded; see docs/OPERATIONS.md);
+// every other error is reported to OnError and retried next poll.
+func (r *Replicator) Run(ctx context.Context) error {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = DefaultReplicaPoll
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := r.CatchUpOnce(ctx); err != nil {
+			if errors.Is(err, ingest.ErrSnapshotGap) || errors.Is(err, ingest.ErrClosed) {
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if r.OnError != nil {
+				r.OnError(err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

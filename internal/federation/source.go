@@ -275,6 +275,19 @@ func (s *SourceServer) Handler() transport.Handler {
 				return nil, err
 			}
 			return &resp, nil
+		case MethodWALShip:
+			var req WALShipRequest
+			if err := codec.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if s.store == nil {
+				return nil, fmt.Errorf("federation: source %s has no durable store to ship from", s.Name)
+			}
+			frames, version, tooOld, err := s.store.ShipWAL(req.After)
+			if err != nil {
+				return nil, err
+			}
+			return &WALShipResponse{Frames: frames, Version: version, TooOld: tooOld}, nil
 		case MethodSourceVersion:
 			return &VersionResponse{
 				Name:    s.Name,

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"dits/internal/admission"
+	"dits/internal/cache"
 	"dits/internal/cellset"
 	"dits/internal/federation"
 	"dits/internal/geo"
@@ -81,13 +82,43 @@ type Options struct {
 	EnablePprof bool
 }
 
-// Gateway serves the HTTP API over one federation center.
+// Backend is the federation plane a gateway fronts: a single Center or a
+// sharded, replicated Cluster. Both produce identical answers for the
+// same corpus — the cluster's scatter/gather merges under the same total
+// orders a single center ranks with.
+type Backend interface {
+	OverlapSearch(ctx context.Context, queryCells cellset.Set, k int) ([]federation.SourceResult, error)
+	OverlapSearchBatch(ctx context.Context, queries []federation.BatchQuery) ([][]federation.SourceResult, error)
+	CoverageSearch(ctx context.Context, queryCells cellset.Set, delta float64, k int) (federation.CoverageResult, error)
+	PutDataset(ctx context.Context, source string, id int, name string, cells cellset.Set) (federation.MutateResult, error)
+	DeleteDataset(ctx context.Context, source string, id int) (federation.MutateResult, error)
+	NumSources() int
+	Generation() uint64
+	SourceVersions() map[string]uint64
+	PeerWire() map[string]transport.WireInfo
+	CacheInvalidations() int64
+}
+
+// cached is the optional Backend facet exposing a result cache; the
+// cluster has none (caches live at the centers).
+type cached interface {
+	Cache() *cache.Cache
+}
+
+// Gateway serves the HTTP API over one federation backend.
 type Gateway struct {
-	center *federation.Center
-	opts   Options
-	ctl    *admission.Controller
-	reg    *metrics.Registry
-	start  time.Time
+	backend Backend
+	grid    geo.Grid
+	// peerMetrics observes the backend's outbound exchanges: center→source
+	// traffic in single-center mode, gateway→center in cluster mode.
+	peerMetrics *transport.Metrics
+	// cluster is non-nil in cluster mode and feeds the extra /stats and
+	// /healthz surfaces (center health, failovers, shard owners).
+	cluster *federation.Cluster
+	opts    Options
+	ctl     *admission.Controller
+	reg     *metrics.Registry
+	start   time.Time
 
 	// latency records per-endpoint request durations in seconds, for the
 	// p50/p99/p999 the load harness asserts against.
@@ -107,19 +138,42 @@ func New(center *federation.Center) *Gateway {
 	return NewWithOptions(center, Options{})
 }
 
-// NewWithOptions creates a gateway with admission control and
-// observability configured.
+// NewWithOptions creates a single-center gateway with admission control
+// and observability configured.
 func NewWithOptions(center *federation.Center, opts Options) *Gateway {
+	return newGateway(center, center.Grid, center.Metrics, nil, opts)
+}
+
+// NewCluster creates a gateway over a sharded cluster plane: queries
+// scatter across the cluster's centers and merge at the gateway, and the
+// cluster's health/failover counters join /stats and /healthz.
+func NewCluster(cl *federation.Cluster, opts Options) *Gateway {
+	return newGateway(cl, cl.Grid, cl.Metrics, cl, opts)
+}
+
+func newGateway(b Backend, grid geo.Grid, pm *transport.Metrics, cl *federation.Cluster, opts Options) *Gateway {
 	g := &Gateway{
-		center:  center,
-		opts:    opts,
-		ctl:     admission.New(opts.Admission),
-		reg:     metrics.NewRegistry(),
-		start:   time.Now(),
-		latency: metrics.NewHistogramVec(metrics.DefLatencyBuckets()),
+		backend:     b,
+		grid:        grid,
+		peerMetrics: pm,
+		cluster:     cl,
+		opts:        opts,
+		ctl:         admission.New(opts.Admission),
+		reg:         metrics.NewRegistry(),
+		start:       time.Now(),
+		latency:     metrics.NewHistogramVec(metrics.DefLatencyBuckets()),
 	}
 	g.register()
 	return g
+}
+
+// cache returns the backend's result cache, or a nil (fully inert) cache
+// for backends without one.
+func (g *Gateway) cache() *cache.Cache {
+	if c, ok := g.backend.(cached); ok {
+		return c.Cache()
+	}
+	return nil
 }
 
 // Admission exposes the gateway's admission controller, e.g. for tests and
@@ -144,15 +198,23 @@ func (g *Gateway) register() {
 	gw("dits_gateway_client_errors_total", "Requests rejected as client errors (4xx)", &g.clientErrors)
 	gw("dits_gateway_server_errors_total", "Requests failed as server errors (5xx)", &g.serverErrors)
 	g.reg.RegisterGaugeFunc("dits_gateway_sources", "Registered federation sources",
-		func() float64 { return float64(g.center.NumSources()) })
+		func() float64 { return float64(g.backend.NumSources()) })
 	g.reg.RegisterCounterFunc("dits_cache_invalidations_total",
 		"Cache-invalidation events (mutations + membership changes)",
-		func() float64 { return float64(g.center.CacheInvalidations()) })
+		func() float64 { return float64(g.backend.CacheInvalidations()) })
 	g.reg.RegisterHistogramVec("dits_gateway_request_seconds",
 		"Request latency by endpoint", "endpoint", g.latency)
-	g.center.Metrics.Register(g.reg)
-	g.center.Cache().Register(g.reg)
+	g.peerMetrics.Register(g.reg)
+	g.cache().Register(g.reg)
 	g.ctl.Register(g.reg)
+	if g.cluster != nil {
+		g.reg.RegisterGaugeFunc("dits_cluster_centers_healthy", "Healthy federation centers",
+			func() float64 { return float64(g.cluster.Stats().Healthy) })
+		g.reg.RegisterCounterFunc("dits_cluster_failovers_total", "Centers marked down and re-homed",
+			func() float64 { return float64(g.cluster.Stats().Failovers) })
+		g.reg.RegisterCounterFunc("dits_cluster_rehomed_total", "Sources re-registered by failovers",
+			func() float64 { return float64(g.cluster.Stats().Rehomed) })
+	}
 }
 
 // observe records one request's latency under its endpoint label.
@@ -280,6 +342,10 @@ type StatsResponse struct {
 	// Admission reports the overload-protection counters: admitted and
 	// shed requests, deadline hits, and the live in-flight/queued levels.
 	Admission admission.Stats `json:"admission"`
+
+	// Cluster reports the sharded plane's health and failover counters;
+	// absent in single-center mode.
+	Cluster *federation.ClusterStats `json:"cluster,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -348,7 +414,7 @@ func (g *Gateway) gridInput(points [][2]float64, cellIDs []uint64) (cellset.Set,
 		for i, p := range points {
 			pts[i] = geo.Point{X: p[0], Y: p[1]}
 		}
-		cells = cellset.FromPoints(g.center.Grid, pts)
+		cells = cellset.FromPoints(g.grid, pts)
 	}
 	if cells.IsEmpty() {
 		return nil, fmt.Errorf("input gridded to zero cells")
@@ -398,7 +464,7 @@ func (g *Gateway) handleOverlap(w http.ResponseWriter, r *http.Request) {
 	g.overlapQueries.Add(1)
 	start := time.Now()
 	defer g.observe("overlap", start)
-	rs, err := g.center.OverlapSearch(r.Context(), cells, req.K)
+	rs, err := g.backend.OverlapSearch(r.Context(), cells, req.K)
 	if err != nil {
 		g.writeSearchError(w, r, err)
 		return
@@ -425,7 +491,7 @@ func (g *Gateway) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	g.coverageQueries.Add(1)
 	start := time.Now()
 	defer g.observe("coverage", start)
-	res, err := g.center.CoverageSearch(r.Context(), cells, delta, req.K)
+	res, err := g.backend.CoverageSearch(r.Context(), cells, delta, req.K)
 	if err != nil {
 		g.writeSearchError(w, r, err)
 		return
@@ -490,7 +556,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	g.batchQueries.Add(int64(len(batch)))
 	start := time.Now()
 	defer g.observe("batch", start)
-	outs, err := g.center.OverlapSearchBatch(r.Context(), batch)
+	outs, err := g.backend.OverlapSearchBatch(r.Context(), batch)
 	if err != nil {
 		g.writeSearchError(w, r, err)
 		return
@@ -552,7 +618,7 @@ func (g *Gateway) handleIngestPut(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	defer g.observe("ingest", start)
-	res, err := g.center.PutDataset(r.Context(), req.Source, req.ID, req.Name, cells)
+	res, err := g.backend.PutDataset(r.Context(), req.Source, req.ID, req.Name, cells)
 	if err != nil {
 		g.writeMutationError(w, r, err)
 		return
@@ -579,7 +645,7 @@ func (g *Gateway) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	defer g.observe("ingest", start)
-	res, err := g.center.DeleteDataset(r.Context(), source, id)
+	res, err := g.backend.DeleteDataset(r.Context(), source, id)
 	if err != nil {
 		g.writeMutationError(w, r, err)
 		return
@@ -612,9 +678,9 @@ func (g *Gateway) writeMutationError(w http.ResponseWriter, r *http.Request, err
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := g.center.Cache().Stats()
+	st := g.cache().Stats()
 	resp := StatsResponse{
-		Sources:         g.center.NumSources(),
+		Sources:         g.backend.NumSources(),
 		UptimeSeconds:   time.Since(g.start).Seconds(),
 		OverlapQueries:  g.overlapQueries.Load(),
 		CoverageQueries: g.coverageQueries.Load(),
@@ -628,31 +694,45 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHitRate:    st.HitRate(),
 		CacheEntries:    st.Len,
 		CacheCapacity:   st.Capacity,
-		PeerMessages:    g.center.Metrics.Messages(),
-		PeerBytesSent:   g.center.Metrics.BytesSent(),
-		PeerBytesRecvd:  g.center.Metrics.BytesReceived(),
-		MembershipEpoch: g.center.Generation(),
-		PeerMethodStats: g.center.Metrics.PerMethod(),
-		SourceFailures:  g.center.Metrics.Failures(),
-		PeerWire:        g.center.PeerWire(),
+		PeerMessages:    g.peerMetrics.Messages(),
+		PeerBytesSent:   g.peerMetrics.BytesSent(),
+		PeerBytesRecvd:  g.peerMetrics.BytesReceived(),
+		MembershipEpoch: g.backend.Generation(),
+		PeerMethodStats: g.peerMetrics.PerMethod(),
+		SourceFailures:  g.peerMetrics.Failures(),
+		PeerWire:        g.backend.PeerWire(),
 
-		PeerCompressedMessages: g.center.Metrics.CompressedMessages(),
+		PeerCompressedMessages: g.peerMetrics.CompressedMessages(),
 
-		CacheInvalidations: g.center.CacheInvalidations(),
-		SourceVersions:     g.center.SourceVersions(),
+		CacheInvalidations: g.backend.CacheInvalidations(),
+		SourceVersions:     g.backend.SourceVersions(),
 		Admission:          g.ctl.Stats(),
 	}
-	resp.PeerCompressRawBytes, resp.PeerCompressWireBytes = g.center.Metrics.CompressionBytes()
+	resp.PeerCompressRawBytes, resp.PeerCompressWireBytes = g.peerMetrics.CompressionBytes()
+	if g.cluster != nil {
+		cst := g.cluster.Stats()
+		resp.Cluster = &cst
+	}
 	g.writeJSON(w, http.StatusOK, resp)
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	n := g.center.NumSources()
+	n := g.backend.NumSources()
 	status := http.StatusOK
 	state := "ok"
 	if n == 0 {
 		status = http.StatusServiceUnavailable
 		state = "no sources"
 	}
-	g.writeJSON(w, status, map[string]any{"status": state, "sources": n})
+	body := map[string]any{"status": state, "sources": n}
+	if g.cluster != nil {
+		cst := g.cluster.Stats()
+		body["centers"] = cst.Centers
+		body["healthyCenters"] = cst.Healthy
+		if cst.Healthy == 0 {
+			status = http.StatusServiceUnavailable
+			body["status"] = "no healthy centers"
+		}
+	}
+	g.writeJSON(w, status, body)
 }

@@ -1,0 +1,203 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The WAL's frame machinery, factored out for reuse: any append-only log
+// that wants the same durability contract — length+CRC framed records
+// behind a versioned magic header, a torn tail detected and truncated on
+// open — goes through walkFrames/ScanFrames and FramedLog rather than
+// reimplementing the scan. The ingest WAL itself (wal.go) and the
+// federation membership log are both built on it, and WAL shipping
+// (ship.go) reuses the identical scan on the receiving side, so a
+// replica tolerates a torn shipped tail exactly like local recovery.
+
+// walkFrames scans data — a concatenation of frames with NO magic header
+// — and calls fn once per structurally intact frame with the frame's
+// byte offset and its payload. The scan stops at the first torn or
+// corrupt frame (short header, absurd length, truncated payload, bad
+// CRC), or when fn returns false — in which case that frame is not
+// counted. It returns the byte offset one past the last accepted frame:
+// everything from there on is tail to truncate (or garbage to ignore).
+func walkFrames(data []byte, fn func(off int, payload []byte) bool) int {
+	off := 0
+	for {
+		if len(data)-off < frameHeader {
+			return off
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen <= 0 || plen > maxRecordBytes || len(data)-off-frameHeader < plen {
+			return off
+		}
+		payload := data[off+frameHeader : off+frameHeader+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return off
+		}
+		if !fn(off, payload) {
+			return off
+		}
+		off += frameHeader + plen
+	}
+}
+
+// ScanFrames parses a headerless frame sequence and returns every intact
+// payload in order, plus the byte length of the intact prefix. Corruption
+// anywhere truncates the result at the last intact frame — the same
+// tolerance recovery applies to a torn WAL tail.
+func ScanFrames(data []byte) (payloads [][]byte, intact int) {
+	intact = walkFrames(data, func(_ int, p []byte) bool {
+		payloads = append(payloads, p)
+		return true
+	})
+	return payloads, intact
+}
+
+// appendFrame frames one payload: u32 length | u32 CRC-32C | payload.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// FramedLog is a generic append-only log of opaque payloads with the
+// WAL's framing and recovery semantics. It is not safe for concurrent
+// use; callers serialize appends.
+type FramedLog struct {
+	f      *os.File
+	magic  []byte
+	fsync  bool
+	size   int64 // last known-good frame boundary
+	broken bool  // a failed append could not be rolled back
+}
+
+// OpenFramedLog opens (or creates) the log at path, validates the magic
+// header, and returns every intact payload in append order, truncating a
+// torn tail in place. The magic must be non-empty; its last byte
+// conventionally versions the record format.
+func OpenFramedLog(path string, magic []byte, fsync bool) (*FramedLog, [][]byte, error) {
+	if len(magic) == 0 {
+		return nil, nil, fmt.Errorf("ingest: framed log needs a magic header")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: open framed log: %w", err)
+	}
+	l := &FramedLog{f: f, magic: append([]byte(nil), magic...), fsync: fsync}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: read framed log: %w", err)
+	}
+	if len(data) < len(magic) && string(data) == string(magic[:len(data)]) {
+		// Empty file or a header torn mid-init: no record can have been
+		// acknowledged yet, so reinitialize in place.
+		if err := l.reinit(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: %s is not a framed log (bad magic)", path)
+	}
+	payloads, intact := ScanFrames(data[len(magic):])
+	off := int64(len(magic) + intact)
+	if off != int64(len(data)) {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: truncate torn framed-log tail: %w", err)
+		}
+		if err := l.maybeSync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: seek framed log: %w", err)
+	}
+	l.size = off
+	return l, payloads, nil
+}
+
+// reinit truncates the file and writes a fresh magic header.
+func (l *FramedLog) reinit() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("ingest: init framed log: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ingest: init framed log: %w", err)
+	}
+	if _, err := l.f.Write(l.magic); err != nil {
+		return fmt.Errorf("ingest: init framed log: %w", err)
+	}
+	if err := l.maybeSync(); err != nil {
+		return err
+	}
+	l.size = int64(len(l.magic))
+	return nil
+}
+
+// Append frames, checksums, writes, and (per policy) flushes one payload.
+// On failure the log rolls back to the last good frame boundary; if the
+// rollback itself fails the log refuses further appends until reopened.
+func (l *FramedLog) Append(payload []byte) error {
+	if l.broken {
+		return fmt.Errorf("ingest: framed log is in a failed state after an unrecoverable partial write; reopen it")
+	}
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("ingest: framed-log payload is %d bytes (want 1..%d)", len(payload), maxRecordBytes)
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return l.rollback(fmt.Errorf("ingest: framed-log append: %w", err))
+	}
+	if err := l.maybeSync(); err != nil {
+		return l.rollback(err)
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+// rollback truncates back to the last good boundary after a failed append.
+func (l *FramedLog) rollback(cause error) error {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.broken = true
+		return fmt.Errorf("%w (and rollback failed: %v; log disabled until reopen)", cause, err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.broken = true
+		return fmt.Errorf("%w (and rollback seek failed: %v; log disabled until reopen)", cause, err)
+	}
+	return cause
+}
+
+// maybeSync flushes per the fsync policy.
+func (l *FramedLog) maybeSync() error {
+	if !l.fsync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: fsync framed log: %w", err)
+	}
+	return nil
+}
+
+// Size returns the log's current byte size (header included).
+func (l *FramedLog) Size() int64 { return l.size }
+
+// Close closes the log file, flushing first under the always policy.
+func (l *FramedLog) Close() error {
+	if err := l.maybeSync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

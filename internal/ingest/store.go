@@ -46,6 +46,13 @@ type Options struct {
 	// live index onto a fresh mapping, shedding the accumulated overlay.
 	// Ignored on platforms without mmap support.
 	MMap bool
+	// Replica opens the store as a read-only replica: local mutations
+	// (PutDataset / DeleteDataset) are refused with ErrReplica and state
+	// advances only through ApplyShipped, which replays the primary's WAL
+	// records verbatim — same sequence numbers, same data versions. A
+	// replica bootstraps from the same Bootstrap as its primary (or from a
+	// copied store directory) and catches up by WAL shipping (ship.go).
+	Replica bool
 }
 
 // Store is the durable write path of one source: it owns the live DITS-L
@@ -277,6 +284,9 @@ func (st *Store) mutate(rec walRecord) (uint64, error) {
 	defer st.writeMu.Unlock()
 	if st.closed {
 		return 0, ErrClosed
+	}
+	if st.opts.Replica {
+		return 0, ErrReplica
 	}
 	// Validate against the current index before logging, so the WAL only
 	// ever holds records that apply cleanly on replay. No search or other

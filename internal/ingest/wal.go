@@ -202,35 +202,22 @@ func openWAL(path string, fsync bool) (*wal, []walRecord, error) {
 		return nil, nil, fmt.Errorf("ingest: %s is not a WAL (bad magic)", path)
 	}
 
-	// Replay: scan intact frames; the first structurally invalid frame —
-	// short header, absurd length, bad checksum, undecodable payload, or a
-	// sequence number that does not advance — marks the torn tail, which
-	// is truncated away. A torn write never corrupts preceding records
+	// Replay: scan intact frames (walkFrames rejects short headers, absurd
+	// lengths, and bad checksums); a payload that does not decode or whose
+	// sequence number does not advance marks the torn tail, which is
+	// truncated away. A torn write never corrupts preceding records
 	// because appends are strictly sequential.
 	var recs []walRecord
-	off := len(walMagic)
 	lastSeq := uint64(0)
-	for {
-		if len(data)-off < frameHeader {
-			break
-		}
-		plen := int(binary.LittleEndian.Uint32(data[off:]))
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if plen <= 0 || plen > maxRecordBytes || len(data)-off-frameHeader < plen {
-			break
-		}
-		payload := data[off+frameHeader : off+frameHeader+plen]
-		if crc32.Checksum(payload, crcTable) != crc {
-			break
-		}
+	off := len(walMagic) + walkFrames(data[len(walMagic):], func(_ int, payload []byte) bool {
 		rec, err := decodeRecord(payload)
 		if err != nil || rec.Seq <= lastSeq {
-			break
+			return false
 		}
 		recs = append(recs, rec)
 		lastSeq = rec.Seq
-		off += frameHeader + plen
-	}
+		return true
+	})
 	if int64(off) != int64(len(data)) {
 		if err := f.Truncate(int64(off)); err != nil {
 			f.Close()
@@ -267,10 +254,7 @@ func (w *wal) append(rec walRecord) error {
 		// would silently drop this and every later mutation on recovery.
 		return fmt.Errorf("ingest: mutation for dataset %d is %d bytes, over the %d-byte record cap", rec.ID, len(payload), maxRecordBytes)
 	}
-	frame := make([]byte, 0, frameHeader+len(payload))
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
-	frame = append(frame, payload...)
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return w.rollback(fmt.Errorf("ingest: wal append: %w", err))
 	}
