@@ -26,16 +26,20 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"dits/internal/cache"
 	"dits/internal/federation"
 	"dits/internal/geo"
+	"dits/internal/metrics"
+	"dits/internal/obs"
 	"dits/internal/transport"
 )
 
@@ -54,9 +58,12 @@ func main() {
 	stateless := flag.Bool("stateless", false, "disable the CJSP session protocol (ship full state every round)")
 	tolerant := flag.Bool("tolerant", false, "skip failed sources mid-query instead of failing the query")
 	logFile := flag.String("log-file", "", "append operational logs to this file instead of stderr")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text exposition, pprof, and /debug/traces at this address (empty = off)")
+	slowQuery := flag.Duration("slow-query", 0, "log any served request whose trace lasts at least this long, with its full span tree (0 disables)")
 	flag.Parse()
 
-	logf, logClose, err := openLog(*logFile)
+	logger, logClose, err := obs.OpenLogger(*logFile, *logFormat)
 	if err != nil {
 		fail(err)
 	}
@@ -90,39 +97,44 @@ func main() {
 	}
 	defer cs.Close()
 	if skipped := cs.Skipped(); len(skipped) > 0 {
-		logf("skipped %d unreachable logged members: %s (the gateway re-registers them on reconcile)",
-			len(skipped), strings.Join(skipped, ", "))
+		logger.Warn("skipped unreachable logged members; the gateway re-registers them on reconcile",
+			"count", len(skipped), "members", strings.Join(skipped, ", "))
 	}
 
-	ts, err := transport.ServeWith(*addr, cs.Handler(), transport.ServeConfig{})
+	rec := obs.NewRecorder(obs.RecorderOptions{SlowThreshold: *slowQuery, Logger: logger})
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		reg.RegisterGaugeFunc("dits_center_sources", "Sources registered at this center's shard",
+			func() float64 { return float64(center.NumSources()) })
+		rec.Register(reg)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /debug/traces", rec.DebugHandler())
+		mux.Handle("GET /debug/traces/", rec.DebugHandler())
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go msrv.ListenAndServe()
+		defer msrv.Close()
+		logger.Info("metrics listener up", "addr", *metricsAddr)
+	}
+
+	ts, err := transport.ServeWith(*addr, cs.Handler(), transport.ServeConfig{Recorder: rec})
 	if err != nil {
 		fail(err)
 	}
 	defer ts.Close()
-	logf("center %q serving %d sources on %s (memberlog=%q, cache=%d entries)",
-		*name, center.NumSources(), ts.Addr(), *memberLog, *cacheSize)
+	logger.Info("center serving",
+		"center", *name, "sources", center.NumSources(), "addr", ts.Addr(),
+		"memberlog", *memberLog, "cache", *cacheSize)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	logf("shutting down")
-}
-
-// openLog returns a printf-style logger writing to stderr, or appending
-// to path when given, plus a close func.
-func openLog(path string) (func(format string, args ...any), func(), error) {
-	out := os.Stderr
-	closeFn := func() {}
-	if path != "" {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, nil, fmt.Errorf("open -log-file: %w", err)
-		}
-		out = f
-		closeFn = func() { f.Close() }
-	}
-	logger := log.New(out, "", log.LstdFlags)
-	return func(format string, args ...any) { logger.Printf(format, args...) }, closeFn, nil
+	logger.Info("shutting down")
 }
 
 func parseBounds(s string) (geo.Rect, error) {

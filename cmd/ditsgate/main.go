@@ -33,7 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +47,7 @@ import (
 	"dits/internal/federation"
 	"dits/internal/gateway"
 	"dits/internal/geo"
+	"dits/internal/obs"
 	"dits/internal/transport"
 )
 
@@ -74,9 +75,13 @@ func main() {
 	codecFlag := flag.String("codec", "", "force one wire codec by name instead of negotiating the best (empty = negotiate)")
 	noCompress := flag.Bool("no-compress", false, "do not offer gzip compression when dialing sources")
 	logFile := flag.String("log-file", "", "append operational logs to this file instead of stderr")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	slowQuery := flag.Duration("slow-query", 0, "log any request whose trace lasts at least this long, with its full span tree (0 disables)")
+	traceRing := flag.Int("trace-ring", 0, "completed traces kept for GET /debug/traces (0 = default capacity)")
+	noTrace := flag.Bool("no-trace", false, "disable per-request tracing entirely")
 	flag.Parse()
 
-	logf, logClose, err := openLog(*logFile)
+	logger, logClose, err := obs.OpenLogger(*logFile, *logFormat)
 	if err != nil {
 		fail(err)
 	}
@@ -97,7 +102,7 @@ func main() {
 	}
 	grid := geo.NewGrid(*theta, bounds)
 
-	dialCfg := transport.DialConfig{Codec: *codecFlag, NoCompress: *noCompress}
+	dialCfg := transport.DialConfig{Codec: *codecFlag, NoCompress: *noCompress, NoTrace: *noTrace}
 	if *codecFlag != "" {
 		if _, ok := transport.LookupCodec(*codecFlag); !ok {
 			fail(fmt.Errorf("-codec: unknown codec %q (registered: %s)",
@@ -112,13 +117,17 @@ func main() {
 			MaxQueue:    *maxQueue,
 			Deadline:    *deadline,
 		},
-		EnablePprof: *pprofFlag,
+		EnablePprof:    *pprofFlag,
+		SlowTrace:      *slowQuery,
+		TraceCapacity:  *traceRing,
+		DisableTracing: *noTrace,
+		Logger:         logger,
 	}
 
 	var gw *gateway.Gateway
 	var describe string
 	if *clusterFlag != "" {
-		cluster, err := buildCluster(grid, *clusterFlag, *clusterSources, *poolSize, dialCfg, logf)
+		cluster, err := buildCluster(grid, *clusterFlag, *clusterSources, *poolSize, dialCfg, logger)
 		if err != nil {
 			fail(err)
 		}
@@ -129,8 +138,9 @@ func main() {
 					ctx, cancel := context.WithTimeout(context.Background(), *healthInterval)
 					if downed := cluster.Probe(ctx); downed > 0 {
 						st := cluster.Stats()
-						logf("health probe failed over %d center(s); %d/%d healthy, generation %d",
-							downed, st.Healthy, st.Centers, st.Generation)
+						logger.Warn("health probe failed over centers",
+							"downed", downed, "healthy", st.Healthy,
+							"centers", st.Centers, "generation", st.Generation)
 					}
 					cancel()
 				}
@@ -154,8 +164,9 @@ func main() {
 				fail(fmt.Errorf("register %s: %w", a, err))
 			}
 			wi := pool.WireInfo()
-			logf("registered source %q at %s (pool=%d, codec=%s, compression=%v)",
-				summary.Name, a, *poolSize, wi.Codec, wi.Compression)
+			logger.Info("registered source",
+				"source", summary.Name, "addr", a, "pool", *poolSize,
+				"codec", wi.Codec, "compression", wi.Compression, "trace", wi.Trace)
 		}
 		gw = gateway.NewWithOptions(center, gwOpts)
 		describe = fmt.Sprintf("%d sources", center.NumSources())
@@ -167,7 +178,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logf("gateway serving %s on http://%s (cache=%d entries)", describe, *addr, *cacheSize)
+	logger.Info("gateway serving", "federation", describe, "addr", *addr, "cache", *cacheSize)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -175,14 +186,14 @@ func main() {
 	case err := <-errCh:
 		fail(err)
 	case <-stop:
-		logf("shutting down")
+		logger.Info("shutting down")
 		srv.Close()
 	}
 }
 
 // buildCluster dials the ditscenter endpoints of -cluster, builds the
 // sharded plane, and registers the -cluster-sources roster across it.
-func buildCluster(grid geo.Grid, centersSpec, sourcesSpec string, poolSize int, dialCfg transport.DialConfig, logf func(string, ...any)) (*federation.Cluster, error) {
+func buildCluster(grid geo.Grid, centersSpec, sourcesSpec string, poolSize int, dialCfg transport.DialConfig, logger *slog.Logger) (*federation.Cluster, error) {
 	met := &transport.Metrics{}
 	peers := make(map[string]transport.Peer)
 	for _, part := range strings.Split(centersSpec, ",") {
@@ -209,29 +220,11 @@ func buildCluster(grid geo.Grid, centersSpec, sourcesSpec string, poolSize int, 
 		if err := cluster.AddSource(context.Background(), src); err != nil {
 			return nil, fmt.Errorf("register source %s: %w", name, err)
 		}
-		logf("sharded source %q at %s (%d replica(s)) to center %q",
-			name, src.Addr, len(src.Replicas), cluster.Stats().SourceOwners[name])
+		logger.Info("sharded source",
+			"source", name, "addr", src.Addr, "replicas", len(src.Replicas),
+			"center", cluster.Stats().SourceOwners[name])
 	}
 	return cluster, nil
-}
-
-// openLog returns a printf-style logger writing to stderr, or appending
-// to path when given, plus a close func. Operational output never goes to
-// stdout: tools started with shell redirection should not scatter log
-// files into whatever the working directory happens to be.
-func openLog(path string) (func(format string, args ...any), func(), error) {
-	out := os.Stderr
-	closeFn := func() {}
-	if path != "" {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, nil, fmt.Errorf("open -log-file: %w", err)
-		}
-		out = f
-		closeFn = func() { f.Close() }
-	}
-	logger := log.New(out, "", log.LstdFlags)
-	return func(format string, args ...any) { logger.Printf(format, args...) }, closeFn, nil
 }
 
 func parseBounds(s string) (geo.Rect, error) {

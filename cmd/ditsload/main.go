@@ -128,6 +128,12 @@ func printResult(r load.Result) {
 		}
 		fmt.Printf("  %-8s sent %-6d ok %-6d shed %-5d err %d\n", op, c.Sent, c.OK, c.Shed, c.Err)
 	}
+	if len(r.Slowest) > 0 {
+		fmt.Printf("  slowest requests (GET /debug/traces/{id} for the span tree):\n")
+		for _, s := range r.Slowest {
+			fmt.Printf("    %8.2fms  %-8s %d  trace %s\n", s.Ms, s.Op, s.Status, s.TraceID)
+		}
+	}
 }
 
 func fail(err error) {

@@ -10,10 +10,17 @@
 //     federation RPC methods) must have its wire name documented in
 //     docs/PROTOCOL.md;
 //   - every flag registered by a command under cmd/ must appear, as
-//     "-name", in README.md or one of the docs/*.md files.
+//     "-name", in README.md or one of the docs/*.md files;
+//   - every Prometheus metric registered under internal/ or cmd/ (any
+//     "dits_*" name passed to a registration call) must be documented in
+//     docs/OPERATIONS.md;
+//   - no file under internal/ or cmd/ may use the unstructured standard
+//     "log" package — operational output goes through log/slog
+//     (internal/obs.OpenLogger), so every record carries fields and can
+//     carry a trace ID.
 //
-// The checker parses the Go source (go/ast), so new methods and flags are
-// picked up without maintaining a list here.
+// The checker parses the Go source (go/ast), so new methods, flags, and
+// metrics are picked up without maintaining a list here.
 package main
 
 import (
@@ -70,13 +77,111 @@ func main() {
 		missing = append(missing, "found no flags under cmd/ (checker broken?)")
 	}
 
+	operations := readFile(filepath.Join(*root, "docs", "OPERATIONS.md"))
+	names := metricNames([]string{filepath.Join(*root, "internal"), filepath.Join(*root, "cmd")})
+	for _, m := range names {
+		if *verbose {
+			fmt.Printf("metric %s (%s)\n", m.name, m.at)
+		}
+		if !strings.Contains(operations, m.name) {
+			missing = append(missing,
+				fmt.Sprintf("metric %s (registered at %s) is not documented in docs/OPERATIONS.md", m.name, m.at))
+		}
+	}
+	if len(names) == 0 {
+		missing = append(missing, "found no dits_* metric registrations (checker broken?)")
+	}
+
+	for _, use := range stdlogUses([]string{filepath.Join(*root, "internal"), filepath.Join(*root, "cmd")}) {
+		missing = append(missing,
+			fmt.Sprintf("%s imports the unstructured \"log\" package; use log/slog via internal/obs.OpenLogger", use))
+	}
+
 	if len(missing) > 0 {
 		for _, m := range missing {
 			fmt.Fprintln(os.Stderr, "doccheck:", m)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("doccheck: %d federation methods and %d command flags documented\n", len(methods), len(flags))
+	fmt.Printf("doccheck: %d federation methods, %d command flags, and %d metrics documented\n",
+		len(methods), len(flags), len(names))
+}
+
+type metric struct{ name, at string }
+
+// metricNames returns every Prometheus metric name registered under the
+// given directories: any "dits_*" string literal passed as the first
+// argument of a call in a non-test Go file. Matching the literal instead of
+// the callee keeps wrapper helpers around Register* in scope.
+func metricNames(dirs []string) []metric {
+	seen := map[string]string{}
+	walkGoFiles(dirs, func(path string, file *ast.File, fset *token.FileSet) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(name, "dits_") {
+				return true
+			}
+			if _, dup := seen[name]; !dup {
+				pos := fset.Position(lit.Pos())
+				seen[name] = fmt.Sprintf("%s:%d", path, pos.Line)
+			}
+			return true
+		})
+	})
+	out := make([]metric, 0, len(seen))
+	for name, at := range seen {
+		out = append(out, metric{name: name, at: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// stdlogUses returns the non-test files under dirs that import the
+// unstructured standard "log" package ("log/slog" is fine).
+func stdlogUses(dirs []string) []string {
+	var out []string
+	walkGoFiles(dirs, func(path string, file *ast.File, _ *token.FileSet) {
+		for _, imp := range file.Imports {
+			if imp.Path.Value == `"log"` {
+				out = append(out, path)
+			}
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// walkGoFiles parses every non-test .go file under the given directories
+// and hands each to fn.
+func walkGoFiles(dirs []string, fn func(path string, file *ast.File, fset *token.FileSet)) {
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			fn(path, file, fset)
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
 }
 
 type method struct{ name, value string }

@@ -18,6 +18,7 @@ package admission
 
 import (
 	"context"
+	"errors"
 	"math"
 	"net"
 	"net/http"
@@ -26,7 +27,11 @@ import (
 	"time"
 
 	"dits/internal/metrics"
+	"dits/internal/obs"
 )
+
+// errShed marks an admission.wait span whose request was shed.
+var errShed = errors.New("shed")
 
 // Config tunes the admission controller. The zero value admits everything
 // (no rate limit, no concurrency bound, no deadline).
@@ -240,10 +245,19 @@ func ClientID(r *http.Request) string {
 
 // Middleware applies admission control and the request deadline to an HTTP
 // handler. Shed requests get 429 with a Retry-After header (integer
-// seconds, at least 1) and a JSON error body.
+// seconds, at least 1) and a JSON error body. On a traced request the
+// time spent in Admit — token check plus any queue wait — is recorded as
+// an "admission.wait" span, so a slow trace distinguishes queueing from
+// execution.
 func (c *Controller) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sp := obs.StartSpan(r.Context(), "admission.wait")
 		release, retryAfter, ok := c.Admit(r.Context(), ClientID(r))
+		if !ok {
+			sp.EndErr(errShed)
+		} else {
+			sp.End()
+		}
 		if !ok {
 			secs := int(math.Ceil(retryAfter.Seconds()))
 			if secs < 1 {

@@ -182,12 +182,28 @@ func TestLoadSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) == 0 || len(report.Results) != 5 {
+	if len(tables) == 0 || len(report.Results) != 7 {
 		t.Fatalf("unexpected shape: %d tables, %d results", len(tables), len(report.Results))
 	}
-	shed := report.Results[len(report.Results)-1]
-	if shed.Scenario != "tight-shed" || shed.Shed == 0 || shed.ShedRate <= 0 {
+	var shed, traced, bare *LoadEntry
+	for i := range report.Results {
+		switch report.Results[i].Scenario {
+		case "tight-shed":
+			shed = &report.Results[i]
+		case "overlap-traced":
+			traced = &report.Results[i]
+		case "overlap-notrace":
+			bare = &report.Results[i]
+		}
+	}
+	if shed == nil || shed.Shed == 0 || shed.ShedRate <= 0 {
 		t.Fatalf("tight-shed scenario did not shed: %+v", shed)
+	}
+	if traced == nil || bare == nil {
+		t.Fatal("missing the overlap tracing A/B pair")
+	}
+	if note := traceOverheadNote(report.Results); note == "" {
+		t.Fatal("no tracing-overhead note produced")
 	}
 	for _, e := range report.Results {
 		if e.OK == 0 || e.P50Ms <= 0 || e.P999Ms < e.P99Ms || e.P99Ms < e.P50Ms {

@@ -68,18 +68,27 @@ type loadScenario struct {
 	rate    float64
 	clients int
 	tight   bool // run against the tight-admission gateway
+	traced  bool // run against the fresh tracing-enabled A/B gateway
+	notrace bool // run against the tracing-disabled gateway
 	mix     load.Mix
 }
 
 // loadScenarios are the fixed sweep: open loop at two offered rates,
-// closed loop at two client counts, then a deliberate overload of a
-// rate-limited gateway to exercise shedding.
+// closed loop at two client counts, a deliberate overload of a
+// rate-limited gateway to exercise shedding, and an overlap-only A/B pair
+// against gateways identical but for per-request tracing — the difference
+// of their p50s is the tracing tax. The A/B pair runs open loop well
+// below saturation: at a fixed offered rate p50 reflects service time,
+// whereas a saturating closed loop would multiply every microsecond of
+// overhead by the queueing it induces and report that instead.
 var loadScenarios = []loadScenario{
 	{name: "open-100rps", mode: "open", rate: 100},
 	{name: "open-1000rps", mode: "open", rate: 1000},
 	{name: "closed-8", mode: "closed", clients: 8},
 	{name: "closed-64", mode: "closed", clients: 64},
 	{name: "tight-shed", mode: "open", rate: 300, tight: true, mix: load.Mix{Overlap: 1}},
+	{name: "overlap-traced", mode: "open", rate: 600, traced: true, mix: load.Mix{Overlap: 1}},
+	{name: "overlap-notrace", mode: "open", rate: 600, notrace: true, mix: load.Mix{Overlap: 1}},
 }
 
 // RunLoad executes the load experiment, returning the machine-readable
@@ -109,8 +118,26 @@ func RunLoad(cfg Config) (LoadReport, []Table, error) {
 		return report, nil, err
 	}
 	defer tight.Close()
+	// The A/B pair gets its own two gateways, both untouched by the mixed
+	// scenarios above (lg has absorbed their ingest mutations by then, so
+	// reusing it would fold index growth and cache churn into the
+	// comparison). They differ in exactly one bit: DisableTracing.
+	traced, err := load.StartLocal(load.LocalOptions{
+		Sources: 2, Scale: 0.005, Seed: cfg.Seed, Mutable: true,
+	})
+	if err != nil {
+		return report, nil, err
+	}
+	defer traced.Close()
+	bare, err := load.StartLocal(load.LocalOptions{
+		Sources: 2, Scale: 0.005, Seed: cfg.Seed, Mutable: true, DisableTracing: true,
+	})
+	if err != nil {
+		return report, nil, err
+	}
+	defer bare.Close()
 
-	for _, sc := range loadScenarios {
+	runOne := func(sc loadScenario) (LoadEntry, error) {
 		opts := load.Options{
 			Target:   lg.URL,
 			Mode:     sc.mode,
@@ -122,31 +149,74 @@ func RunLoad(cfg Config) (LoadReport, []Table, error) {
 			ClientID: "ditsbench",
 			K:        cfg.K,
 		}
-		if sc.tight {
+		switch {
+		case sc.tight:
 			opts.Target = tight.URL
-		} else {
+		case sc.traced:
+			opts.Target = traced.URL
+		case sc.notrace:
+			opts.Target = bare.URL
+		default:
 			opts.IngestSource = lg.IngestSource
+		}
+		if (sc.mix != load.Mix{}) {
+			opts.IngestSource = ""
 		}
 		res, err := load.Run(context.Background(), opts)
 		if err != nil {
-			return report, nil, fmt.Errorf("bench: load scenario %s: %w", sc.name, err)
+			return LoadEntry{}, fmt.Errorf("bench: load scenario %s: %w", sc.name, err)
 		}
 		if res.OK == 0 {
-			return report, nil, fmt.Errorf("bench: load scenario %s completed no requests", sc.name)
+			return LoadEntry{}, fmt.Errorf("bench: load scenario %s completed no requests", sc.name)
 		}
-		report.Results = append(report.Results, LoadEntry{
+		return LoadEntry{
 			Scenario: sc.name, Mode: res.Mode, Rate: res.Rate, Clients: res.Clients,
 			Seconds: res.Seconds, Sent: res.Sent, OK: res.OK, Shed: res.Shed,
 			Throughput: res.Throughput, ShedRate: res.ShedRate, ErrorRate: res.ErrorRate,
 			P50Ms: res.P50Ms, P99Ms: res.P99Ms, P999Ms: res.P999Ms,
-		})
+		}, nil
+	}
+
+	// The A/B pair runs twice, interleaved, keeping each side's better
+	// run: a one-off stall of the shared host (a GC cycle collecting the
+	// earlier scenarios' heaps, a noisy-neighbor hiccup) lands on one run
+	// of one side and would otherwise be reported as tracing overhead.
+	var abBest = map[string]*LoadEntry{}
+	for _, sc := range loadScenarios {
+		if !sc.traced && !sc.notrace {
+			e, err := runOne(sc)
+			if err != nil {
+				return report, nil, err
+			}
+			report.Results = append(report.Results, e)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, sc := range loadScenarios {
+			if !sc.traced && !sc.notrace {
+				continue
+			}
+			e, err := runOne(sc)
+			if err != nil {
+				return report, nil, err
+			}
+			if best := abBest[sc.name]; best == nil || e.P50Ms < best.P50Ms {
+				abBest[sc.name] = &e
+			}
+		}
+	}
+	for _, sc := range loadScenarios {
+		if e := abBest[sc.name]; e != nil {
+			report.Results = append(report.Results, *e)
+		}
 	}
 
 	// The tight scenario exists to demonstrate shedding; a zero shed count
 	// means admission control did not engage and the experiment is wrong.
-	last := report.Results[len(report.Results)-1]
-	if last.Shed == 0 {
-		return report, nil, fmt.Errorf("bench: tight-shed scenario shed nothing (admission not engaged)")
+	for _, e := range report.Results {
+		if e.Scenario == "tight-shed" && e.Shed == 0 {
+			return report, nil, fmt.Errorf("bench: tight-shed scenario shed nothing (admission not engaged)")
+		}
 	}
 
 	t := Table{
@@ -159,6 +229,9 @@ func RunLoad(cfg Config) (LoadReport, []Table, error) {
 			fmt.Sprintf("host CPUs: %d; %gs per scenario; open-loop latency measured from intended arrival (coordinated-omission corrected).", runtime.NumCPU(), secs),
 			"tight-shed offers 300 req/s to a gateway admitting 50 req/s (burst 25, 4 in flight, queue 8): the shed column is the 429s.",
 		},
+	}
+	if note := traceOverheadNote(report.Results); note != "" {
+		t.Notes = append(t.Notes, note)
 	}
 	for _, e := range report.Results {
 		offered := fmt.Sprintf("%d clients", e.Clients)
@@ -242,6 +315,26 @@ func CompareLoad(base, cur LoadReport) Table {
 		}
 	}
 	return t
+}
+
+// traceOverheadNote compares the open-loop A/B pair: p50 with tracing
+// on vs off, against identically configured gateways at the same
+// offered rate.
+func traceOverheadNote(results []LoadEntry) string {
+	var traced, bare *LoadEntry
+	for i := range results {
+		switch results[i].Scenario {
+		case "overlap-traced":
+			traced = &results[i]
+		case "overlap-notrace":
+			bare = &results[i]
+		}
+	}
+	if traced == nil || bare == nil || bare.P50Ms <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("tracing overhead: p50 %.2fms traced vs %.2fms untraced (%+.1f%%).",
+		traced.P50Ms, bare.P50Ms, 100*(traced.P50Ms-bare.P50Ms)/bare.P50Ms)
 }
 
 func loadGeneratedSuffix(base LoadReport) string {

@@ -17,6 +17,7 @@ import (
 	"dits/internal/cellset"
 	"dits/internal/geo"
 	"dits/internal/index/dits"
+	"dits/internal/obs"
 	"dits/internal/transport"
 )
 
@@ -425,7 +426,10 @@ func (c *Center) OverlapSearch(ctx context.Context, queryCells cellset.Set, k in
 	key := ""
 	if rc != nil {
 		key = c.queryKey(ep.gen, 'O', uint64(k), 0, queryCells, members)
-		if v, ok := rc.Get(key); ok {
+		_, probe := obs.StartSpan(ctx, "cache.probe")
+		v, ok := rc.Get(key)
+		endProbe(probe, ok)
+		if ok {
 			// Hand out a copy: callers may sort or truncate the slice.
 			cached := v.([]SourceResult)
 			return append([]SourceResult(nil), cached...), nil
@@ -506,7 +510,10 @@ func (c *Center) CoverageSearch(ctx context.Context, queryCells cellset.Set, del
 		// region grows, so the key carries the full membership version
 		// vector: any mutation anywhere re-keys coverage entries.
 		key = c.queryKey(ep.gen, 'C', uint64(k), math.Float64bits(delta), queryCells, ep.ordered)
-		if v, ok := rc.Get(key); ok {
+		_, probe := obs.StartSpan(ctx, "cache.probe")
+		v, ok := rc.Get(key)
+		endProbe(probe, ok)
+		if ok {
 			cached := v.(CoverageResult)
 			cached.Picked = append([]SourceResult(nil), cached.Picked...)
 			return cached, nil
@@ -555,6 +562,9 @@ func (c *Center) coverageStateless(ctx context.Context, ep *epochSnap, queryCell
 		if !ok {
 			break
 		}
+		// One span per greedy round: the per-source coverage RPCs of the
+		// round nest under it.
+		rctx, rsp := obs.StartSpan(ctx, "cjsp.round")
 		members := c.candidates(ep, qn, draw)
 		members = slices.DeleteFunc(slices.Clone(members), func(m *member) bool {
 			return failed[m.summary.Name]
@@ -570,7 +580,7 @@ func (c *Center) coverageStateless(ctx context.Context, ep *epochSnap, queryCell
 				Exclude: excluded[m.summary.Name],
 			}
 			var cand CoverageCandidate
-			if err := m.peer.Call(ctx, MethodCoverage, &req, &cand); err != nil {
+			if err := m.peer.Call(rctx, MethodCoverage, &req, &cand); err != nil {
 				return nil, fmt.Errorf("federation: coverage at %s: %w", m.summary.Name, err)
 			}
 			if !cand.Found {
@@ -581,6 +591,7 @@ func (c *Center) coverageStateless(ctx context.Context, ep *epochSnap, queryCell
 		if err := c.resolve(members, errs, func(i int) {
 			failed[members[i].summary.Name] = true
 		}); err != nil {
+			rsp.EndErr(err)
 			return res, len(failed) > 0, err
 		}
 		var best *offer
@@ -592,6 +603,7 @@ func (c *Center) coverageStateless(ctx context.Context, ep *epochSnap, queryCell
 				best = o
 			}
 		}
+		rsp.End()
 		if best == nil {
 			break // no source has a connected dataset left
 		}
@@ -651,6 +663,9 @@ rounds:
 		if err := ctx.Err(); err != nil {
 			return res, anyFailed(), err
 		}
+		// One span per greedy round; the round's delta-ship RPCs and the
+		// winner's cell fetch nest under it.
+		rctx, rsp := obs.StartSpan(ctx, "cjsp.round")
 		qn := c.boundsQueryNode(minX, minY, maxX, maxY)
 		cands := c.candidates(ep, qn, draw)
 
@@ -694,7 +709,7 @@ rounds:
 			reqs[name] = req
 		}
 		outs, errs := fanOut(contact, func(m *member) (CoverageRoundResponse, error) {
-			resp, err := c.callRound(ctx, m, reqs[m.summary.Name])
+			resp, err := c.callRound(rctx, m, reqs[m.summary.Name])
 			if err == nil && resp.SessionMiss {
 				// Stateless fallback: the source evicted the session;
 				// re-open it with the full clipped state. mergedC is
@@ -705,7 +720,7 @@ rounds:
 				if full.Base.IsEmpty() {
 					return CoverageRoundResponse{}, nil
 				}
-				resp, err = c.callRound(ctx, m, full)
+				resp, err = c.callRound(rctx, m, full)
 			}
 			return resp, err
 		})
@@ -713,6 +728,7 @@ rounds:
 			st := states[contact[i].summary.Name]
 			st.failed, st.open = true, false
 		}); err != nil {
+			rsp.EndErr(err)
 			return res, anyFailed(), err
 		}
 		for i, m := range contact {
@@ -747,15 +763,17 @@ rounds:
 				}
 			}
 			if best == nil {
+				rsp.End()
 				break rounds // no source has a connected dataset left
 			}
 			st := states[best.src]
-			fetch, err := c.fetchCells(ctx, st.m, sessID, best.cand.ID)
+			fetch, err := c.fetchCells(rctx, st.m, sessID, best.cand.ID)
 			if err == nil && !fetch.Found {
 				err = fmt.Errorf("federation: source %s lost dataset %d mid-session", best.src, best.cand.ID)
 			}
 			if err != nil {
 				if c.Options.OnSourceError == FailFast {
+					rsp.EndErr(err)
 					return res, anyFailed(), err
 				}
 				c.Metrics.RecordFailure(best.src)
@@ -801,6 +819,7 @@ rounds:
 			Source: winner.src, ID: winner.cand.ID, Name: winner.cand.Name, Overlap: winner.cand.Gain,
 		})
 		res.Coverage = mergedC.Len()
+		rsp.End()
 	}
 	return res, anyFailed(), nil
 }
@@ -1013,6 +1032,17 @@ func (c *Center) SourceVersions() map[string]uint64 {
 // CacheInvalidations returns the number of cache-invalidation events the
 // center processed: one per applied mutation, one per membership change.
 func (c *Center) CacheInvalidations() int64 { return c.invalidations.Load() }
+
+// endProbe finishes a cache.probe span with the outcome in its Source
+// field, so a span tree shows at a glance whether the query hit.
+func endProbe(sp *obs.ActiveSpan, hit bool) {
+	if hit {
+		sp.SetSource("hit")
+	} else {
+		sp.SetSource("miss")
+	}
+	sp.End()
+}
 
 // offer is one source's candidate in a coverage iteration.
 type offer struct {

@@ -12,6 +12,7 @@ import (
 
 	"dits/internal/cellset"
 	"dits/internal/geo"
+	"dits/internal/obs"
 	"dits/internal/transport"
 )
 
@@ -311,10 +312,20 @@ func scatter[T any](ctx context.Context, cl *Cluster, fn func(ctx context.Contex
 			return outs, nil
 		}
 		for _, c := range dead {
-			cl.failover(c)
+			cl.failoverTraced(ctx, c)
 		}
 	}
 	return nil, ErrNoCenters
+}
+
+// failoverTraced runs failover under a failover.rehome span, so a traced
+// query that trips over a dead center shows the failed RPC, the re-home,
+// and the retried RPC as siblings in one span tree.
+func (cl *Cluster) failoverTraced(ctx context.Context, dead *clusterCenter) {
+	_, sp := obs.StartSpan(ctx, "failover.rehome")
+	sp.SetSource(dead.name)
+	cl.failover(dead)
+	sp.End()
 }
 
 // OverlapSearch answers the federated OJSP across every shard: scatter to
@@ -495,7 +506,7 @@ func (cl *Cluster) mutate(ctx context.Context, source string, method string, req
 		if !isTransportFailure(ctx, err) {
 			return ClusterMutateResponse{}, err
 		}
-		cl.failover(owner)
+		cl.failoverTraced(ctx, owner)
 	}
 	return ClusterMutateResponse{}, ErrNoCenters
 }

@@ -12,6 +12,7 @@ import (
 	"dits/internal/geo"
 	"dits/internal/index/dits"
 	"dits/internal/ingest"
+	"dits/internal/obs"
 	"dits/internal/search/coverage"
 	"dits/internal/search/exec"
 	"dits/internal/search/overlap"
@@ -388,6 +389,7 @@ func (s *SourceServer) handleOverlap(ctx context.Context, req OverlapRequest) Ov
 		return OverlapResponse{}
 	}
 	var rs []overlap.Result
+	_, sp := obs.StartSpan(ctx, "exec.overlap")
 	s.view(func(idx *dits.Local) {
 		if s.Workers > 1 {
 			rs, _ = s.executor().OverlapTopK(ctx, idx, q, req.K)
@@ -395,6 +397,7 @@ func (s *SourceServer) handleOverlap(ctx context.Context, req OverlapRequest) Ov
 			rs = (&overlap.DITSSearcher{Index: idx}).TopK(q, req.K)
 		}
 	})
+	sp.End()
 	return overlapResponse(rs)
 }
 
@@ -416,9 +419,11 @@ func (s *SourceServer) handleSearchBatch(ctx context.Context, req SearchBatchReq
 		batch[i] = exec.BatchQuery{Q: dataset.NewNodeFromCells(-1, "query", q.Cells), K: q.K}
 	}
 	var outs [][]overlap.Result
+	_, sp := obs.StartSpan(ctx, "exec.batch")
 	s.view(func(idx *dits.Local) {
 		outs, _ = s.executor().OverlapTopKBatch(ctx, idx, batch)
 	})
+	sp.End()
 	resp := SearchBatchResponse{Results: make([]OverlapResponse, len(req.Queries))}
 	for i, rs := range outs {
 		resp.Results[i] = overlapResponse(rs)
@@ -458,6 +463,8 @@ func (s *SourceServer) handleCoverage(ctx context.Context, req CoverageRequest) 
 // server is configured for parallel execution. Both paths return the same
 // datasets in the same order. The caller holds the index's shared lock.
 func (s *SourceServer) findConnectSet(ctx context.Context, idx *dits.Local, qn *dataset.Node, delta float64, qIdx *cellset.DistIndex) []*dataset.Node {
+	_, sp := obs.StartSpan(ctx, "exec.connect")
+	defer sp.End()
 	if s.Workers > 1 {
 		return s.executor().FindConnectSet(ctx, idx.Root, qn, delta, qIdx)
 	}

@@ -14,6 +14,8 @@
 //	GET    /stats            gateway, cache, ingest, and transport counters
 //	GET    /metrics          Prometheus text exposition of every counter
 //	GET    /healthz          200 when ≥1 source is registered, else 503
+//	GET    /debug/traces     most recent completed request traces (?slow=1)
+//	GET    /debug/traces/{id} one trace's full span tree
 //
 // /search/batch executes many overlap queries as ONE federated batch:
 // one search.batch exchange per candidate source instead of one
@@ -40,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -52,6 +55,7 @@ import (
 	"dits/internal/federation"
 	"dits/internal/geo"
 	"dits/internal/metrics"
+	"dits/internal/obs"
 	"dits/internal/transport"
 )
 
@@ -74,12 +78,26 @@ const maxBatchQueries = 256
 
 // Options configure the gateway's self-protection and observability.
 // The zero value admits everything, applies no deadline, and leaves the
-// pprof endpoints off; /metrics is always served.
+// pprof endpoints off; /metrics is always served, and request tracing is
+// on with a DefaultCapacity ring.
 type Options struct {
 	// Admission tunes overload protection; see admission.Config.
 	Admission admission.Config
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// TraceCapacity sizes the completed-trace ring behind GET
+	// /debug/traces (0 = obs.DefaultCapacity).
+	TraceCapacity int
+	// SlowTrace marks traces at least this long as slow queries: they
+	// are kept in a dedicated ring and dumped — full span tree — as one
+	// structured log record. 0 disables slow-query capture.
+	SlowTrace time.Duration
+	// DisableTracing turns per-request tracing off entirely (no trace
+	// ring, no X-Dits-Trace-Id, no span overhead) — the knob the
+	// tracing-overhead benchmark flips.
+	DisableTracing bool
+	// Logger receives slow-query records (nil = slog.Default()).
+	Logger *slog.Logger
 }
 
 // Backend is the federation plane a gateway fronts: a single Center or a
@@ -118,6 +136,7 @@ type Gateway struct {
 	opts    Options
 	ctl     *admission.Controller
 	reg     *metrics.Registry
+	rec     *obs.Recorder // nil when tracing is disabled
 	start   time.Time
 
 	// latency records per-endpoint request durations in seconds, for the
@@ -163,9 +182,24 @@ func newGateway(b Backend, grid geo.Grid, pm *transport.Metrics, cl *federation.
 		start:       time.Now(),
 		latency:     metrics.NewHistogramVec(metrics.DefLatencyBuckets()),
 	}
+	if !opts.DisableTracing {
+		logger := opts.Logger
+		if logger == nil {
+			logger = slog.Default()
+		}
+		g.rec = obs.NewRecorder(obs.RecorderOptions{
+			Capacity:      opts.TraceCapacity,
+			SlowThreshold: opts.SlowTrace,
+			Logger:        logger,
+		})
+	}
 	g.register()
 	return g
 }
+
+// Recorder exposes the gateway's trace recorder (nil when tracing is
+// disabled), e.g. for tests and the load harness.
+func (g *Gateway) Recorder() *obs.Recorder { return g.rec }
 
 // cache returns the backend's result cache, or a nil (fully inert) cache
 // for backends without one.
@@ -207,6 +241,9 @@ func (g *Gateway) register() {
 	g.peerMetrics.Register(g.reg)
 	g.cache().Register(g.reg)
 	g.ctl.Register(g.reg)
+	if g.rec != nil {
+		g.rec.Register(g.reg)
+	}
 	if g.cluster != nil {
 		g.reg.RegisterGaugeFunc("dits_cluster_centers_healthy", "Healthy federation centers",
 			func() float64 { return float64(g.cluster.Stats().Healthy) })
@@ -222,21 +259,75 @@ func (g *Gateway) observe(endpoint string, start time.Time) {
 	g.latency.With(endpoint).Observe(time.Since(start).Seconds())
 }
 
+// statusWriter captures the response status so the trace root records
+// whether the request failed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// traced starts one trace per request: a fresh trace ID (echoed in the
+// X-Dits-Trace-Id response header), a root span named for the endpoint,
+// and — when the request finishes — a completed-trace record in the ring
+// behind GET /debug/traces. Error statuses mark the root span failed.
+func (g *Gateway) traced(root string, next http.Handler) http.Handler {
+	if g.rec == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace()
+		ctx, sp := obs.StartSpan(obs.WithTrace(r.Context(), tr), root)
+		w.Header().Set("X-Dits-Trace-Id", tr.ID().String())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		var err error
+		if sw.status >= 400 {
+			err = fmt.Errorf("HTTP %d", sw.status)
+		}
+		sp.EndErr(err)
+		g.rec.Finish(tr, sp)
+	})
+}
+
+// traceID returns the request's trace ID in hex ("" when untraced) — the
+// exemplar stitched into 5xx error bodies so an operator can jump from a
+// failed response straight to its span tree in /debug/traces.
+func traceID(r *http.Request) string {
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		return tr.ID().String()
+	}
+	return ""
+}
+
 // Handler returns the gateway's HTTP handler. The query and mutation
 // endpoints sit behind the admission middleware; the observability
 // endpoints (/stats, /metrics, /healthz, pprof) bypass it so an overloaded
 // gateway can still be inspected.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	guard := func(h http.HandlerFunc) http.Handler { return g.ctl.Middleware(h) }
-	mux.Handle("POST /search/overlap", guard(g.handleOverlap))
-	mux.Handle("POST /search/coverage", guard(g.handleCoverage))
-	mux.Handle("POST /search/batch", guard(g.handleBatch))
-	mux.Handle("POST /ingest/dataset", guard(g.handleIngestPut))
-	mux.Handle("DELETE /ingest/dataset", guard(g.handleIngestDelete))
+	// The trace wrapper sits OUTSIDE admission so the admission.wait span
+	// (token check + queue time) lands inside the request's trace.
+	guard := func(root string, h http.HandlerFunc) http.Handler {
+		return g.traced(root, g.ctl.Middleware(h))
+	}
+	mux.Handle("POST /search/overlap", guard("http.overlap", g.handleOverlap))
+	mux.Handle("POST /search/coverage", guard("http.coverage", g.handleCoverage))
+	mux.Handle("POST /search/batch", guard("http.batch", g.handleBatch))
+	mux.Handle("POST /ingest/dataset", guard("http.ingest.put", g.handleIngestPut))
+	mux.Handle("DELETE /ingest/dataset", guard("http.ingest.delete", g.handleIngestDelete))
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.Handle("GET /metrics", g.reg.Handler())
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	if g.rec != nil {
+		h := g.rec.DebugHandler()
+		mux.Handle("GET /debug/traces", h)
+		mux.Handle("GET /debug/traces/", h)
+	}
 	if g.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -348,9 +439,11 @@ type StatsResponse struct {
 	Cluster *federation.ClusterStats `json:"cluster,omitempty"`
 }
 
-// errorResponse is the body of every non-2xx response.
+// errorResponse is the body of every non-2xx response. TraceID is set on
+// 5xx/504 responses as an exemplar pointing into GET /debug/traces/{id}.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -388,11 +481,11 @@ func (g *Gateway) writeSearchError(w http.ResponseWriter, r *http.Request, err e
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(r.Context().Err(), context.DeadlineExceeded) {
 		g.ctl.RecordDeadlineExceeded()
 		g.serverErrors.Add(1)
-		g.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		g.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), TraceID: traceID(r)})
 		return
 	}
 	g.serverErrors.Add(1)
-	g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+	g.writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error(), TraceID: traceID(r)})
 }
 
 // gridInput validates and grids a points-or-cells payload — shared by

@@ -1,0 +1,27 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dits/internal/obs"
+)
+
+func BenchmarkTracedMiddleware(b *testing.B) {
+	g := &Gateway{rec: obs.NewRecorder(obs.RecorderOptions{})}
+	h := g.traced("http.overlap", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sp := obs.StartSpan(r.Context(), "admission.wait")
+		sp.End()
+		_, sp = obs.StartSpan(r.Context(), "cache.probe")
+		sp.End()
+		w.WriteHeader(200)
+	}))
+	req := httptest.NewRequest("POST", "/search/overlap", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+	}
+}

@@ -41,6 +41,9 @@ type LocalOptions struct {
 	Mutable bool
 	// CacheSize is the result-cache capacity (default 4096).
 	CacheSize int
+	// DisableTracing turns off the gateway's per-request tracing, so
+	// benchmark harnesses can measure its overhead by difference.
+	DisableTracing bool
 }
 
 // LocalGateway is a running in-process federation behind a real HTTP
@@ -123,7 +126,10 @@ func StartLocal(opts LocalOptions) (*LocalGateway, error) {
 		}
 	}
 
-	gw := gateway.NewWithOptions(center, gateway.Options{Admission: opts.Admission})
+	gw := gateway.NewWithOptions(center, gateway.Options{
+		Admission:      opts.Admission,
+		DisableTracing: opts.DisableTracing,
+	})
 	if lg.store != nil {
 		lg.store.Register(gw.Registry())
 	}

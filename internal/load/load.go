@@ -225,7 +225,24 @@ type Result struct {
 	MeanMs float64 `json:"meanMs"`
 
 	PerOp map[string]OpCount `json:"perOp"`
+
+	// Slowest is the run's slowest completed requests (at most 5, slowest
+	// first), each with the gateway-assigned trace ID — feed it to
+	// GET /debug/traces/{id} to see where the time went. Empty when the
+	// gateway has tracing disabled.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 }
+
+// SlowRequest identifies one slow request by its trace ID.
+type SlowRequest struct {
+	Op      string  `json:"op"`
+	Ms      float64 `json:"ms"`
+	Status  int     `json:"status"`
+	TraceID string  `json:"traceId"`
+}
+
+// maxSlow caps the slowest-request list the runner keeps.
+const maxSlow = 5
 
 // runner is the shared state of one run.
 type runner struct {
@@ -237,6 +254,35 @@ type runner struct {
 	// perOp counters are updated atomically; the map itself is fixed at
 	// construction.
 	perOp map[Op]*OpCount
+
+	// slowest holds the maxSlow slowest traced requests, slowest first.
+	slowMu  sync.Mutex
+	slowest []SlowRequest
+}
+
+// recordSlow keeps the request if it ranks among the maxSlow slowest so
+// far. Requests without a trace ID (tracing disabled) are not kept — the
+// list exists to be fed into GET /debug/traces/{id}.
+func (r *runner) recordSlow(op Op, lat time.Duration, status int, traceID string) {
+	if traceID == "" {
+		return
+	}
+	r.slowMu.Lock()
+	defer r.slowMu.Unlock()
+	latMs := ms(lat)
+	if len(r.slowest) == maxSlow && latMs <= r.slowest[maxSlow-1].Ms {
+		return
+	}
+	i := len(r.slowest)
+	for i > 0 && r.slowest[i-1].Ms < latMs {
+		i--
+	}
+	r.slowest = append(r.slowest, SlowRequest{})
+	copy(r.slowest[i+1:], r.slowest[i:])
+	r.slowest[i] = SlowRequest{Op: string(op), Ms: latMs, Status: status, TraceID: traceID}
+	if len(r.slowest) > maxSlow {
+		r.slowest = r.slowest[:maxSlow]
+	}
 }
 
 // Run offers load per the options until the duration elapses or ctx is
@@ -300,6 +346,7 @@ func Run(ctx context.Context, o Options) (Result, error) {
 	for op, c := range r.perOp {
 		res.PerOp[string(op)] = *c
 	}
+	res.Slowest = r.slowest
 	return res, nil
 }
 
@@ -392,6 +439,7 @@ func (r *runner) doOne(ctx context.Context, rng *rand.Rand, intended time.Time, 
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	r.hist.Observe(lat)
+	r.recordSlow(op, lat, resp.StatusCode, resp.Header.Get("X-Dits-Trace-Id"))
 	switch {
 	case resp.StatusCode < 300:
 		r.ok.Add(1)

@@ -112,10 +112,14 @@ type Histogram struct {
 }
 
 // NewHistogram creates a histogram over the given ascending bucket upper
-// bounds (an implicit +Inf bucket is appended).
+// bounds (an implicit +Inf bucket is appended). Explicit +Inf and NaN
+// bounds are dropped — +Inf is always implicit, so keeping one would emit
+// a duplicate le="+Inf" series — and duplicate bounds collapse to one.
 func NewHistogram(bounds []float64) *Histogram {
 	b := slices.Clone(bounds)
+	b = slices.DeleteFunc(b, func(v float64) bool { return math.IsInf(v, +1) || math.IsNaN(v) })
 	slices.Sort(b)
+	b = slices.Compact(b)
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
@@ -353,7 +357,7 @@ func (r *Registry) RegisterCounterVec(name, help, label string, v *CounterVec) {
 	r.add(family{name, help, "counter", func(w io.Writer, n string) {
 		snap := v.Snapshot()
 		for _, k := range sortedKeys(snap) {
-			fmt.Fprintf(w, "%s{%s=%s} %s\n", n, label, strconv.Quote(k), fmtFloat(float64(snap[k])))
+			fmt.Fprintf(w, "%s{%s=%s} %s\n", n, label, quoteLabel(k), fmtFloat(float64(snap[k])))
 		}
 	}})
 }
@@ -410,7 +414,7 @@ func writeHistogram(w io.Writer, name, label, labelVal string, h *Histogram) {
 	pair := ""
 	sep := ""
 	if label != "" {
-		pair = label + "=" + strconv.Quote(labelVal)
+		pair = label + "=" + quoteLabel(labelVal)
 		sep = ","
 	}
 	for i, b := range bounds {
@@ -432,6 +436,18 @@ func fmtFloat(v float64) string {
 	return s
 }
 
+// labelEscaper applies the text-format 0.0.4 label-value escapes — and
+// ONLY those: backslash, double-quote, and newline. strconv.Quote would be
+// wrong here: Go escaping mangles non-ASCII and control characters into
+// \uXXXX/\xXX forms Prometheus parsers take literally.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// quoteLabel renders a label value quoted and escaped per the Prometheus
+// text exposition format.
+func quoteLabel(s string) string {
+	return `"` + labelEscaper.Replace(s) + `"`
+}
+
 // sortedKeys returns the map's keys in sorted order.
 func sortedKeys(m map[string]int64) []string {
 	out := make([]string, 0, len(m))
@@ -443,8 +459,8 @@ func sortedKeys(m map[string]int64) []string {
 }
 
 // LabelEscape sanitizes a dynamic label value (client IDs, source names)
-// so hostile input cannot break exposition lines: strconv.Quote at the
-// emit sites handles quoting; this trims unreasonable lengths.
+// so hostile input cannot break exposition lines: quoteLabel at the emit
+// sites handles text-format escaping; this trims unreasonable lengths.
 func LabelEscape(s string) string {
 	const maxLen = 120
 	if len(s) > maxLen {

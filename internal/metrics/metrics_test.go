@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -165,6 +167,81 @@ func TestHistogramVecExposition(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// expectGolden compares a full exposition against a testdata golden file,
+// byte for byte — the promtool-style check that bucket lines, the +Inf
+// bucket, and the _sum/_count trailers appear exactly once and in order.
+func expectGolden(t *testing.T, r *Registry, golden string) {
+	t.Helper()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want, err := os.ReadFile(filepath.Join("testdata", golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, sb.String(), want)
+	}
+}
+
+func TestHistogramExpositionGolden(t *testing.T) {
+	// Unsorted bounds with a duplicate and an explicit +Inf: the
+	// constructor must sort, dedupe, and drop the +Inf so the exposition
+	// carries exactly one le="+Inf" line.
+	h := NewHistogram([]float64{10, 1, 0.1, 1, math.Inf(1)})
+	for _, v := range []float64{0.05, 0.5, 0.8, 10, 110} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	r.RegisterHistogram("dits_golden_seconds", "request latency", h)
+	expectGolden(t, r, "histogram.golden")
+}
+
+func TestHistogramVecExpositionGolden(t *testing.T) {
+	hv := NewHistogramVec([]float64{0.5, 5})
+	hv.With("overlap").Observe(0.2)
+	hv.With("overlap").Observe(0.3)
+	hv.With("overlap").Observe(7)
+	hv.With("batch").Observe(2)
+	r := NewRegistry()
+	r.RegisterHistogramVec("dits_golden_vec_seconds", "request latency by endpoint", "endpoint", hv)
+	expectGolden(t, r, "histogram_vec.golden")
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	// Text-format 0.0.4 escapes exactly backslash, double-quote, and
+	// newline in label values — and nothing else: a non-ASCII value must
+	// pass through verbatim (Go-style \uXXXX escaping would corrupt it).
+	var v CounterVec
+	v.With(`back\slash`).Inc()
+	v.With(`dou"ble`).Inc()
+	v.With("new\nline").Inc()
+	v.With("café").Inc()
+	r := NewRegistry()
+	r.RegisterCounterVec("dits_esc_total", "escaping", "src", &v)
+	hv := NewHistogramVec([]float64{1})
+	hv.With(`a\"b`).Observe(0.5)
+	r.RegisterHistogramVec("dits_esc_seconds", "escaping", "src", hv)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`dits_esc_total{src="back\\slash"} 1`,
+		`dits_esc_total{src="dou\"ble"} 1`,
+		`dits_esc_total{src="new\nline"} 1`,
+		`dits_esc_total{src="café"} 1`,
+		`dits_esc_seconds_bucket{src="a\\\"b",le="1"} 1`,
+		`dits_esc_seconds_count{src="a\\\"b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\u`) || strings.Contains(out, `\x`) {
+		t.Errorf("Go-style escapes leaked into exposition:\n%s", out)
 	}
 }
 

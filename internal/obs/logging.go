@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// OpenLogger builds the structured logger the daemons share: slog records
+// in text or JSON form (-log-format), written to stderr or appended to a
+// file (-log-file). Operational output never goes to stdout: tools started
+// with shell redirection should not scatter log files into whatever the
+// working directory happens to be. The returned close func releases the
+// file, if any.
+func OpenLogger(path, format string) (*slog.Logger, func(), error) {
+	var out io.Writer = os.Stderr
+	closeFn := func() {}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open -log-file: %w", err)
+		}
+		out = f
+		closeFn = func() { f.Close() }
+	}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(out, nil)
+	case "json":
+		h = slog.NewJSONHandler(out, nil)
+	default:
+		closeFn()
+		return nil, nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
+	return slog.New(h), closeFn, nil
+}

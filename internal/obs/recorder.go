@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"dits/internal/metrics"
+)
+
+// Recorded is one completed trace as kept by the Recorder.
+type Recorded struct {
+	ID       TraceID
+	Root     string // root span's stage name
+	Err      string // root span's error, if any
+	Start    time.Time
+	Duration time.Duration
+	Dropped  int
+	Spans    []Span
+}
+
+// RecorderOptions configure a Recorder. The zero value keeps the last
+// DefaultCapacity traces and never flags a trace as slow.
+type RecorderOptions struct {
+	// Capacity is the completed-trace ring size (default DefaultCapacity).
+	Capacity int
+	// SlowThreshold marks traces at least this long as slow: they enter a
+	// separate ring of the same capacity (so a burst of fast queries
+	// cannot evict the evidence) and are dumped to Logger. 0 disables.
+	SlowThreshold time.Duration
+	// Logger receives one structured record per slow trace (nil = none).
+	Logger *slog.Logger
+}
+
+// DefaultCapacity is the completed-trace ring size when unset.
+const DefaultCapacity = 256
+
+// Recorder keeps the last N completed traces in a ring, tees slow ones
+// into a second ring plus a structured log record, and feeds every span
+// into the per-stage duration histogram. It is the storage behind
+// GET /debug/traces.
+type Recorder struct {
+	capacity int
+	slowAt   time.Duration
+	logger   *slog.Logger
+
+	stage *metrics.HistogramVec // dits_trace_stage_seconds
+	done  metrics.Counter       // dits_trace_completed_total
+	slowN metrics.Counter       // dits_trace_slow_total
+
+	mu   sync.Mutex
+	ring []*Recorded // circular, next is the oldest slot
+	next int
+	slow []*Recorded
+	sn   int
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	return &Recorder{
+		capacity: opts.Capacity,
+		slowAt:   opts.SlowThreshold,
+		logger:   opts.Logger,
+		stage:    metrics.NewHistogramVec(metrics.DefLatencyBuckets()),
+	}
+}
+
+// SlowThreshold returns the configured slow-trace threshold (0 = off).
+func (r *Recorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.slowAt
+}
+
+// Register exposes the recorder's instruments on a registry.
+func (r *Recorder) Register(reg *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	reg.RegisterHistogramVec("dits_trace_stage_seconds",
+		"Per-stage span durations of completed traces", "stage", r.stage)
+	reg.RegisterCounter("dits_trace_completed_total",
+		"Traces completed and recorded", &r.done)
+	reg.RegisterCounter("dits_trace_slow_total",
+		"Completed traces at or over the slow threshold", &r.slowN)
+}
+
+// Finish snapshots a finished trace under its ended root span, records
+// every stage into the duration histogram, and files the trace into the
+// ring(s). Nil-safe on both receiver and trace.
+func (r *Recorder) Finish(tr *Trace, root *ActiveSpan) {
+	if r == nil || tr == nil {
+		return
+	}
+	rec := &Recorded{
+		ID:       tr.ID(),
+		Root:     root.Name(),
+		Err:      root.Err(),
+		Start:    tr.Start(),
+		Duration: root.Duration(),
+		Dropped:  tr.Dropped(),
+		Spans:    tr.Snapshot(),
+	}
+	for _, s := range rec.Spans {
+		r.stage.With(s.Name).Observe(s.Duration.Seconds())
+	}
+	r.done.Inc()
+	slow := r.slowAt > 0 && rec.Duration >= r.slowAt
+	r.mu.Lock()
+	r.ring = push(r.ring, &r.next, r.capacity, rec)
+	if slow {
+		r.slow = push(r.slow, &r.sn, r.capacity, rec)
+	}
+	r.mu.Unlock()
+	if slow {
+		r.slowN.Inc()
+		if r.logger != nil {
+			r.logger.Warn("slow query",
+				"trace_id", rec.ID.String(),
+				"root", rec.Root,
+				"duration_ms", float64(rec.Duration)/float64(time.Millisecond),
+				"spans", SpanTree(rec.Spans),
+				"dropped_spans", rec.Dropped,
+				"err", rec.Err,
+			)
+		}
+	}
+}
+
+// push inserts into a fixed-capacity ring, advancing the cursor.
+func push(ring []*Recorded, next *int, capacity int, rec *Recorded) []*Recorded {
+	if len(ring) < capacity {
+		return append(ring, rec)
+	}
+	ring[*next] = rec
+	*next = (*next + 1) % capacity
+	return ring
+}
+
+// newestFirst copies a ring into newest-first order. Caller holds r.mu.
+func newestFirst(ring []*Recorded, next int) []*Recorded {
+	out := make([]*Recorded, 0, len(ring))
+	for i := len(ring) - 1; i >= 0; i-- {
+		out = append(out, ring[(next+i)%len(ring)])
+	}
+	return out
+}
+
+// List returns up to n completed traces, newest first (n <= 0 = all).
+func (r *Recorder) List(n int) []*Recorded {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := newestFirst(r.ring, r.next)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Slow returns the slow-trace ring, newest first.
+func (r *Recorder) Slow() []*Recorded {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return newestFirst(r.slow, r.sn)
+}
+
+// Lookup finds a completed trace by ID, or nil. Both rings are searched;
+// a slow trace stays findable after fast traffic lapped the main ring.
+func (r *Recorder) Lookup(id TraceID) *Recorded {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ring := range [][]*Recorded{r.ring, r.slow} {
+		for _, rec := range ring {
+			if rec != nil && rec.ID == id {
+				return rec
+			}
+		}
+	}
+	return nil
+}

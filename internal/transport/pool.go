@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"dits/internal/obs"
 )
 
 // ErrPoolClosed is returned by Pool.Call after the pool has been closed.
@@ -178,6 +180,12 @@ func (p *Pool) put(peer Peer, healthy bool) {
 func (p *Pool) Call(ctx context.Context, method string, req, resp any) error {
 	peer, fromIdle, err := p.get(ctx)
 	if err != nil {
+		// No connection was ever checked out, so TCPPeer.Call never ran:
+		// record the failed RPC here or a traced query that trips over a
+		// dead peer at dial time would show no failed span at all.
+		_, sp := obs.StartSpan(ctx, "rpc:"+method)
+		sp.SetSource(p.name)
+		sp.EndErr(err)
 		return err
 	}
 	err = p.callOn(ctx, peer, method, req, resp)

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dits/internal/obs"
 )
 
 // The TCP wire format frames each request as
@@ -29,7 +31,7 @@ import (
 // is abandoned at the source too.
 //
 // The first request a dialer sends is a transport.hello exchange that
-// negotiates the connection's codec and compression (see hello below);
+// negotiates the connection's codec and options (see hello below);
 // everything after it is encoded with the negotiated codec, and on
 // compression-negotiated connections bodies and OK payloads carry the
 // one-byte compression flag (compress.go). A legacy server answers the
@@ -37,6 +39,16 @@ import (
 // "speak gob, uncompressed" — and a legacy dialer never sends a hello,
 // which leaves the server side at the same default. Error payloads are
 // always raw text.
+//
+// When both ends negotiate the "trace" option, every post-hello exchange
+// grows one extra frame per direction: requests append a trace-context
+// frame (obs.AppendContext — empty for an untraced request) after the
+// body, and responses append a span frame (obs.AppendSpans — the spans
+// the server completed while handling the request, empty when untraced)
+// after the payload, on both OK and error responses. A connection that
+// did not negotiate "trace" carries exactly the pre-trace framing, so
+// legacy peers interoperate untouched — the caller then records an
+// explicit "untraced" span instead (see Call).
 
 // maxFrame caps a frame payload to guard against corrupt length prefixes.
 const maxFrame = 1 << 30
@@ -69,6 +81,13 @@ type ServeConfig struct {
 	// them as an unknown method), so dialers fall back to gob. It exists
 	// for interop tests and emergency rollback to the old wire behavior.
 	NoNegotiate bool
+	// NoTrace refuses the trace option: requests are served untraced
+	// even when the dialer proposes trace propagation.
+	NoTrace bool
+	// Recorder, when set, keeps each traced request's local span subtree
+	// for this process's own GET /debug/traces (ditsserve and ditscenter
+	// wire their -metrics-addr recorder here).
+	Recorder *obs.Recorder
 }
 
 // allows reports whether the server may pick the named codec.
@@ -178,8 +197,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 	codec := GobCodec
 	compress := false
-	var methodBuf, bodyBuf, respBuf, cmpBuf []byte
+	traced := false // the connection negotiated the trace option
+	var methodBuf, bodyBuf, respBuf, cmpBuf, traceBuf, spansBuf []byte
 	names := make(map[string]string, 8) // interned method names
+	// respond writes one response in the connection's negotiated framing:
+	// once trace is on, every response — errors included — carries the
+	// span frame, or the dialer's framing desynchronizes.
+	respond := func(status byte, payload []byte) error {
+		if err := w.WriteByte(status); err != nil {
+			return err
+		}
+		if err := writeFrame(w, payload); err != nil {
+			return err
+		}
+		if traced {
+			if err := writeFrame(w, spansBuf); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}
 	for {
 		var err error
 		methodBuf, err = readFrameReuse(r, methodBuf)
@@ -199,18 +236,28 @@ func (s *Server) serveConn(conn net.Conn) {
 			method = string(methodBuf)
 			names[method] = method
 		}
-		if method == MethodHello && !s.cfg.NoNegotiate {
+		if method == MethodHello && !s.cfg.NoNegotiate && !traced {
 			var reply []byte
-			reply, codec, compress = s.negotiate(bodyBuf)
+			reply, codec, compress, traced = s.negotiate(bodyBuf)
 			if err := writeResponse(w, 0, reply); err != nil {
 				return
 			}
 			continue
 		}
+		spansBuf = spansBuf[:0]
+		var tr *obs.Trace
+		if traced {
+			if traceBuf, err = readFrameReuse(r, traceBuf); err != nil {
+				return
+			}
+			if id, parent, ok := obs.ParseContext(traceBuf); ok {
+				tr = obs.Adopt(id, parent)
+			}
+		}
 		body := bodyBuf
 		if compress {
 			if body, err = decompressed(body); err != nil {
-				if err := writeResponse(w, 1, []byte(err.Error())); err != nil {
+				if err := respond(1, []byte(err.Error())); err != nil {
 					return
 				}
 				continue
@@ -221,13 +268,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		if deadlineMs > 0 {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMs)*time.Millisecond)
 		}
+		var serveSp *obs.ActiveSpan
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+			ctx, serveSp = obs.StartSpan(ctx, "serve:"+method)
+		}
 		ret, herr := s.handler(ctx, codec, method, body)
 		cancel()
+		if tr != nil {
+			serveSp.EndErr(herr)
+			spansBuf = obs.AppendSpans(spansBuf, tr.Snapshot())
+			s.cfg.Recorder.Finish(tr, serveSp)
+		}
 		if herr == nil {
 			respBuf, herr = codec.Append(respBuf[:0], ret)
 		}
 		if herr != nil {
-			if err := writeResponse(w, 1, []byte(herr.Error())); err != nil {
+			if err := respond(1, []byte(herr.Error())); err != nil {
 				return
 			}
 			continue
@@ -235,25 +292,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		payload := respBuf
 		if compress {
 			if cmpBuf, err = appendCompressed(cmpBuf[:0], respBuf); err != nil {
-				if err := writeResponse(w, 1, []byte(err.Error())); err != nil {
+				if err := respond(1, []byte(err.Error())); err != nil {
 					return
 				}
 				continue
 			}
 			payload = cmpBuf
 		}
-		if err := writeResponse(w, 0, payload); err != nil {
+		if err := respond(0, payload); err != nil {
 			return
 		}
 	}
 }
 
-// negotiate picks the connection's codec and compression from a hello
-// body: the first proposed codec that is registered and allowed wins,
-// and compression turns on iff proposed and permitted. Anything
-// unparseable falls back to gob uncompressed — never an error, so a
-// malformed or future hello still yields a working connection.
-func (s *Server) negotiate(body []byte) (reply []byte, codec Codec, compress bool) {
+// negotiate picks the connection's codec and options from a hello body:
+// the first proposed codec that is registered and allowed wins, and an
+// option (gzip compression, trace propagation) turns on iff proposed and
+// permitted. Anything unparseable falls back to gob uncompressed — never
+// an error, so a malformed or future hello still yields a working
+// connection. The reply lists the accepted options space-separated after
+// the codec ("gob gzip trace"): a pre-trace dialer looks only for "gzip"
+// in the second field and never proposes "trace", so it is never
+// surprised by the extra token.
+func (s *Server) negotiate(body []byte) (reply []byte, codec Codec, compress, trace bool) {
 	codec = GobCodec
 	fields := strings.Fields(string(body))
 	if len(fields) >= 2 && fields[0] == helloMagic {
@@ -266,10 +327,13 @@ func (s *Server) negotiate(body []byte) (reply []byte, codec Codec, compress boo
 				break
 			}
 		}
-		if len(fields) >= 3 && !s.cfg.NoCompress {
+		if len(fields) >= 3 {
 			for _, opt := range strings.Split(fields[2], ",") {
-				if opt == "gzip" {
+				switch {
+				case opt == "gzip" && !s.cfg.NoCompress:
 					compress = true
+				case opt == "trace" && !s.cfg.NoTrace:
+					trace = true
 				}
 			}
 		}
@@ -278,7 +342,10 @@ func (s *Server) negotiate(body []byte) (reply []byte, codec Codec, compress boo
 	if compress {
 		resp += " gzip"
 	}
-	return []byte(resp), codec, compress
+	if trace {
+		resp += " trace"
+	}
+	return []byte(resp), codec, compress, trace
 }
 
 // readFrameReuse reads one length-prefixed frame into buf, growing it
@@ -335,6 +402,9 @@ type DialConfig struct {
 	// how a pre-handshake dialer behaves. It exists for interop tests and
 	// emergency rollback to the old wire behavior.
 	NoNegotiate bool
+	// NoTrace withholds the trace option from the handshake; calls on
+	// the connection are then recorded with an "untraced" marker span.
+	NoTrace bool
 }
 
 // helloTimeout bounds the handshake exchange at dial time.
@@ -351,6 +421,7 @@ type TCPPeer struct {
 	w        *bufio.Writer
 	codec    Codec
 	compress bool
+	trace    bool // the connection negotiated trace propagation
 }
 
 // Dial connects to a source server and negotiates the wire codec: the
@@ -398,9 +469,16 @@ func (p *TCPPeer) hello(cfg DialConfig) error {
 		}
 		names = []string{cfg.Codec}
 	}
-	opts := "-"
+	var propose []string
 	if !cfg.NoCompress {
-		opts = "gzip"
+		propose = append(propose, "gzip")
+	}
+	if !cfg.NoTrace {
+		propose = append(propose, "trace")
+	}
+	opts := "-"
+	if len(propose) > 0 {
+		opts = strings.Join(propose, ",")
 	}
 	body := []byte(helloMagic + " " + strings.Join(names, ",") + " " + opts)
 	p.conn.SetDeadline(time.Now().Add(helloTimeout))
@@ -446,13 +524,23 @@ func (p *TCPPeer) hello(cfg DialConfig) error {
 		return fmt.Errorf("transport: hello %s: server chose unknown codec %q", p.Name, fields[0])
 	}
 	p.codec = codec
-	p.compress = len(fields) >= 2 && fields[1] == "gzip"
+	p.compress, p.trace = false, false
+	for _, f := range fields[1:] {
+		for _, opt := range strings.Split(f, ",") {
+			switch opt {
+			case "gzip":
+				p.compress = true
+			case "trace":
+				p.trace = true
+			}
+		}
+	}
 	return nil
 }
 
 // WireInfo implements Wired.
 func (p *TCPPeer) WireInfo() WireInfo {
-	return WireInfo{Codec: p.codec.Name(), Compression: p.compress}
+	return WireInfo{Codec: p.codec.Name(), Compression: p.compress, Trace: p.trace}
 }
 
 // Call implements Peer. A context deadline bounds the whole exchange (the
@@ -461,7 +549,28 @@ func (p *TCPPeer) WireInfo() WireInfo {
 // caller will never wait for. A deadline failure poisons the connection's
 // framing, so the peer must be discarded afterwards — exactly what Pool's
 // health-aware checkin does.
+//
+// On a traced context the exchange is recorded as an "rpc:<method>" span.
+// When the connection negotiated trace propagation the trace follows the
+// request to the server and the server's spans come back merged into the
+// caller's trace; against a legacy (or NoTrace) connection the rpc span
+// instead gets an explicit "untraced" child marking where visibility
+// ends.
 func (p *TCPPeer) Call(ctx context.Context, method string, req, resp any) error {
+	tr, _ := obs.Current(ctx)
+	sctx, sp := obs.StartSpan(ctx, "rpc:"+method)
+	sp.SetSource(p.Name)
+	if sp != nil && !p.trace {
+		_, marker := obs.StartSpan(sctx, "untraced")
+		marker.SetSource(p.Name)
+		marker.End()
+	}
+	err := p.call(sctx, tr, sp, method, req, resp)
+	sp.EndErr(err)
+	return err
+}
+
+func (p *TCPPeer) call(ctx context.Context, tr *obs.Trace, sp *obs.ActiveSpan, method string, req, resp any) error {
 	var deadlineMs uint64
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
@@ -506,6 +615,15 @@ func (p *TCPPeer) Call(ctx context.Context, method string, req, resp any) error 
 	if err := writeFrame(p.w, wire); err != nil {
 		return fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
+	if p.trace {
+		tcBuf := getBuf()
+		defer putBuf(tcBuf)
+		tc := obs.AppendContext((*tcBuf)[:0], ctx)
+		*tcBuf = tc
+		if err := writeFrame(p.w, tc); err != nil {
+			return fmt.Errorf("transport: send %s: %w", p.Name, err)
+		}
+	}
 	if err := p.w.Flush(); err != nil {
 		return fmt.Errorf("transport: send %s: %w", p.Name, err)
 	}
@@ -519,6 +637,22 @@ func (p *TCPPeer) Call(ctx context.Context, method string, req, resp any) error 
 	*rdBuf = payload
 	if err != nil {
 		return fmt.Errorf("transport: recv %s: %w", p.Name, err)
+	}
+	if p.trace {
+		// The span frame is part of the negotiated framing: read it on
+		// error responses too, or the connection desynchronizes.
+		spBuf := getBuf()
+		defer putBuf(spBuf)
+		shipped, err := readFrameReuse(p.r, (*spBuf)[:0])
+		*spBuf = shipped
+		if err != nil {
+			return fmt.Errorf("transport: recv %s: %w", p.Name, err)
+		}
+		if tr != nil {
+			if spans, err := obs.DecodeSpans(shipped); err == nil {
+				tr.Merge(spans, sp.Start())
+			}
+		}
 	}
 	if status != 0 {
 		return &RemoteError{Source: p.Name, Msg: string(payload)}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dits/internal/metrics"
+	"dits/internal/obs"
 )
 
 // Handler serves one source's requests: it receives the connection's
@@ -62,11 +63,13 @@ type Peer interface {
 }
 
 // WireInfo describes the wire parameters a connection negotiated: the
-// codec name and whether payload compression is on. Zero Codec means the
-// peer has not dialed (and therefore negotiated) yet.
+// codec name, whether payload compression is on, and whether trace
+// propagation is on. Zero Codec means the peer has not dialed (and
+// therefore negotiated) yet.
 type WireInfo struct {
 	Codec       string `json:"codec"`
 	Compression bool   `json:"compression"`
+	Trace       bool   `json:"trace,omitempty"`
 }
 
 // Wired is implemented by peers that know their negotiated wire
@@ -278,8 +281,19 @@ func (p *InProc) codec() Codec {
 	return GobCodec
 }
 
-// Call implements Peer.
+// Call implements Peer. The context (trace included) flows directly into
+// the handler, so spans recorded by in-process "remote" work land in the
+// caller's trace with no wire merge — but still under an rpc span, so an
+// in-process federation shows the same span taxonomy as a TCP one.
 func (p *InProc) Call(ctx context.Context, method string, req, resp any) error {
+	sctx, sp := obs.StartSpan(ctx, "rpc:"+method)
+	sp.SetSource(p.Name)
+	err := p.call(sctx, method, req, resp)
+	sp.EndErr(err)
+	return err
+}
+
+func (p *InProc) call(ctx context.Context, method string, req, resp any) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("transport: call %s: %w", p.Name, err)
 	}
@@ -306,8 +320,9 @@ func (p *InProc) Call(ctx context.Context, method string, req, resp any) error {
 	return c.Decode(payload, resp)
 }
 
-// WireInfo implements Wired.
-func (p *InProc) WireInfo() WireInfo { return WireInfo{Codec: p.codec().Name()} }
+// WireInfo implements Wired. Trace is always true: the context crosses
+// the in-process boundary intact.
+func (p *InProc) WireInfo() WireInfo { return WireInfo{Codec: p.codec().Name(), Trace: true} }
 
 // Close implements Peer.
 func (p *InProc) Close() error { return nil }
